@@ -1,0 +1,20 @@
+# Convenience targets for the reproduction repo.
+
+.PHONY: install test bench figures calibrate all
+
+install:
+	pip install -e . --no-build-isolation
+
+test:
+	pytest tests/ -q
+
+bench:
+	pytest benchmarks/ --benchmark-only -q -s
+
+figures:
+	python examples/regenerate_experiments.py EXPERIMENTS.md
+
+calibrate:
+	python tools/calibrate.py
+
+all: test bench

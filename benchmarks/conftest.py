@@ -1,0 +1,27 @@
+"""Shared configuration for the figure-regeneration benchmarks.
+
+Every file in this directory regenerates one table or figure of the paper
+through pytest-benchmark.  Runs use the reduced-scale configuration
+(:func:`repro.params.default_config`) and moderate trace lengths so the
+whole suite completes in minutes; pass ``--benchmark-only -s`` to see the
+regenerated tables.
+"""
+
+import pytest
+
+#: Default ROI / warmup used by most figure benches.
+INSTRUCTIONS = 30_000
+WARMUP = 8_000
+
+#: Subset used by the most expensive sweeps (representative of the three
+#: STLB-MPKI categories).
+SWEEP_BENCHMARKS = ["xalancbmk", "canneal", "mcf", "cc", "pr"]
+
+
+def regenerate(benchmark, fn, **kwargs):
+    """Run a figure function exactly once under pytest-benchmark and print
+    the regenerated table."""
+    result = benchmark.pedantic(lambda: fn(**kwargs), rounds=1, iterations=1)
+    print()
+    print(result)
+    return result

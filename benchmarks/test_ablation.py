@@ -1,0 +1,36 @@
+"""Ablation benches (beyond the paper's figures; see DESIGN.md).
+
+Isolates each mechanism: ATP depends on the T-policies for its trigger
+opportunities (a translation must *hit* at L2C/LLC to fire), so
+``atp_only`` should trail the full stack; T-DRRIP and T-LLC each carry
+weight on their own."""
+
+from conftest import INSTRUCTIONS, WARMUP, regenerate
+
+from repro.experiments.ablations import (atp_trigger_placement,
+                                         single_mechanism_ablation)
+
+
+def test_single_mechanism_ablation(benchmark):
+    res = regenerate(benchmark, single_mechanism_ablation,
+                     instructions=INSTRUCTIONS, warmup=WARMUP)
+    g = res.data["gmean"]
+    assert g["full"] > 1.0
+    # The full stack beats every single mechanism on its own.
+    singles = [v for k, v in g.items() if k != "full"]
+    assert g["full"] >= max(singles) - 0.02
+    # No single mechanism is harmful on average.
+    assert min(singles) > 0.97
+
+
+def test_atp_trigger_placement(benchmark):
+    res = regenerate(benchmark, atp_trigger_placement,
+                     instructions=INSTRUCTIONS, warmup=WARMUP)
+    totals = {"l2c": 0, "llc": 0, "tempo": 0}
+    for name, d in res.data.items():
+        for k in totals:
+            totals[k] += d[k]
+    # With T-DRRIP keeping translations at the L2C, most triggers fire
+    # there; TEMPO covers only the rare full-hierarchy misses.
+    assert totals["l2c"] > totals["llc"]
+    assert totals["tempo"] < totals["l2c"] + totals["llc"]

@@ -1,0 +1,23 @@
+"""Fig 2: normalized performance with ideal L2C/LLC for leaf translations
+(T), replay loads (R) and both (TR).
+
+Paper: ideal LLC(TR) gives 30.7% on average; adding an ideal L2C raises
+it to 37.6%; translations alone at the L2C give only 4.7% while replays
+alone give 30.2%.  We check the ordering: TR >= R >= T, and L2C+LLC >=
+LLC."""
+
+from conftest import INSTRUCTIONS, WARMUP, regenerate
+
+from repro.experiments.figures import fig2_ideal
+
+MODES = ["LLC(T)", "LLC(R)", "LLC(TR)", "L2C+LLC(TR)"]
+
+
+def test_fig2_ideal_caches(benchmark):
+    res = regenerate(benchmark, fig2_ideal, instructions=INSTRUCTIONS,
+                     warmup=WARMUP, modes=MODES)
+    g = res.data["gmean"]
+    assert g["LLC(TR)"] > 1.0
+    assert g["LLC(TR)"] >= g["LLC(T)"] - 0.02
+    assert g["LLC(R)"] >= g["LLC(T)"] - 0.02  # replays are the bigger prize
+    assert g["L2C+LLC(TR)"] >= g["LLC(TR)"] - 0.02

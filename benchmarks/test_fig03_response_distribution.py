@@ -1,0 +1,22 @@
+"""Fig 3: which level of the hierarchy serves leaf translations and
+replay loads after an STLB miss.
+
+Paper: translations -- 23% L1D, 55.6% L2C, 15.1% LLC, 6.3% DRAM; replay
+loads -- more than 80% miss the LLC."""
+
+from conftest import INSTRUCTIONS, WARMUP, regenerate
+
+from repro.experiments.figures import fig3_response_distribution
+
+
+def test_fig3_response_distribution(benchmark):
+    res = regenerate(benchmark, fig3_response_distribution,
+                     instructions=INSTRUCTIONS, warmup=WARMUP)
+    t = res.data["mean"]["translation"]
+    r = res.data["mean"]["replay"]
+    # Translations are mostly served on-chip, dominated by the L2C.
+    assert t["L2C"] > 0.3
+    assert t["DRAM"] < 0.25
+    assert t["L2C"] > t["L1D"]
+    # Replay loads overwhelmingly miss the LLC.
+    assert r["DRAM"] > 0.8

@@ -1,0 +1,17 @@
+"""Fig 6: replay-load MPKI at the LLC across replacement policies.
+
+Paper: the policies are indistinguishable -- replay blocks are dead, so
+no insertion/promotion scheme can keep them."""
+
+from conftest import INSTRUCTIONS, WARMUP, regenerate
+
+from repro.experiments.figures import fig6_replay_mpki
+
+
+def test_fig6_replay_mpki_policy_insensitive(benchmark):
+    res = regenerate(benchmark, fig6_replay_mpki,
+                     instructions=INSTRUCTIONS, warmup=WARMUP)
+    mean = res.data["mean"]
+    lo, hi = min(mean.values()), max(mean.values())
+    # No replacement policy moves replay MPKI by more than ~10%.
+    assert hi <= lo * 1.10

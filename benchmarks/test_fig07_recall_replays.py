@@ -1,0 +1,21 @@
+"""Fig 7: recall-distance CDF of replay loads at the LLC and L2C.
+
+Paper: more than 60% of replay blocks have recall distance > 50 unique
+accesses -- they are dead on arrival, which is why replacement cannot
+help and ATP prefetching is needed."""
+
+from conftest import INSTRUCTIONS, WARMUP, regenerate
+
+from repro.experiments.figures import fig7_recall_replays
+
+
+def test_fig7_replay_recall_is_long(benchmark):
+    res = regenerate(benchmark, fig7_recall_replays,
+                     instructions=INSTRUCTIONS, warmup=WARMUP)
+    beyond_50 = []
+    for bench_data in res.data.values():
+        for tracker_data in bench_data.values():
+            if tracker_data["samples"] >= 20:
+                beyond_50.append(1.0 - tracker_data["cdf"][-2])
+    assert beyond_50
+    assert sum(beyond_50) / len(beyond_50) > 0.6

@@ -1,0 +1,21 @@
+"""Fig 8: LLC replay-load MPKI with data prefetchers (IPCP, SPP, Bingo,
+ISB) vs no prefetching.
+
+Paper: state-of-the-art prefetchers barely move replay MPKI (average
+improvement < 1% for the spatial ones) because replay loads land on new
+pages that same-page prefetchers cannot reach and cross-page IPCP
+prefetches arrive late."""
+
+from conftest import WARMUP, regenerate
+
+from repro.experiments.figures import fig8_prefetcher_replay_mpki
+
+
+def test_fig8_prefetchers_cannot_cover_replays(benchmark):
+    res = regenerate(benchmark, fig8_prefetcher_replay_mpki,
+                     instructions=20_000, warmup=WARMUP)
+    mean = res.data["mean"]
+    base = mean["none"]
+    for pf in ("ipcp", "spp", "bingo", "isb"):
+        # No prefetcher removes more than ~15% of replay misses.
+        assert mean[pf] > 0.85 * base, pf

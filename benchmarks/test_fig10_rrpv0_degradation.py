@@ -1,0 +1,19 @@
+"""Fig 10: inserting replay loads at RRPV=0 (together with translations)
+degrades performance -- dead replay blocks at the lowest eviction
+priority age out the useful translations.
+
+Paper: clear degradation vs the baseline for DRRIP at L2C + SHiP at LLC."""
+
+from conftest import INSTRUCTIONS, WARMUP, regenerate
+
+from repro.experiments.figures import (fig10_replay_rrpv0_degradation,
+                                       fig14_performance)
+
+
+def test_fig10_replay_rrpv0_underperforms(benchmark):
+    res = regenerate(benchmark, fig10_replay_rrpv0_degradation,
+                     instructions=INSTRUCTIONS, warmup=WARMUP)
+    # The misconfiguration must not beat the proper T-DRRIP/T-SHiP stack
+    # (paper shows outright degradation vs baseline).
+    proper = fig14_performance(instructions=INSTRUCTIONS, warmup=WARMUP)
+    assert res.data["gmean"] < proper.data["gmean"]["+T-SHiP"] + 0.005

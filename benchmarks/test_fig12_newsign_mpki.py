@@ -1,0 +1,20 @@
+"""Fig 12: leaf-translation MPKI at the LLC with the enhanced IP
+signatures (NewSign) and the full T-SHiP policy.
+
+Paper: the new signatures alone cut translation MPKI substantially and
+T-SHiP (signatures + RRPV=0 insertion) cuts it further, to near zero."""
+
+from conftest import INSTRUCTIONS, WARMUP, regenerate
+
+from repro.experiments.figures import fig12_newsign_mpki
+
+
+def test_fig12_enhancements_cut_translation_mpki(benchmark):
+    # Longer ROI than the other benches: the steady-state (non-compulsory)
+    # translation-miss population is what the enhancements act on.
+    res = regenerate(benchmark, fig12_newsign_mpki,
+                     instructions=100_000, warmup=20_000)
+    mean = res.data["mean"]
+    assert mean["newsign"] < mean["ship"]
+    assert mean["t_ship"] <= mean["newsign"] * 1.02
+    assert mean["t_ship"] < 0.75 * mean["ship"]

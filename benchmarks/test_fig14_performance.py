@@ -1,0 +1,24 @@
+"""Fig 14: the headline result -- normalized performance of the
+cumulative enhancement stack T-DRRIP -> +T-SHiP -> +ATP -> +TEMPO.
+
+Paper: average improvements of 0.5%, 2.9%, 4.8% and 5.1% respectively,
+with a best case of 10.6%.  At reduced scale we assert the staircase
+shape and the magnitude band."""
+
+from conftest import INSTRUCTIONS, WARMUP, regenerate
+
+from repro.experiments.figures import fig14_performance
+
+
+def test_fig14_cumulative_enhancements(benchmark):
+    res = regenerate(benchmark, fig14_performance,
+                     instructions=INSTRUCTIONS, warmup=WARMUP)
+    g = res.data["gmean"]
+    # Each stage of the stack keeps or improves the geomean.
+    assert g["T-DRRIP"] > 0.99
+    assert g["+T-SHiP"] > 1.0
+    assert g["+ATP"] > g["+T-SHiP"] - 0.01
+    assert g["+TEMPO"] > 1.02  # the full stack is a clear win
+    # Best case reaches the several-percent band the paper reports.
+    best = max(res.data[b]["+TEMPO"] for b in res.data if b != "gmean")
+    assert best > 1.04

@@ -1,0 +1,19 @@
+"""Fig 15: the enhancements on top of data-prefetcher baselines (IPCP,
+Bingo, SPP, ISB).
+
+Paper: the proposals remain effective -- in fact slightly more so --
+with prefetchers present (11.2%, 7.5%, 6.4%, 7.2%), since the
+prefetchers do not cover the irregular replay traffic."""
+
+from conftest import SWEEP_BENCHMARKS, WARMUP, regenerate
+
+from repro.experiments.figures import fig15_with_prefetchers
+
+
+def test_fig15_enhancements_on_prefetcher_baselines(benchmark):
+    res = regenerate(benchmark, fig15_with_prefetchers,
+                     benchmarks=SWEEP_BENCHMARKS,
+                     instructions=20_000, warmup=WARMUP)
+    g = res.data["gmean"]
+    # The enhancement stack still wins on top of every prefetcher.
+    assert all(v > 1.0 for v in g.values()), g

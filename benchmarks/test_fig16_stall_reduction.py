@@ -1,0 +1,26 @@
+"""Fig 16: reduction in head-of-ROB stall cycles due to STLB misses and
+replay requests with the full enhancement stack.
+
+Paper: 28.76% fewer STLB-miss stalls and 18.5% fewer replay stalls,
+46.7% combined."""
+
+from conftest import INSTRUCTIONS, WARMUP, regenerate
+
+from repro.experiments.figures import fig16_stall_reduction
+
+
+def test_fig16_stall_reduction(benchmark):
+    res = regenerate(benchmark, fig16_stall_reduction,
+                     instructions=INSTRUCTIONS, warmup=WARMUP)
+    mean = res.data["mean"]
+    # The combined STLB-miss + replay stall population shrinks clearly.
+    # (Per-benchmark translation reductions are noisy at reduced scale:
+    # the baseline's translation stalls are already small in absolute
+    # terms; the replay component carries the reduction.)
+    assert mean["replay"] > 0.05
+    assert mean["combined"] > 0.05
+    high_pressure = [res.data[b]["translation"] for b in ("cc", "pr")
+                     if b in res.data]
+    if high_pressure:
+        # Where translation stalls exist, the T-policies remove them.
+        assert max(high_pressure) > 0.5

@@ -1,0 +1,22 @@
+"""Fig 18: recall distance of translations at the STLB.
+
+Paper: more than 40% of STLB entries are dead (recall distance > 50), so
+bypassing dead STLB entries (dpPred) cannot expedite the costly misses
+-- the motivation for attacking the problem at the data caches instead."""
+
+from conftest import INSTRUCTIONS, WARMUP, regenerate
+
+from repro.experiments.figures import fig18_stlb_recall
+
+
+def test_fig18_stlb_recall(benchmark):
+    res = regenerate(benchmark, fig18_stlb_recall,
+                     instructions=INSTRUCTIONS, warmup=WARMUP)
+    beyond_50 = []
+    for bench_data in res.data.values():
+        tracker = bench_data["STLB"]
+        if tracker["samples"] >= 50:
+            beyond_50.append(1.0 - tracker["cdf"][-2])
+    assert beyond_50
+    # A large dead-entry population exists (paper: > 40%).
+    assert sum(beyond_50) / len(beyond_50) > 0.4

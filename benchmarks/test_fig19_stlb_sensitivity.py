@@ -1,0 +1,21 @@
+"""Fig 19: STLB-size sensitivity of the enhancements.
+
+Paper: gains persist across STLB sizes because high-recall-distance
+translations miss any reasonable STLB; the gain shrinks as the STLB
+grows (fewer walks to accelerate)."""
+
+from conftest import SWEEP_BENCHMARKS, WARMUP, regenerate
+
+from repro.experiments.sweeps import fig19_stlb_sensitivity
+
+POINTS = (1024, 2048, 4096)
+
+
+def test_fig19_stlb_sensitivity(benchmark):
+    res = regenerate(benchmark, fig19_stlb_sensitivity,
+                     benchmarks=SWEEP_BENCHMARKS, points=POINTS,
+                     instructions=20_000, warmup=WARMUP)
+    gmeans = [res.data[p]["gmean"] for p in POINTS]
+    # The enhancements win at every STLB size.
+    assert all(g > 0.995 for g in gmeans), gmeans
+    assert max(gmeans) > 1.01

@@ -1,0 +1,19 @@
+"""Fig 20: L2C-size sensitivity of the enhancements.
+
+Paper: gains hold from 256KB to 1MB; growing the L2C lets the baseline
+retain more translations, shrinking T-DRRIP's contribution."""
+
+from conftest import SWEEP_BENCHMARKS, WARMUP, regenerate
+
+from repro.experiments.sweeps import fig20_l2c_sensitivity
+
+POINTS = (256 * 1024, 512 * 1024, 1024 * 1024)
+
+
+def test_fig20_l2c_sensitivity(benchmark):
+    res = regenerate(benchmark, fig20_l2c_sensitivity,
+                     benchmarks=SWEEP_BENCHMARKS, points=POINTS,
+                     instructions=20_000, warmup=WARMUP)
+    gmeans = [res.data[p]["gmean"] for p in POINTS]
+    assert all(g > 0.99 for g in gmeans), gmeans
+    assert max(gmeans) > 1.01

@@ -1,0 +1,19 @@
+"""Fig 21: LLC-size sensitivity of the enhancements.
+
+Paper: 6.3% at 1MB falling to 4.2% at 8MB -- a bigger LLC keeps more
+translations on its own, so the headroom shrinks."""
+
+from conftest import SWEEP_BENCHMARKS, WARMUP, regenerate
+
+from repro.experiments.sweeps import fig21_llc_sensitivity
+
+POINTS = (1 << 20, 2 << 20, 8 << 20)
+
+
+def test_fig21_llc_sensitivity(benchmark):
+    res = regenerate(benchmark, fig21_llc_sensitivity,
+                     benchmarks=SWEEP_BENCHMARKS, points=POINTS,
+                     instructions=20_000, warmup=WARMUP)
+    gmeans = [res.data[p]["gmean"] for p in POINTS]
+    assert all(g > 0.99 for g in gmeans), gmeans
+    assert max(gmeans) > 1.01

@@ -1,0 +1,42 @@
+"""Robustness: the headline result holds across trace seeds.
+
+Reduced-scale single runs carry sampling noise; this bench re-runs the
+Fig 14 endpoint on three different trace seeds and checks that the
+full-stack speedup's *direction* is seed-independent."""
+
+from conftest import WARMUP, regenerate
+
+from repro.experiments.runner import run_benchmark_multi
+from repro.params import EnhancementConfig, default_config
+from repro.stats.report import geometric_mean
+
+BENCHMARKS = ["canneal", "mcf", "tc", "mis"]
+SEEDS = [1, 2, 3]
+
+
+def _study():
+    speedups = {}
+    cfg = default_config().replace(enhancements=EnhancementConfig.full())
+    for name in BENCHMARKS:
+        base = run_benchmark_multi(name, SEEDS, instructions=20_000,
+                                   warmup=WARMUP)
+        enh = run_benchmark_multi(name, SEEDS, config=cfg,
+                                  instructions=20_000, warmup=WARMUP)
+        per_seed = [b.cycles / e.cycles
+                    for b, e in zip(base.runs, enh.runs)]
+        speedups[name] = per_seed
+    return speedups
+
+
+def test_fig14_direction_is_seed_stable(benchmark):
+    speedups = benchmark.pedantic(_study, rounds=1, iterations=1)
+    print()
+    for name, per_seed in speedups.items():
+        print(f"{name:<10} " + "  ".join(f"{s:.3f}" for s in per_seed))
+    # Per-benchmark: the stack never hurts badly under any seed.
+    for name, per_seed in speedups.items():
+        assert min(per_seed) > 0.95, (name, per_seed)
+    # Aggregate: a clear win under every seed.
+    for i in range(len(SEEDS)):
+        gmean = geometric_mean([speedups[n][i] for n in BENCHMARKS])
+        assert gmean > 1.0, f"seed index {i}"

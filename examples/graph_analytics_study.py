@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""Graph-analytics case study: why address translation dominates.
+
+This walks the paper's motivation (Sections I and III) on the Ligra-style
+graph kernels: their gather-heavy address streams miss the STLB
+constantly, each miss walks the five-level page table, and the *replay*
+data access then misses the whole cache hierarchy.
+
+Run with::
+
+    python examples/graph_analytics_study.py
+"""
+
+from repro import StallCategory, run_benchmark
+from repro.stats.report import format_table
+
+GRAPH_KERNELS = ["tc", "mis", "bf", "radii", "cc", "pr"]
+
+
+def main() -> None:
+    instructions, warmup = 30_000, 8_000
+    rows = []
+    for name in GRAPH_KERNELS:
+        run = run_benchmark(name, instructions=instructions, warmup=warmup)
+        dist = run.hierarchy.response_distribution.fractions("translation")
+        total_stalls = run.core.stalls.total_stall_cycles()
+        tr_stalls = run.translation_replay_stalls()
+        rows.append([
+            name,
+            run.stlb_mpki,
+            run.cache_mpki("llc", "replay"),
+            dist["L2C"] + dist["L1D"],          # translations served early
+            dist["DRAM"],                        # translations from DRAM
+            tr_stalls / max(1, total_stalls),    # stall share
+            run.ipc,
+        ])
+
+    print(format_table(
+        "Ligra graph kernels: translation pressure (reduced scale)",
+        ["kernel", "STLB MPKI", "LLC replay MPKI", "PTE @ L1D/L2C",
+         "PTE @ DRAM", "T+R stall share", "IPC"],
+        rows))
+    print()
+    print("Reading the table: every kernel's replay MPKI tracks its STLB")
+    print("MPKI (each page-table walk is followed by a data access that")
+    print("misses the hierarchy), and translation+replay stalls account")
+    print("for most head-of-ROB stall cycles -- the paper's motivation")
+    print("for translation-conscious cache management.")
+
+
+if __name__ == "__main__":
+    main()

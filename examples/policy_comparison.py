@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Replacement-policy shoot-out for translation blocks (Figs 4, 6, 12).
+
+Compares how LRU, SRRIP, DRRIP, SHiP and Hawkeye treat leaf-level
+address-translation blocks at the LLC, then shows what the paper's
+NewSign signatures and T-SHiP insertion do to the same metric.
+
+Run with::
+
+    python examples/policy_comparison.py
+"""
+
+from repro import default_config, run_benchmark
+from repro.params import EnhancementConfig
+from repro.stats.report import format_table
+
+BENCHMARKS = ["canneal", "mcf", "cc", "pr"]
+POLICIES = ["lru", "srrip", "drrip", "ship", "hawkeye"]
+
+
+def llc_policy_run(name, policy, **kw):
+    cfg = default_config()
+    cfg.llc.replacement = policy
+    return run_benchmark(name, config=cfg, **kw)
+
+
+def main() -> None:
+    kw = dict(instructions=60_000, warmup=15_000)
+
+    rows = []
+    for name in BENCHMARKS:
+        row = [name]
+        for policy in POLICIES:
+            run = llc_policy_run(name, policy, **kw)
+            row.append(run.leaf_mpki("llc"))
+        rows.append(row)
+    print(format_table("Leaf-translation MPKI at LLC by policy (Fig 4)",
+                       ["benchmark"] + POLICIES, rows))
+    print()
+
+    variants = {
+        "SHiP": EnhancementConfig.none(),
+        "NewSign": EnhancementConfig(new_signatures=True),
+        "T-SHiP": EnhancementConfig(t_drrip=True, t_llc=True,
+                                    new_signatures=True),
+    }
+    rows = []
+    for name in BENCHMARKS:
+        row = [name]
+        for enh in variants.values():
+            cfg = default_config().replace(enhancements=enh)
+            run = run_benchmark(name, config=cfg, **kw)
+            row.append(run.leaf_mpki("llc"))
+        rows.append(row)
+    print(format_table(
+        "...and with the paper's enhancements (Fig 12)",
+        ["benchmark"] + list(variants), rows))
+    print()
+    print("The translation-aware signatures de-noise SHiP's training and")
+    print("RRPV=0 insertion pins leaf PTEs; together they cut the")
+    print("translation MPKI to near zero, as in the paper's Fig 12.")
+
+
+if __name__ == "__main__":
+    main()

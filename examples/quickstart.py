@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Quickstart: simulate one benchmark with and without the paper's
+translation-conscious enhancements.
+
+Run with::
+
+    python examples/quickstart.py [benchmark]
+
+The default benchmark is ``pr`` (PageRank), the most STLB-intensive
+workload in the paper's Table II.
+"""
+
+import sys
+
+from repro import (EnhancementConfig, StallCategory, default_config,
+                   run_benchmark)
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "pr"
+    instructions, warmup = 40_000, 10_000
+
+    print(f"Simulating '{name}' ({instructions:,} instructions after "
+          f"{warmup:,} warmup) at reduced scale...\n")
+
+    baseline = run_benchmark(name, instructions=instructions, warmup=warmup)
+
+    enhanced_cfg = default_config().replace(
+        enhancements=EnhancementConfig.full())
+    enhanced = run_benchmark(name, config=enhanced_cfg,
+                             instructions=instructions, warmup=warmup)
+
+    def describe(label, run):
+        print(f"{label}:")
+        print(f"  IPC                      {run.ipc:8.3f}")
+        print(f"  STLB MPKI                {run.stlb_mpki:8.2f}")
+        print(f"  LLC replay MPKI          {run.cache_mpki('llc', 'replay'):8.2f}")
+        print(f"  LLC leaf-PTE MPKI        {run.leaf_mpki('llc'):8.3f}")
+        print(f"  ROB stalls (translation) "
+              f"{run.stall_cycles(StallCategory.TRANSLATION):8d}")
+        print(f"  ROB stalls (replay)      "
+              f"{run.stall_cycles(StallCategory.REPLAY):8d}")
+        print()
+
+    describe("Baseline (DRRIP @ L2C, SHiP @ LLC)", baseline)
+    describe("T-DRRIP + T-SHiP + ATP + TEMPO", enhanced)
+
+    speedup = enhanced.speedup_over(baseline)
+    hit_rate = enhanced.hierarchy.leaf_translation_hit_rate()
+    print(f"Speedup: {speedup:.3f}x "
+          f"({(speedup - 1) * 100:+.1f}% execution time)")
+    print(f"Leaf translations served on-chip: {hit_rate:.1%}")
+    if enhanced.hierarchy.atp is not None:
+        print(f"ATP prefetches triggered: "
+              f"{enhanced.hierarchy.atp.triggered}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,42 @@
+#!/usr/bin/env python3
+"""Anatomy of an STLB miss: trace one load's journey, event by event.
+
+Uses the JourneyTracer to show exactly what the paper's Fig 1 costs are
+made of: five dependent PTE reads walking the radix page table, then the
+replay data access missing the whole hierarchy.
+
+Run with::
+
+    python examples/request_journey_demo.py
+"""
+
+from repro.debug.tracer import JourneyTracer
+from repro.params import default_config
+from repro.uncore.hierarchy import MemoryHierarchy
+from repro.vm.address import make_va
+
+
+def main() -> None:
+    hierarchy = MemoryHierarchy(default_config())
+    va = make_va([3, 1, 4, 1, 5], 0x9A8)
+
+    print("Cold load (nothing cached, five-level walk + replay):\n")
+    with JourneyTracer(hierarchy) as tracer:
+        res = hierarchy.load(va, cycle=0, ip=0x401000)
+    print(tracer.render())
+    print()
+    print(f"translation done at cycle {res.translation_done}, "
+          f"data at {res.data_done} "
+          f"(replay: {res.is_replay}, served by {res.data_served_by})\n")
+
+    print("Same page, warm TLBs (one L1D hit, no walk):\n")
+    with JourneyTracer(hierarchy) as tracer:
+        res = hierarchy.load(va + 8, cycle=10_000, ip=0x401000)
+    print(tracer.render())
+    print()
+    print(f"data done {res.data_done - 10_000} cycles after issue "
+          f"(replay: {res.is_replay})")
+
+
+if __name__ == "__main__":
+    main()

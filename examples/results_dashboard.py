@@ -1,0 +1,35 @@
+#!/usr/bin/env python3
+"""Terminal dashboard: the headline results as ASCII bar charts.
+
+Run with::
+
+    python examples/results_dashboard.py
+"""
+
+from repro.experiments.figures import fig14_performance, fig16_stall_reduction
+from repro.stats.report import bar_chart
+
+
+def main() -> None:
+    kw = dict(instructions=30_000, warmup=8_000)
+
+    fig14 = fig14_performance(**kw)
+    labels = [row[0] for row in fig14.rows]
+    final = [row[-1] for row in fig14.rows]  # +TEMPO column
+    print(bar_chart("Fig 14 endpoint: full-stack speedup over baseline "
+                    "(bars show delta over 1.0)",
+                    labels, final, baseline=1.0))
+    print()
+
+    fig16 = fig16_stall_reduction(**kw)
+    labels = [row[0] for row in fig16.rows]
+    combined = [row[3] for row in fig16.rows]
+    print(bar_chart("Fig 16: reduction in translation+replay ROB stalls "
+                    "(fraction)", labels, combined))
+    print()
+    print("Regenerate every figure with "
+          "`python examples/regenerate_experiments.py`.")
+
+
+if __name__ == "__main__":
+    main()

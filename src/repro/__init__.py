@@ -1,0 +1,42 @@
+"""repro: reproduction of "Address Translation Conscious Caching and
+Prefetching for High Performance Cache Hierarchy" (Vasudha & Panda,
+ISPASS 2022).
+
+A trace-driven timing simulator of a Sunny-Cove-like core's memory system:
+five-level page table + TLBs + paging-structure caches + page-table walker,
+a three-level cache hierarchy with pluggable replacement policies (LRU,
+SRRIP, DRRIP, SHiP, Hawkeye and the paper's T-DRRIP / T-SHiP / T-Hawkeye),
+hardware prefetchers (IPCP, SPP, Bingo, ISB and the paper's ATP / TEMPO),
+and an OOO core model with head-of-ROB stall attribution.
+
+Quickstart::
+
+    from repro import run_benchmark, default_config, EnhancementConfig
+
+    base = run_benchmark("mcf")
+    cfg = default_config().replace(enhancements=EnhancementConfig.full())
+    enhanced = run_benchmark("mcf", config=cfg)
+    print(enhanced.speedup_over(base))  # ~1.1x
+"""
+
+from repro.params import (SimConfig, EnhancementConfig, IdealConfig,
+                          CacheConfig, TLBConfig, default_config,
+                          paper_config, DEFAULT_SCALE)
+from repro.experiments.runner import (run_benchmark, RunResult,
+                                      DEFAULT_INSTRUCTIONS, DEFAULT_WARMUP)
+from repro.core.ooo_core import OOOCore, CoreResult
+from repro.core.rob import StallCategory
+from repro.core.smt import SMTCore
+from repro.core.multicore import MultiCore
+from repro.uncore.hierarchy import MemoryHierarchy
+from repro.workloads.registry import (benchmark_names, make_trace,
+                                      BENCHMARKS, TABLE2_REFERENCE)
+
+__version__ = "1.0.0"
+
+__all__ = ["SimConfig", "EnhancementConfig", "IdealConfig", "CacheConfig",
+           "TLBConfig", "default_config", "paper_config", "DEFAULT_SCALE",
+           "run_benchmark", "RunResult", "DEFAULT_INSTRUCTIONS",
+           "DEFAULT_WARMUP", "OOOCore", "CoreResult", "StallCategory",
+           "SMTCore", "MultiCore", "MemoryHierarchy", "benchmark_names",
+           "make_trace", "BENCHMARKS", "TABLE2_REFERENCE", "__version__"]

@@ -1,0 +1,141 @@
+"""Command-line interface: ``python -m repro``.
+
+Subcommands::
+
+    python -m repro run pr --enhancements full       # one simulation
+    python -m repro figure fig14                     # regenerate a figure
+    python -m repro list                             # what's available
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core.rob import StallCategory
+from repro.experiments import figures, mixes, sweeps
+from repro.experiments.ablations import (atp_trigger_placement,
+                                         single_mechanism_ablation)
+from repro.experiments.accuracy import prefetch_accuracy
+from repro.experiments.atp_scope import atp_scope as _atp_scope_lazy
+from repro.experiments.comparison import prior_work_comparison
+from repro.experiments.extensions import huge_page_study
+from repro.experiments.runner import (DEFAULT_INSTRUCTIONS, DEFAULT_WARMUP,
+                                      run_benchmark)
+from repro.params import DEFAULT_SCALE, EnhancementConfig, default_config
+from repro.workloads.registry import benchmark_names
+
+#: Figure registry for the ``figure`` subcommand.
+FIGURES = {
+    "fig1": figures.fig1_rob_stalls,
+    "fig2": figures.fig2_ideal,
+    "fig3": figures.fig3_response_distribution,
+    "fig4": figures.fig4_translation_mpki,
+    "fig5": figures.fig5_recall_translations,
+    "fig6": figures.fig6_replay_mpki,
+    "fig7": figures.fig7_recall_replays,
+    "fig8": figures.fig8_prefetcher_replay_mpki,
+    "fig10": figures.fig10_replay_rrpv0_degradation,
+    "fig12": figures.fig12_newsign_mpki,
+    "fig14": figures.fig14_performance,
+    "fig15": figures.fig15_with_prefetchers,
+    "fig16": figures.fig16_stall_reduction,
+    "fig17": mixes.fig17_smt,
+    "fig18": figures.fig18_stlb_recall,
+    "fig19": sweeps.fig19_stlb_sensitivity,
+    "fig20": sweeps.fig20_l2c_sensitivity,
+    "fig21": sweeps.fig21_llc_sensitivity,
+    "table2": figures.table2_characterization,
+    "multicore": mixes.multicore_study,
+    # Beyond the paper:
+    "comparison": prior_work_comparison,
+    "ablation": single_mechanism_ablation,
+    "atp_placement": atp_trigger_placement,
+    "accuracy": prefetch_accuracy,
+    "hugepages": huge_page_study,
+    "psc": sweeps.psc_sensitivity,
+    "atp_scope": _atp_scope_lazy,
+}
+
+_ENHANCEMENT_PRESETS = {
+    "none": EnhancementConfig.none(),
+    "t_drrip": EnhancementConfig(t_drrip=True),
+    "t_ship": EnhancementConfig(t_drrip=True, t_llc=True,
+                                new_signatures=True),
+    "atp": EnhancementConfig(t_drrip=True, t_llc=True, new_signatures=True,
+                             atp=True),
+    "full": EnhancementConfig.full(),
+}
+
+
+def _cmd_run(args) -> int:
+    cfg = default_config(args.scale).replace(
+        enhancements=_ENHANCEMENT_PRESETS[args.enhancements])
+    if args.l2c_prefetcher != "none":
+        cfg = cfg.replace(l2c_prefetcher=args.l2c_prefetcher)
+    result = run_benchmark(args.benchmark, config=cfg,
+                           instructions=args.instructions,
+                           warmup=args.warmup, scale=args.scale)
+    print(f"benchmark      : {result.benchmark}")
+    print(f"enhancements   : {args.enhancements}")
+    print(f"instructions   : {result.instructions}")
+    print(f"cycles         : {result.cycles}")
+    print(f"IPC            : {result.ipc:.4f}")
+    for key, value in result.summary().items():
+        if key in ("ipc", "cycles"):
+            continue
+        print(f"{key:<15}: {value:.3f}")
+    return 0
+
+
+def _cmd_figure(args) -> int:
+    fn = FIGURES[args.name]
+    kwargs = {"instructions": args.instructions, "warmup": args.warmup}
+    if args.benchmarks and args.name not in ("fig17", "multicore"):
+        kwargs["benchmarks"] = args.benchmarks
+    print(fn(**kwargs))
+    return 0
+
+
+def _cmd_list(_args) -> int:
+    print("benchmarks :", " ".join(benchmark_names()))
+    print("figures    :", " ".join(FIGURES))
+    print("enhancement presets:", " ".join(_ENHANCEMENT_PRESETS))
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="ISPASS'22 translation-conscious caching reproduction")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_run = sub.add_parser("run", help="simulate one benchmark")
+    p_run.add_argument("benchmark", choices=benchmark_names())
+    p_run.add_argument("--enhancements", default="none",
+                       choices=sorted(_ENHANCEMENT_PRESETS))
+    p_run.add_argument("--l2c-prefetcher", default="none",
+                       choices=["none", "spp", "bingo", "isb", "next_line"])
+    p_run.add_argument("--instructions", type=int,
+                       default=DEFAULT_INSTRUCTIONS)
+    p_run.add_argument("--warmup", type=int, default=DEFAULT_WARMUP)
+    p_run.add_argument("--scale", type=int, default=DEFAULT_SCALE)
+    p_run.set_defaults(func=_cmd_run)
+
+    p_fig = sub.add_parser("figure", help="regenerate a paper figure")
+    p_fig.add_argument("name", choices=sorted(FIGURES))
+    p_fig.add_argument("--benchmarks", nargs="*", default=None)
+    p_fig.add_argument("--instructions", type=int,
+                       default=DEFAULT_INSTRUCTIONS)
+    p_fig.add_argument("--warmup", type=int, default=DEFAULT_WARMUP)
+    p_fig.set_defaults(func=_cmd_figure)
+
+    p_list = sub.add_parser("list", help="list benchmarks and figures")
+    p_list.set_defaults(func=_cmd_list)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,47 @@
+"""Cache block metadata.
+
+Beyond tag/valid/dirty, blocks remember the classification of the request
+that filled them (translation / replay / prefetch) because the paper's
+policies and statistics need it at eviction time, and whether they have been
+reused (SHiP trains on exactly this)."""
+
+from __future__ import annotations
+
+
+class CacheBlock:
+    """One cache line's metadata."""
+
+    __slots__ = ("line_addr", "valid", "dirty", "reused", "is_translation",
+                 "is_leaf_translation", "is_replay", "is_prefetch",
+                 "dead_on_hit", "signature", "rrpv", "fill_cycle")
+
+    def __init__(self):
+        self.line_addr = -1
+        self.valid = False
+        self.dirty = False
+        self.reused = False
+        self.is_translation = False
+        self.is_leaf_translation = False
+        self.is_replay = False
+        self.is_prefetch = False
+        self.dead_on_hit = False
+        self.signature = 0
+        self.rrpv = 0
+        self.fill_cycle = 0
+
+    def reset_for_fill(self, line_addr: int, fill_cycle: int) -> None:
+        self.line_addr = line_addr
+        self.valid = True
+        self.dirty = False
+        self.reused = False
+        self.is_translation = False
+        self.is_leaf_translation = False
+        self.is_replay = False
+        self.is_prefetch = False
+        self.dead_on_hit = False
+        self.signature = 0
+        self.fill_cycle = fill_cycle
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "V" if self.valid else "-"
+        return f"<Block {self.line_addr:#x} {state} rrpv={self.rrpv}>"

@@ -1,0 +1,318 @@
+"""Set-associative, non-inclusive cache level.
+
+Timing model: a request arrives at ``req.cycle``; a hit responds after the
+level's access latency.  A miss forwards to the next level (advancing the
+request clock by the lookup latency), allocates an MSHR entry, and fills on
+response.  Requests to a line already in flight merge with the MSHR entry.
+
+Paper-specific hooks:
+
+* ``ideal_translations`` / ``ideal_replays`` -- the Fig 2 opportunity modes:
+  the matching request class is answered with the hit latency even on a
+  miss, while the miss still descends to consume bandwidth.
+* ``on_leaf_translation_hit`` -- fired when a leaf-level PTE read hits here;
+  the ATP prefetcher subscribes at L2C and LLC.
+* ``evict_priority`` fills (ATP/TEMPO prefetches) are demoted to the highest
+  eviction priority right after insertion.
+* Recall-distance trackers for translation and replay blocks (Figs 5/7).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.cache.block import CacheBlock
+from repro.cache.replacement import make_policy
+from repro.cache.replacement.base import ReplacementPolicy
+from repro.memsys.mshr import MSHR
+from repro.memsys.request import AccessType, MemoryRequest
+from repro.params import CacheConfig
+from repro.stats.counters import CacheStats
+from repro.stats.recall import RecallTracker
+
+
+class Cache:
+    """One level of the data-cache hierarchy."""
+
+    def __init__(self, config: CacheConfig, next_level,
+                 policy: Optional[ReplacementPolicy] = None,
+                 track_recall: bool = False,
+                 ideal_translations: bool = False,
+                 ideal_replays: bool = False):
+        self.config = config
+        self.name = config.name
+        self.num_sets = config.num_sets
+        self.num_ways = config.ways
+        self.latency = config.latency
+        self.next_level = next_level
+        self.policy = policy or make_policy(
+            config.replacement, self.num_sets, self.num_ways)
+        self.mshr = MSHR(config.mshr_entries)
+        self.stats = CacheStats(config.name)
+        self.ideal_translations = ideal_translations
+        self.ideal_replays = ideal_replays
+
+        self._sets: List[List[CacheBlock]] = [
+            [CacheBlock() for _ in range(self.num_ways)]
+            for _ in range(self.num_sets)]
+        self._lookup: List[Dict[int, int]] = [dict() for _ in range(self.num_sets)]
+
+        #: Demand-triggered prefetcher operating at this level (or None).
+        self.prefetcher = None
+        #: Optional fill-bypass hook (CbPred-style dead-block bypassing):
+        #: a callable (request) -> bool; True skips installing the block.
+        self.bypass_predicate = None
+        self.fills_bypassed = 0
+        #: ATP hook: (request, hit_completion_cycle) on leaf-PTE hits here.
+        self.on_leaf_translation_hit: Optional[
+            Callable[[MemoryRequest, int], None]] = None
+
+        self.recall_translation: Optional[RecallTracker] = None
+        self.recall_replay: Optional[RecallTracker] = None
+        if track_recall:
+            self.recall_translation = RecallTracker(f"{self.name}/translation")
+            self.recall_replay = RecallTracker(f"{self.name}/replay")
+        self.writebacks_issued = 0
+        #: Extra in-flight prefetch capacity on top of the demand MSHRs
+        #: (a model of the separate prefetch queue).
+        self._prefetch_queue = config.mshr_entries
+        self.prefetches_dropped = 0
+        #: Inclusive-LLC support: caches to back-invalidate on eviction.
+        self.back_invalidate_targets = []
+        self.back_invalidations = 0
+
+    # ------------------------------------------------------------------
+    def set_index(self, line_addr: int) -> int:
+        return line_addr % self.num_sets
+
+    def contains(self, line_addr: int) -> bool:
+        """Tag probe without side effects (used by tests and prefetchers)."""
+        return line_addr in self._lookup[self.set_index(line_addr)]
+
+    def block_for(self, line_addr: int) -> Optional[CacheBlock]:
+        """Return the resident block for ``line_addr`` (no side effects)."""
+        set_idx = self.set_index(line_addr)
+        way = self._lookup[set_idx].get(line_addr)
+        return self._sets[set_idx][way] if way is not None else None
+
+    # ------------------------------------------------------------------
+    def access(self, req: MemoryRequest) -> int:
+        """Process one request; returns the data-ready cycle."""
+        line = req.line_addr
+        set_idx = self.set_index(line)
+        ready = req.cycle + self.latency
+        category = req.category()
+        is_leaf = req.is_leaf_translation
+
+        if self.recall_translation is not None:
+            self.recall_translation.on_access(set_idx, line)
+            self.recall_replay.on_access(set_idx, line)
+
+        way = self._lookup[set_idx].get(line)
+        if way is not None:
+            completion = self._handle_hit(req, set_idx, way, ready,
+                                          category, is_leaf)
+        else:
+            completion = self._handle_miss(req, set_idx, ready,
+                                           category, is_leaf)
+
+        if self.prefetcher is not None and req.is_demand_data:
+            self._run_prefetcher(req, hit=way is not None)
+        return completion
+
+    # ------------------------------------------------------------------
+    def _handle_hit(self, req: MemoryRequest, set_idx: int, way: int,
+                    ready: int, category: str, is_leaf: bool) -> int:
+        block = self._sets[set_idx][way]
+        self.stats.record(category, hit=True, leaf=is_leaf)
+        req.served_by = self.name
+        # A "hit" on a line whose fill is still in flight (e.g. an ATP
+        # prefetch racing the replay demand) completes when the data
+        # actually arrives, not at the tag-hit latency.
+        pending = self.mshr.lookup(req.line_addr, req.cycle)
+        if pending is not None and pending > ready:
+            ready = pending
+        if req.access_type is AccessType.WRITEBACK:
+            block.dirty = True
+            return ready
+        if req.access_type is AccessType.PREFETCH:
+            # Prefetch hits neither promote nor train the policy.
+            return ready
+        if block.is_prefetch and not block.reused:
+            self.stats.prefetch_useful += 1
+        block.reused = True
+        if req.access_type is AccessType.STORE:
+            block.dirty = True
+        self.policy.on_hit(set_idx, way, req, block)
+        if block.dead_on_hit:
+            # ATP/TEMPO replay fills are dead after their single use (Fig 7):
+            # the consuming hit must not promote them.
+            self.policy.demote(set_idx, way, block)
+        if is_leaf and self.on_leaf_translation_hit is not None:
+            self.on_leaf_translation_hit(req, ready)
+        return ready
+
+    def _handle_miss(self, req: MemoryRequest, set_idx: int,
+                     ready: int, category: str, is_leaf: bool) -> int:
+        line = req.line_addr
+        self.stats.record(category, hit=False, leaf=is_leaf)
+        if req.is_demand_data:
+            self.policy.record_miss(set_idx)
+
+        merged = self.mshr.lookup(line, req.cycle)
+        if merged is not None:
+            req.served_by = self.name
+            return max(ready, merged)
+
+        if req.access_type is AccessType.PREFETCH:
+            # Prefetches ride a separate queue: they never steal demand
+            # MSHR capacity, but a flooded queue drops them.
+            if (self.mshr.occupancy(req.cycle)
+                    >= self.mshr.entries + self._prefetch_queue):
+                self.prefetches_dropped += 1
+                req.served_by = self.name
+                return ready
+            req.cycle = ready
+            fill_cycle = self.next_level.access(req)
+            self.mshr.allocate_prefetch(line, fill_cycle, ready)
+            self._fill(req, set_idx, fill_cycle)
+            return fill_cycle
+
+        ideal = ((is_leaf and self.ideal_translations)
+                 or (req.is_demand_data and req.is_replay
+                     and self.ideal_replays))
+
+        if req.access_type is AccessType.WRITEBACK:
+            # Non-inclusive: install the written-back line here.
+            self._fill(req, set_idx, ready)
+            block = self._sets[set_idx][self._lookup[set_idx][line]]
+            block.dirty = True
+            return ready
+
+        # A full MSHR delays the start of the downstream access until a
+        # slot frees (MLP throttling).
+        req.cycle = ready + self.mshr.admission_delay(ready)
+        fill_cycle = self.next_level.access(req)
+        self.mshr.allocate(line, fill_cycle, req.cycle)
+        if (self.bypass_predicate is not None
+                and self.bypass_predicate(req)):
+            self.fills_bypassed += 1
+        else:
+            self._fill(req, set_idx, fill_cycle)
+        if ideal:
+            # Fig 2 mode: answer with the hit latency; the real miss above
+            # already consumed MSHR and downstream bandwidth.
+            req.served_by = self.name
+            return ready
+        return fill_cycle
+
+    # ------------------------------------------------------------------
+    def _fill(self, req: MemoryRequest, set_idx: int, fill_cycle: int) -> None:
+        blocks = self._sets[set_idx]
+        lookup = self._lookup[set_idx]
+        way = None
+        for w, block in enumerate(blocks):
+            if not block.valid:
+                way = w
+                break
+        if way is None:
+            way = self.policy.victim(set_idx, req, blocks)
+            victim = blocks[way]
+            self.policy.on_evict(set_idx, way, victim)
+            self._evict(set_idx, victim, fill_cycle)
+        block = blocks[way]
+        block.reset_for_fill(req.line_addr, fill_cycle)
+        block.is_translation = req.is_translation
+        block.is_leaf_translation = req.is_leaf_translation
+        block.is_replay = req.is_demand_data and req.is_replay
+        block.is_prefetch = req.access_type is AccessType.PREFETCH
+        if req.access_type is AccessType.STORE:
+            block.dirty = True
+        lookup[req.line_addr] = way
+        self.policy.on_fill(set_idx, way, req, block)
+        if req.evict_priority:
+            self.policy.demote(set_idx, way, block)
+            block.dead_on_hit = True
+        if block.is_prefetch:
+            self.stats.prefetch_fills += 1
+
+    def invalidate(self, line_addr: int) -> bool:
+        """Drop ``line_addr`` if resident (inclusion back-invalidation).
+
+        Dirty victims are silently dropped: the inclusive parent already
+        holds (or is evicting) the line, which models writeback-on-
+        invalidate without a second traversal."""
+        set_idx = self.set_index(line_addr)
+        way = self._lookup[set_idx].pop(line_addr, None)
+        if way is None:
+            return False
+        self._sets[set_idx][way].valid = False
+        return True
+
+    def _evict(self, set_idx: int, victim: CacheBlock, cycle: int) -> None:
+        del self._lookup[set_idx][victim.line_addr]
+        for upper in self.back_invalidate_targets:
+            if upper.invalidate(victim.line_addr):
+                self.back_invalidations += 1
+        if self.recall_translation is not None:
+            if victim.is_leaf_translation:
+                self.recall_translation.on_evict(set_idx, victim.line_addr)
+            elif victim.is_replay:
+                self.recall_replay.on_evict(set_idx, victim.line_addr)
+        if victim.dirty:
+            self.writebacks_issued += 1
+            wb = MemoryRequest(address=victim.line_addr << 6, cycle=cycle,
+                               access_type=AccessType.WRITEBACK)
+            self.next_level.access(wb)
+        victim.valid = False
+
+    # ------------------------------------------------------------------
+    def _run_prefetcher(self, req: MemoryRequest, hit: bool) -> None:
+        candidates = self.prefetcher.operate(req, hit)
+        for line_addr in candidates:
+            if self.contains(line_addr):
+                continue
+            pref = MemoryRequest(address=line_addr << 6, cycle=req.cycle,
+                                 ip=req.ip,
+                                 access_type=AccessType.PREFETCH)
+            self.access(pref)
+
+    def issue_prefetch(self, line_addr: int, cycle: int,
+                       evict_priority: bool = False) -> int:
+        """Externally-triggered prefetch into this level (ATP path)."""
+        if self.contains(line_addr):
+            return cycle
+        pref = MemoryRequest(address=line_addr << 6, cycle=cycle,
+                             access_type=AccessType.PREFETCH)
+        pref.evict_priority = evict_priority
+        return self.access(pref)
+
+    def reset_stats(self) -> None:
+        """Zero all counters (warmup boundary); cache contents persist."""
+        self.stats = CacheStats(self.name)
+        self.writebacks_issued = 0
+        self.prefetches_dropped = 0
+        self.mshr.merges = 0
+        self.mshr.allocations = 0
+        self.mshr.peak_occupancy = 0
+        if self.recall_translation is not None:
+            self.recall_translation = RecallTracker(f"{self.name}/translation")
+            self.recall_replay = RecallTracker(f"{self.name}/replay")
+        if self.prefetcher is not None:
+            self.prefetcher.issued = 0
+
+    # ------------------------------------------------------------------
+    def occupancy_by_category(self) -> Dict[str, int]:
+        """Count of resident blocks per fill category (for analysis)."""
+        counts = {"translation": 0, "replay": 0, "other": 0}
+        for blocks in self._sets:
+            for block in blocks:
+                if not block.valid:
+                    continue
+                if block.is_translation:
+                    counts["translation"] += 1
+                elif block.is_replay:
+                    counts["replay"] += 1
+                else:
+                    counts["other"] += 1
+        return counts

@@ -1,0 +1,90 @@
+"""Replacement-policy interface.
+
+A policy sees three events -- fill, hit, evict -- plus victim selection.
+The cache handles invalid ways itself; ``victim`` is only consulted when the
+set is full.  Policies receive the full :class:`MemoryRequest` so that
+translation-conscious variants can classify the incoming block.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import List, Sequence
+
+from repro.cache.block import CacheBlock
+from repro.memsys.request import MemoryRequest
+
+
+class ReplacementPolicy(abc.ABC):
+    """Base class for all replacement policies."""
+
+    #: Registry name, set by subclasses (for reporting).
+    name = "base"
+
+    def __init__(self, num_sets: int, num_ways: int):
+        if num_sets <= 0 or num_ways <= 0:
+            raise ValueError("cache geometry must be positive")
+        self.num_sets = num_sets
+        self.num_ways = num_ways
+
+    @abc.abstractmethod
+    def victim(self, set_idx: int, req: MemoryRequest,
+               blocks: Sequence[CacheBlock]) -> int:
+        """Choose a way to evict from a full set."""
+
+    @abc.abstractmethod
+    def on_fill(self, set_idx: int, way: int, req: MemoryRequest,
+                block: CacheBlock) -> None:
+        """A new block was installed at (set, way)."""
+
+    @abc.abstractmethod
+    def on_hit(self, set_idx: int, way: int, req: MemoryRequest,
+               block: CacheBlock) -> None:
+        """The block at (set, way) was re-referenced."""
+
+    def on_evict(self, set_idx: int, way: int, block: CacheBlock) -> None:
+        """The block at (set, way) is about to be replaced (training hook)."""
+
+    def record_miss(self, set_idx: int) -> None:
+        """A demand miss occurred in ``set_idx`` (set-dueling hook)."""
+
+    def demote(self, set_idx: int, way: int, block: CacheBlock) -> None:
+        """Force the block to highest eviction priority (ATP prefetch fills)."""
+
+
+class RRIPBase(ReplacementPolicy):
+    """Shared machinery for RRPV-based policies (SRRIP family, SHiP,
+    Hawkeye).  Stores one RRPV per (set, way) in the blocks themselves and
+    implements the standard aging eviction loop."""
+
+    #: RRPV bit width (2 for SRRIP/SHiP, 3 for Hawkeye).
+    rrpv_bits = 2
+
+    def __init__(self, num_sets: int, num_ways: int):
+        super().__init__(num_sets, num_ways)
+        self.max_rrpv = (1 << self.rrpv_bits) - 1
+
+    def victim(self, set_idx: int, req: MemoryRequest,
+               blocks: Sequence[CacheBlock]) -> int:
+        """Evict the first block at max RRPV, aging the set as needed."""
+        while True:
+            for way, block in enumerate(blocks):
+                if block.rrpv >= self.max_rrpv:
+                    return way
+            for block in blocks:
+                block.rrpv += 1
+
+    def insertion_rrpv(self, set_idx: int, req: MemoryRequest) -> int:
+        """RRPV assigned to an incoming block (policy-specific)."""
+        return self.max_rrpv - 1
+
+    def on_fill(self, set_idx: int, way: int, req: MemoryRequest,
+                block: CacheBlock) -> None:
+        block.rrpv = self.insertion_rrpv(set_idx, req)
+
+    def on_hit(self, set_idx: int, way: int, req: MemoryRequest,
+               block: CacheBlock) -> None:
+        block.rrpv = 0
+
+    def demote(self, set_idx: int, way: int, block: CacheBlock) -> None:
+        block.rrpv = self.max_rrpv

@@ -1,0 +1,63 @@
+"""DRRIP: dynamic RRIP via set dueling (Jaleel et al., ISCA'10).
+
+A few *leader* sets always use SRRIP insertion and a few always use BRRIP;
+misses in leader sets steer a saturating PSEL counter, and *follower* sets
+use whichever policy is currently winning.
+"""
+
+from __future__ import annotations
+
+from repro.cache.replacement.base import RRIPBase
+from repro.memsys.request import MemoryRequest
+
+
+class DRRIPPolicy(RRIPBase):
+    """Set-dueling DRRIP (the paper's L2C baseline)."""
+
+    name = "drrip"
+    rrpv_bits = 2
+    PSEL_BITS = 10
+    LONG_INTERVAL = 32  # BRRIP's bimodal throttle
+
+    def __init__(self, num_sets: int, num_ways: int, leader_sets: int = 32):
+        super().__init__(num_sets, num_ways)
+        leader_sets = min(leader_sets, max(1, num_sets // 2))
+        self._psel_max = (1 << self.PSEL_BITS) - 1
+        self._psel = self._psel_max // 2
+        self._brrip_fills = 0
+        # Interleave leaders: even slots SRRIP, odd slots BRRIP.
+        stride = max(1, num_sets // (2 * leader_sets))
+        self._srrip_leaders = set()
+        self._brrip_leaders = set()
+        s = 0
+        for i in range(leader_sets):
+            self._srrip_leaders.add(s % num_sets)
+            s += stride
+            self._brrip_leaders.add(s % num_sets)
+            s += stride
+        self._brrip_leaders -= self._srrip_leaders
+
+    # -- set dueling ------------------------------------------------------
+    def _uses_brrip(self, set_idx: int) -> bool:
+        if set_idx in self._srrip_leaders:
+            return False
+        if set_idx in self._brrip_leaders:
+            return True
+        # Follower: high PSEL means SRRIP leaders are missing more.
+        return self._psel > self._psel_max // 2
+
+    def record_miss(self, set_idx: int) -> None:
+        """Called by the cache on every demand miss (leader training)."""
+        if set_idx in self._srrip_leaders:
+            self._psel = min(self._psel_max, self._psel + 1)
+        elif set_idx in self._brrip_leaders:
+            self._psel = max(0, self._psel - 1)
+
+    # -- insertion --------------------------------------------------------
+    def insertion_rrpv(self, set_idx: int, req: MemoryRequest) -> int:
+        if not self._uses_brrip(set_idx):
+            return self.max_rrpv - 1
+        self._brrip_fills += 1
+        if self._brrip_fills % self.LONG_INTERVAL == 0:
+            return self.max_rrpv - 1
+        return self.max_rrpv

@@ -1,0 +1,32 @@
+"""Random replacement (sanity baseline; not in the paper's figures)."""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+from repro.cache.block import CacheBlock
+from repro.cache.replacement.base import ReplacementPolicy
+from repro.memsys.request import MemoryRequest
+
+
+class RandomPolicy(ReplacementPolicy):
+    """Uniformly random victim selection with a seeded generator."""
+
+    name = "random"
+
+    def __init__(self, num_sets: int, num_ways: int, seed: int = 1):
+        super().__init__(num_sets, num_ways)
+        self._rng = random.Random(seed)
+
+    def victim(self, set_idx: int, req: MemoryRequest,
+               blocks: Sequence[CacheBlock]) -> int:
+        return self._rng.randrange(self.num_ways)
+
+    def on_fill(self, set_idx: int, way: int, req: MemoryRequest,
+                block: CacheBlock) -> None:
+        pass
+
+    def on_hit(self, set_idx: int, way: int, req: MemoryRequest,
+               block: CacheBlock) -> None:
+        pass

@@ -1,0 +1,9 @@
+"""Reimplementations of the prior works the paper compares against in
+Section V-B: CbPred/DpPred (dead-page and dead-block prediction, HPCA'21)
+and CSALT (context-switch-aware TLB / translation-data cache
+partitioning, MICRO'17)."""
+
+from repro.compare.dead_page import DeadPagePredictor, DeadBlockBypass
+from repro.compare.csalt import CSALTPolicy
+
+__all__ = ["DeadPagePredictor", "DeadBlockBypass", "CSALTPolicy"]

@@ -1,0 +1,55 @@
+"""Instruction-side fetch path: ITLB + L1I (Table I components).
+
+The paper's workloads are data-bound -- their code footprints live in the
+L1I -- so the frontend is off by default (``SimConfig.model_frontend``).
+When enabled, the core consults the frontend whenever fetch crosses into
+a new instruction cache line; an L1I hit is hidden by the fetch pipeline,
+while misses (and ITLB-missing walks, which share the STLB and page-table
+walker with the data side) push dispatch back.
+"""
+
+from __future__ import annotations
+
+from repro.cache.cache import Cache
+from repro.memsys.request import AccessType, MemoryRequest
+from repro.params import LINE_SHIFT, PAGE_SHIFT, SimConfig
+from repro.vm.tlb import TLB
+
+
+class Frontend:
+    """Instruction fetch through ITLB -> (shared STLB/walker) -> L1I."""
+
+    def __init__(self, config: SimConfig, mmu, l2c):
+        self.itlb = TLB(config.itlb)
+        self.l1i = Cache(config.l1i, l2c)
+        self.mmu = mmu
+        self.fetches = 0
+        self.itlb_walks = 0
+
+    def fetch(self, ip: int, cycle: int) -> int:
+        """Fetch the line containing ``ip``; returns the fetch-done cycle."""
+        self.fetches += 1
+        vpn = ip >> PAGE_SHIFT
+        t = cycle + self.itlb.latency
+        pfn = self.itlb.lookup(vpn)
+        if pfn is None:
+            # ITLB miss: probe the unified STLB; walk on a miss (shared
+            # page-table walker, code pages are real pages).
+            t += self.mmu.stlb.latency
+            pfn = self.mmu.stlb.lookup(vpn)
+            if pfn is None:
+                self.itlb_walks += 1
+                walk = self.mmu.walker.walk(ip, t)
+                t = walk.done_cycle + self.mmu.stlb_fill_latency
+                pfn = walk.pfn
+                self.mmu.stlb.fill(vpn, pfn)
+            self.itlb.fill(vpn, pfn)
+        paddr = (pfn << PAGE_SHIFT) | (ip & ((1 << PAGE_SHIFT) - 1))
+        req = MemoryRequest(address=paddr, cycle=t,
+                            access_type=AccessType.IFETCH, ip=ip)
+        return self.l1i.access(req)
+
+    @property
+    def hidden_latency(self) -> int:
+        """Fetch latency covered by the pipeline (an L1I hit's worth)."""
+        return self.itlb.latency + self.l1i.latency

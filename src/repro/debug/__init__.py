@@ -1,0 +1,5 @@
+"""Debugging aids: request-journey tracing and timeline rendering."""
+
+from repro.debug.tracer import JourneyTracer, JourneyEvent
+
+__all__ = ["JourneyTracer", "JourneyEvent"]

@@ -1,0 +1,108 @@
+"""Request-journey tracing.
+
+Wraps the access methods of selected hierarchy components and records
+every (component, line, category, arrival, completion) event, so a
+specific load's path -- walk levels, cache levels, DRAM -- can be
+inspected and rendered as a timeline.  Used by tests to verify timing
+composition and by humans to debug surprising latencies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from repro.memsys.request import MemoryRequest
+
+
+@dataclass
+class JourneyEvent:
+    """One component's handling of one request."""
+
+    component: str
+    line_addr: int
+    category: str
+    arrival: int
+    completion: int
+    served_by: str
+
+    @property
+    def latency(self) -> int:
+        return self.completion - self.arrival
+
+
+class JourneyTracer:
+    """Records request events across hierarchy components.
+
+    Use as a context manager::
+
+        with JourneyTracer(hierarchy) as tracer:
+            hierarchy.load(va, cycle)
+        print(tracer.render())
+    """
+
+    def __init__(self, hierarchy, include_dram: bool = True):
+        self.hierarchy = hierarchy
+        self.include_dram = include_dram
+        self.events: List[JourneyEvent] = []
+        self._originals: List = []
+
+    # -- wiring -----------------------------------------------------------
+    def _wrap(self, obj, name: str) -> None:
+        original = obj.access
+        # Remember whether `access` was an instance attribute (e.g. an
+        # AccessRecorder wrapper) or the plain class method, so detaching
+        # restores the exact previous state.
+        had_instance_attr = "access" in obj.__dict__
+
+        def traced_access(req: MemoryRequest):
+            arrival = req.cycle
+            done = original(req)
+            self.events.append(JourneyEvent(
+                component=name, line_addr=req.line_addr,
+                category=req.category(), arrival=arrival, completion=done,
+                served_by=req.served_by))
+            return done
+
+        self._originals.append((obj, original, had_instance_attr))
+        obj.access = traced_access
+
+    def __enter__(self) -> "JourneyTracer":
+        h = self.hierarchy
+        for cache in (h.l1d, h.l2c, h.llc):
+            self._wrap(cache, cache.name)
+        if self.include_dram:
+            self._wrap(h.dram, "DRAM")
+        return self
+
+    def __exit__(self, *exc) -> None:
+        for obj, original, had_instance_attr in self._originals:
+            if had_instance_attr:
+                obj.access = original
+            else:
+                del obj.__dict__["access"]
+        self._originals.clear()
+
+    # -- queries ----------------------------------------------------------
+    def events_for_line(self, line_addr: int) -> List[JourneyEvent]:
+        return [e for e in self.events if e.line_addr == line_addr]
+
+    def by_component(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for e in self.events:
+            counts[e.component] = counts.get(e.component, 0) + 1
+        return counts
+
+    def render(self, limit: Optional[int] = None) -> str:
+        """Human-readable timeline, in event order."""
+        lines = ["component  line                category      "
+                 "arrival    done       latency"]
+        events = self.events[:limit] if limit else self.events
+        for e in events:
+            lines.append(
+                f"{e.component:<10} {e.line_addr:#14x}  {e.category:<12}"
+                f"  {e.arrival:<9}  {e.completion:<9}  {e.latency}")
+        return "\n".join(lines)
+
+    def clear(self) -> None:
+        self.events.clear()

@@ -1,0 +1,8 @@
+"""Experiment harness: one function per figure/table of the paper."""
+
+from repro.experiments.runner import (RunResult, run_benchmark,
+                                      DEFAULT_INSTRUCTIONS, DEFAULT_WARMUP)
+from repro.experiments import figures, sweeps, mixes
+
+__all__ = ["RunResult", "run_benchmark", "DEFAULT_INSTRUCTIONS",
+           "DEFAULT_WARMUP", "figures", "sweeps", "mixes"]

@@ -1,0 +1,92 @@
+"""Ablation studies beyond the paper's figures.
+
+The paper presents its mechanisms cumulatively (Fig 14).  These
+ablations isolate each design choice DESIGN.md calls out:
+
+* each mechanism alone (is ATP useful without the T-policies that give
+  translations their on-chip residency?);
+* ATP trigger placement (L2C-only vs LLC-only vs both);
+* the contribution of the new signatures vs RRPV=0 insertion.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.experiments.figures import FigureResult
+from repro.experiments.runner import (DEFAULT_INSTRUCTIONS, DEFAULT_WARMUP,
+                                      run_benchmark)
+from repro.params import DEFAULT_SCALE, EnhancementConfig, default_config
+from repro.stats.report import geometric_mean
+from repro.workloads.registry import benchmark_names
+
+#: Single-mechanism variants (plus the full stack for reference).
+ABLATION_VARIANTS: Dict[str, EnhancementConfig] = {
+    "t_drrip_only": EnhancementConfig(t_drrip=True),
+    "t_llc_only": EnhancementConfig(t_llc=True, new_signatures=True),
+    "newsign_only": EnhancementConfig(new_signatures=True),
+    "atp_only": EnhancementConfig(atp=True),
+    "tempo_only": EnhancementConfig(tempo=True),
+    "full": EnhancementConfig.full(),
+}
+
+
+def single_mechanism_ablation(benchmarks: Optional[Sequence[str]] = None,
+                              instructions: int = DEFAULT_INSTRUCTIONS,
+                              warmup: int = DEFAULT_WARMUP,
+                              scale: int = DEFAULT_SCALE) -> FigureResult:
+    """Speedup of each mechanism alone vs the shared baseline."""
+    names = list(benchmarks) if benchmarks else benchmark_names()
+    base = {name: run_benchmark(name, instructions=instructions,
+                                warmup=warmup, scale=scale)
+            for name in names}
+    rows, data = [], {}
+    speedups: Dict[str, List[float]] = {v: [] for v in ABLATION_VARIANTS}
+    for name in names:
+        row = [name]
+        data[name] = {}
+        for label, enh in ABLATION_VARIANTS.items():
+            cfg = default_config(scale).replace(enhancements=enh)
+            run = run_benchmark(name, config=cfg, instructions=instructions,
+                                warmup=warmup, scale=scale)
+            sp = run.speedup_over(base[name])
+            row.append(sp)
+            data[name][label] = sp
+            speedups[label].append(sp)
+        rows.append(row)
+    gmean_row = ["gmean"] + [geometric_mean(speedups[v])
+                             for v in ABLATION_VARIANTS]
+    rows.append(gmean_row)
+    data["gmean"] = dict(zip(ABLATION_VARIANTS, gmean_row[1:]))
+    return FigureResult("Ablation", "Single-mechanism speedups",
+                        ["benchmark"] + list(ABLATION_VARIANTS), rows, data)
+
+
+def atp_trigger_placement(benchmarks: Optional[Sequence[str]] = None,
+                          instructions: int = DEFAULT_INSTRUCTIONS,
+                          warmup: int = DEFAULT_WARMUP,
+                          scale: int = DEFAULT_SCALE) -> FigureResult:
+    """Where do ATP triggers fire, and what does each level contribute?
+
+    Reports, per benchmark, the L2C vs LLC trigger counts of the full
+    configuration -- the paper notes the LLC contribution grows with LLC
+    size (Fig 21 discussion).
+    """
+    names = list(benchmarks) if benchmarks else benchmark_names()
+    rows, data = [], {}
+    for name in names:
+        cfg = default_config(scale).replace(
+            enhancements=EnhancementConfig.full())
+        run = run_benchmark(name, config=cfg, instructions=instructions,
+                            warmup=warmup, scale=scale)
+        atp = run.hierarchy.atp
+        tempo = run.hierarchy.tempo
+        total = max(1, atp.triggered + tempo.triggered)
+        rows.append([name, atp.triggered_l2c, atp.triggered_llc,
+                     tempo.triggered, atp.triggered_l2c / total])
+        data[name] = {"l2c": atp.triggered_l2c, "llc": atp.triggered_llc,
+                      "tempo": tempo.triggered}
+    return FigureResult(
+        "Ablation", "Replay-prefetch trigger placement (full config)",
+        ["benchmark", "ATP @ L2C", "ATP @ LLC", "TEMPO @ DRAM",
+         "L2C share"], rows, data)

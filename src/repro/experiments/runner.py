@@ -1,0 +1,150 @@
+"""Single-benchmark simulation driver.
+
+``run_benchmark`` is the one entry point every figure/table harness uses:
+generate the trace, build the hierarchy, run the core, return a
+:class:`RunResult` exposing the metrics the paper reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.core.ooo_core import CoreResult, OOOCore
+from repro.core.rob import StallCategory
+from repro.params import DEFAULT_SCALE, SimConfig, default_config
+from repro.uncore.hierarchy import MemoryHierarchy
+from repro.workloads.registry import make_trace
+
+#: Default ROI / warmup lengths for the reduced-scale runs.  The paper uses
+#: 10B-instruction ROIs after 100M warmup; these are scaled to keep Python
+#: runs in seconds while still exercising steady-state cache behaviour.
+DEFAULT_INSTRUCTIONS = 120_000
+DEFAULT_WARMUP = 20_000
+
+
+@dataclass
+class RunResult:
+    """Everything the figures need from one simulation."""
+
+    benchmark: str
+    config: SimConfig = field(repr=False)
+    core: CoreResult = field(repr=False)
+
+    # -- headline metrics ------------------------------------------------
+    @property
+    def cycles(self) -> int:
+        return self.core.cycles
+
+    @property
+    def ipc(self) -> float:
+        return self.core.ipc
+
+    @property
+    def instructions(self) -> int:
+        return self.core.instructions
+
+    def speedup_over(self, baseline: "RunResult") -> float:
+        return baseline.cycles / self.cycles
+
+    # -- memory-system metrics -------------------------------------------
+    @property
+    def hierarchy(self) -> MemoryHierarchy:
+        return self.core.hierarchy
+
+    @property
+    def stlb_mpki(self) -> float:
+        return self.hierarchy.mmu.stlb.mpki(self.instructions)
+
+    def cache_mpki(self, level: str, category: str) -> float:
+        cache = getattr(self.hierarchy, level)
+        return cache.stats.mpki(category, self.instructions)
+
+    def leaf_mpki(self, level: str) -> float:
+        cache = getattr(self.hierarchy, level)
+        return cache.stats.leaf_mpki(self.instructions)
+
+    # -- stall metrics -----------------------------------------------------
+    def stall_cycles(self, category: StallCategory) -> int:
+        return self.core.stalls.total(category)
+
+    def stall_avg(self, category: StallCategory) -> float:
+        return self.core.stalls.avg(category)
+
+    def stall_max(self, category: StallCategory) -> int:
+        return self.core.stalls.max(category)
+
+    def translation_replay_stalls(self) -> int:
+        return self.core.stalls.translation_plus_replay()
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "ipc": self.ipc,
+            "cycles": self.cycles,
+            "stlb_mpki": self.stlb_mpki,
+            "l2c_replay_mpki": self.cache_mpki("l2c", "replay"),
+            "l2c_non_replay_mpki": self.cache_mpki("l2c", "non_replay"),
+            "l2c_ptl1_mpki": self.leaf_mpki("l2c"),
+            "llc_replay_mpki": self.cache_mpki("llc", "replay"),
+            "llc_non_replay_mpki": self.cache_mpki("llc", "non_replay"),
+            "llc_ptl1_mpki": self.leaf_mpki("llc"),
+            "stall_translation": self.stall_cycles(StallCategory.TRANSLATION),
+            "stall_replay": self.stall_cycles(StallCategory.REPLAY),
+            "stall_non_replay": self.stall_cycles(StallCategory.NON_REPLAY),
+        }
+
+
+@dataclass
+class MultiSeedResult:
+    """Aggregate of one benchmark simulated under several trace seeds."""
+
+    benchmark: str
+    runs: list = field(repr=False, default_factory=list)
+
+    @property
+    def cycles_mean(self) -> float:
+        return sum(r.cycles for r in self.runs) / len(self.runs)
+
+    @property
+    def cycles_spread(self) -> float:
+        """Relative spread (max-min)/mean -- a noise estimate."""
+        cycles = [r.cycles for r in self.runs]
+        return (max(cycles) - min(cycles)) / self.cycles_mean
+
+    @property
+    def stlb_mpki_mean(self) -> float:
+        return sum(r.stlb_mpki for r in self.runs) / len(self.runs)
+
+    def speedup_over(self, baseline: "MultiSeedResult") -> float:
+        """Mean-cycles speedup (seeds are paired by construction)."""
+        return baseline.cycles_mean / self.cycles_mean
+
+
+def run_benchmark_multi(name: str, seeds,
+                        config: Optional[SimConfig] = None,
+                        instructions: int = DEFAULT_INSTRUCTIONS,
+                        warmup: int = DEFAULT_WARMUP,
+                        scale: int = DEFAULT_SCALE) -> MultiSeedResult:
+    """Simulate one benchmark under several trace seeds.
+
+    Reduced-scale single runs carry sampling noise; aggregating over
+    seeds separates mechanism effects from trace luck."""
+    runs = [run_benchmark(name, config=config, instructions=instructions,
+                          warmup=warmup, scale=scale, seed=seed)
+            for seed in seeds]
+    if not runs:
+        raise ValueError("need at least one seed")
+    return MultiSeedResult(benchmark=name, runs=runs)
+
+
+def run_benchmark(name: str, config: Optional[SimConfig] = None,
+                  instructions: int = DEFAULT_INSTRUCTIONS,
+                  warmup: int = DEFAULT_WARMUP,
+                  scale: int = DEFAULT_SCALE, seed: int = 1) -> RunResult:
+    """Simulate one benchmark under one configuration."""
+    cfg = config or default_config(scale)
+    trace = make_trace(name, instructions + warmup, scale=scale, seed=seed)
+    hierarchy = MemoryHierarchy(cfg)
+    core = OOOCore(cfg, hierarchy)
+    result = core.run(trace, warmup=warmup)
+    return RunResult(benchmark=name, config=cfg, core=result)

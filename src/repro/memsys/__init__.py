@@ -1,0 +1,7 @@
+"""Memory-system primitives: requests, MSHRs, and the DRAM model."""
+
+from repro.memsys.request import AccessType, MemoryRequest
+from repro.memsys.mshr import MSHR
+from repro.memsys.dram import DRAM
+
+__all__ = ["AccessType", "MemoryRequest", "MSHR", "DRAM"]

@@ -1,0 +1,141 @@
+"""DRAM model: order-tolerant bank/channel scheduling with open rows.
+
+The simulator processes requests in *program order*, but their timestamps
+are not monotonic -- a serial page-table walk runs hundreds of cycles ahead
+of the next instruction's load.  A naive "bank free at T" scalar lets those
+future requests block earlier ones, manufacturing queueing delay out of
+thin air.  Instead, each bank keeps a short list of busy *intervals* and a
+new request first-fits into the earliest gap at or after its arrival, so
+requests that arrive "in the past" schedule in the past.
+
+Row behaviour: a row hit pipelines at the bus rate (one CAS per burst) and
+does not reserve the bank; a row miss occupies the bank for the full
+precharge+activate window (tRC).  Channel bandwidth is modelled with
+bucketed transfer counting, also order-insensitive.
+
+TEMPO is hooked here: when a *leaf-level* translation read is serviced
+from DRAM, the controller can immediately fetch the replay data line (see
+:mod:`repro.prefetch.tempo`).
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Callable, Dict, List, Optional
+
+from repro.params import DRAMConfig, LINE_SHIFT
+from repro.memsys.request import MemoryRequest
+
+#: Busy intervals older than this (relative to the latest arrival) are
+#: pruned; arrivals more than a horizon in the past are rare.
+_HORIZON = 8192
+#: Channel-bandwidth accounting bucket width in cycles.
+_BUCKET = 32
+
+
+class _BankSchedule:
+    """First-fit interval scheduler for one DRAM bank."""
+
+    __slots__ = ("busy",)
+
+    def __init__(self):
+        self.busy: List[List[int]] = []  # sorted [start, end) pairs
+
+    def reserve(self, cycle: int, duration: int) -> int:
+        """Place a ``duration``-cycle occupancy at the earliest gap at or
+        after ``cycle``; returns the start cycle."""
+        t = cycle
+        for s, e in self.busy:
+            if e <= t:
+                continue
+            if s - t >= duration:
+                break
+            t = e
+        bisect.insort(self.busy, [t, t + duration])
+        if len(self.busy) > 64:
+            cutoff = self.busy[-1][1] - _HORIZON
+            self.busy = [iv for iv in self.busy if iv[1] >= cutoff]
+        return t
+
+
+class _ChannelBandwidth:
+    """Bucketed transfer counting: cap transfers per _BUCKET cycles."""
+
+    __slots__ = ("used", "cap", "latest")
+
+    def __init__(self, bus_transfer_cycles: int):
+        self.used: Dict[int, int] = {}
+        self.cap = max(1, _BUCKET // bus_transfer_cycles)
+        self.latest = 0
+
+    def reserve(self, cycle: int) -> int:
+        bucket = cycle // _BUCKET
+        while self.used.get(bucket, 0) >= self.cap:
+            bucket += 1
+        self.used[bucket] = self.used.get(bucket, 0) + 1
+        if cycle > self.latest:
+            self.latest = cycle
+            if len(self.used) > 4096:
+                cutoff = cycle // _BUCKET - _HORIZON // _BUCKET
+                self.used = {b: n for b, n in self.used.items()
+                             if b >= cutoff}
+        return max(cycle, bucket * _BUCKET)
+
+
+class DRAM:
+    """Single- or multi-channel DRAM with open-row banks."""
+
+    def __init__(self, config: DRAMConfig):
+        self.config = config
+        n = config.channels * config.banks_per_channel
+        self._open_row: List[Optional[int]] = [None] * n
+        self._banks = [_BankSchedule() for _ in range(n)]
+        self._channels = [_ChannelBandwidth(config.bus_transfer_cycles)
+                          for _ in range(config.channels)]
+        self.accesses = 0
+        self.row_hits = 0
+        self.row_misses = 0
+        #: Optional callback fired after a leaf-translation read is serviced;
+        #: used by the TEMPO prefetcher.  Signature: (request, done_cycle).
+        self.on_leaf_translation: Optional[
+            Callable[[MemoryRequest, int], None]] = None
+
+    def _map(self, line_addr: int) -> tuple:
+        """Row-granular bank interleaving: consecutive lines stay in one
+        row/bank (streams enjoy row hits); consecutive rows rotate across
+        channels and banks (random traffic spreads out)."""
+        cfg = self.config
+        row = line_addr // (cfg.row_buffer_bytes >> LINE_SHIFT)
+        channel = row % cfg.channels
+        bank = (row // cfg.channels) % cfg.banks_per_channel
+        return channel, bank, row
+
+    def access(self, request: MemoryRequest) -> int:
+        """Service ``request``; returns the cycle its data is available."""
+        done = self._raw_access(request.line_addr, request.cycle)
+        self.accesses += 1
+        request.served_by = "DRAM"
+        if request.is_leaf_translation and self.on_leaf_translation is not None:
+            self.on_leaf_translation(request, done)
+        return done
+
+    def _raw_access(self, line_addr: int, cycle: int) -> int:
+        cfg = self.config
+        channel, bank, row = self._map(line_addr)
+        bank_idx = channel * cfg.banks_per_channel + bank
+
+        start = self._channels[channel].reserve(cycle)
+        if self._open_row[bank_idx] == row:
+            # Row hit: pipelined at the bus rate; no bank reservation.
+            self.row_hits += 1
+            return start + cfg.row_hit_latency
+        # Row miss: precharge + activate occupy the bank (tRC-like).
+        self.row_misses += 1
+        self._open_row[bank_idx] = row
+        start = self._banks[bank_idx].reserve(start, cfg.row_miss_latency)
+        return start + cfg.row_miss_latency
+
+    def bandwidth_only_access(self, line_addr: int, cycle: int) -> int:
+        """An access that consumes bandwidth but whose latency nobody waits
+        on (ideal-cache modes forward misses this way)."""
+        return self._raw_access(line_addr, cycle)

@@ -1,0 +1,86 @@
+"""Miss-status-holding registers.
+
+Two jobs, both essential to the timing model:
+
+* **Merging** -- requests to a line whose fill is already in flight get the
+  outstanding fill's completion time instead of a duplicate downstream
+  access.  This is also how a replay demand rides an in-flight ATP
+  prefetch.
+* **Admission throttling** -- a full MSHR delays the *start* of a new miss
+  until a slot frees.  This caps memory-level parallelism exactly the way
+  real L1D/L2C MSHRs do, so DRAM sees a throttled arrival stream rather
+  than the whole ROB's misses at once.
+
+Entries are retired lazily: an entry whose fill time is at or before the
+probing request's cycle has completed and frees its slot.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+
+class MSHR:
+    """A bounded table of ``line_addr -> fill_completion_cycle``."""
+
+    def __init__(self, entries: int):
+        if entries <= 0:
+            raise ValueError("MSHR needs at least one entry")
+        self.entries = entries
+        self._inflight: Dict[int, int] = {}
+        self.merges = 0
+        self.allocations = 0
+        #: Peak simultaneous occupancy observed (bandwidth proxy).
+        self.peak_occupancy = 0
+        #: Total cycles of admission delay injected (congestion proxy).
+        self.admission_stall_cycles = 0
+
+    def _expire(self, now: int) -> None:
+        done = [line for line, t in self._inflight.items() if t <= now]
+        for line in done:
+            del self._inflight[line]
+
+    def lookup(self, line_addr: int, now: int) -> Optional[int]:
+        """Return the fill cycle if ``line_addr`` is still in flight."""
+        fill = self._inflight.get(line_addr)
+        if fill is not None and fill > now:
+            self.merges += 1
+            return fill
+        return None
+
+    def admission_delay(self, now: int) -> int:
+        """Cycles until a demand miss may enter the MSHR at ``now``.
+
+        When the table is full of pending fills, the miss waits for the
+        earliest outstanding fill to complete (that entry is retired)."""
+        self._expire(now)
+        if len(self._inflight) < self.entries:
+            return 0
+        earliest_line = min(self._inflight, key=self._inflight.__getitem__)
+        earliest = self._inflight.pop(earliest_line)
+        delay = max(0, earliest - now)
+        self.admission_stall_cycles += delay
+        return delay
+
+    def allocate(self, line_addr: int, fill_cycle: int, now: int) -> int:
+        """Record an outstanding fill (admission already granted)."""
+        self._inflight[line_addr] = fill_cycle
+        self.allocations += 1
+        if len(self._inflight) > self.peak_occupancy:
+            self.peak_occupancy = len(self._inflight)
+        return fill_cycle
+
+    def allocate_prefetch(self, line_addr: int, fill_cycle: int,
+                          now: int) -> int:
+        """Track a prefetch fill without consuming demand capacity.
+
+        Real designs hold prefetches in a separate prefetch queue; merging
+        a later demand with an in-flight prefetch is exactly the mechanism
+        ATP relies on, so the fill must be visible to :meth:`lookup`.
+        """
+        self._inflight[line_addr] = fill_cycle
+        self.allocations += 1
+        return fill_cycle
+
+    def occupancy(self, now: int) -> int:
+        return sum(1 for t in self._inflight.values() if t > now)

@@ -1,0 +1,90 @@
+"""Memory request type shared by every level of the hierarchy.
+
+A request is classified along the axes the paper cares about:
+
+* **translation** -- a page-table-walker read of a PTE line.  Leaf-level
+  translations (``pt_level == 1``) carry the information ATP needs to
+  prefetch the corresponding replay line (``replay_line_addr``).
+* **replay load** -- a demand load whose address translation missed the STLB
+  and walked the page table (terminology from TEMPO).
+* **non-replay load** -- a demand load whose translation hit the DTLB/STLB.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.params import LINE_SHIFT
+
+
+class AccessType(enum.Enum):
+    """Demand class of a request, used for statistics and policy decisions."""
+
+    LOAD = "load"
+    STORE = "store"
+    IFETCH = "ifetch"
+    TRANSLATION = "translation"
+    PREFETCH = "prefetch"
+    WRITEBACK = "writeback"
+
+
+@dataclass
+class MemoryRequest:
+    """One memory access travelling through the cache hierarchy.
+
+    ``cycle`` is the time the request is issued to the level currently
+    processing it; levels advance it as the request descends.
+    """
+
+    address: int
+    cycle: int
+    ip: int = 0
+    access_type: AccessType = AccessType.LOAD
+    cpu: int = 0
+    #: True when the corresponding address translation missed the STLB.
+    is_replay: bool = False
+    #: Page-table level being read (5..1); 1 is the leaf.  0 for data.
+    pt_level: int = 0
+    #: True when this PTE read is the walk's leaf level.  Level 1 is
+    #: always a leaf; 2MB huge-page walks terminate at level 2.
+    leaf_walk: bool = False
+    #: For leaf translations: the physical line address of the replay load
+    #: the translated page will be accessed with (PTW carries the upper six
+    #: bits of the page offset, per Section IV of the paper).
+    replay_line_addr: Optional[int] = None
+    #: ATP/TEMPO prefetch fills are demoted to highest eviction priority.
+    evict_priority: bool = False
+    #: Filled by the hierarchy: name of the level that served the request.
+    served_by: str = field(default="", compare=False)
+
+    @property
+    def line_addr(self) -> int:
+        return self.address >> LINE_SHIFT
+
+    @property
+    def is_translation(self) -> bool:
+        return self.access_type is AccessType.TRANSLATION
+
+    @property
+    def is_leaf_translation(self) -> bool:
+        return (self.access_type is AccessType.TRANSLATION
+                and (self.pt_level == 1 or self.leaf_walk))
+
+    @property
+    def is_demand_data(self) -> bool:
+        return self.access_type in (AccessType.LOAD, AccessType.STORE)
+
+    def category(self) -> str:
+        """Statistics bucket: ``translation`` / ``replay`` / ``non_replay`` /
+        ``prefetch`` / ``writeback``."""
+        if self.access_type is AccessType.TRANSLATION:
+            return "translation"
+        if self.access_type is AccessType.PREFETCH:
+            return "prefetch"
+        if self.access_type is AccessType.WRITEBACK:
+            return "writeback"
+        if self.access_type is AccessType.IFETCH:
+            return "ifetch"
+        return "replay" if self.is_replay else "non_replay"

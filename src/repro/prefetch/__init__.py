@@ -1,0 +1,37 @@
+"""Hardware prefetchers: state-of-the-art baselines (IPCP, SPP, Bingo, ISB)
+and the paper's proposals (ATP, TEMPO)."""
+
+from repro.prefetch.base import Prefetcher
+from repro.prefetch.next_line import NextLinePrefetcher
+from repro.prefetch.ip_stride import IPStridePrefetcher
+from repro.prefetch.spp import SPPPrefetcher
+from repro.prefetch.bingo import BingoPrefetcher
+from repro.prefetch.isb import ISBPrefetcher
+from repro.prefetch.ipcp import IPCPPrefetcher
+from repro.prefetch.atp import ATPPrefetcher
+from repro.prefetch.tempo import TEMPOPrefetcher
+
+_L2C_REGISTRY = {
+    "next_line": NextLinePrefetcher,
+    "ip_stride": IPStridePrefetcher,
+    "spp": SPPPrefetcher,
+    "bingo": BingoPrefetcher,
+    "isb": ISBPrefetcher,
+}
+
+
+def make_l2c_prefetcher(name: str):
+    """Instantiate a cache-level (physical-address) prefetcher by name."""
+    if name in (None, "", "none"):
+        return None
+    try:
+        return _L2C_REGISTRY[name]()
+    except KeyError:
+        raise ValueError(f"unknown L2C prefetcher {name!r}; "
+                         f"available: {sorted(_L2C_REGISTRY)}") from None
+
+
+__all__ = ["Prefetcher", "NextLinePrefetcher", "IPStridePrefetcher",
+           "SPPPrefetcher", "BingoPrefetcher", "ISBPrefetcher",
+           "IPCPPrefetcher", "ATPPrefetcher", "TEMPOPrefetcher",
+           "make_l2c_prefetcher"]

@@ -1,0 +1,47 @@
+"""Prefetcher interface.
+
+Cache-level prefetchers observe demand accesses at their level and return
+physical line addresses to fetch.  They must not cross a 4KB page boundary
+(physical contiguity is not guaranteed beyond a page) -- this is precisely
+why the paper finds they cannot cover replay loads, whose next access is on
+a *different* page.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import List
+
+from repro.memsys.request import MemoryRequest
+from repro.params import LINE_SHIFT, PAGE_SHIFT
+
+#: Cache lines per 4KB page.
+LINES_PER_PAGE = 1 << (PAGE_SHIFT - LINE_SHIFT)
+
+
+def same_page(line_a: int, line_b: int) -> bool:
+    """True when two line addresses fall in the same 4KB page."""
+    shift = PAGE_SHIFT - LINE_SHIFT
+    return (line_a >> shift) == (line_b >> shift)
+
+
+def clamp_to_page(base_line: int, candidates: List[int]) -> List[int]:
+    """Drop candidates that leave ``base_line``'s page."""
+    return [c for c in candidates if c >= 0 and same_page(base_line, c)]
+
+
+class Prefetcher(abc.ABC):
+    """Demand-triggered prefetcher attached to one cache level."""
+
+    name = "base"
+
+    def __init__(self):
+        self.issued = 0
+
+    @abc.abstractmethod
+    def operate(self, req: MemoryRequest, hit: bool) -> List[int]:
+        """Observe a demand access; return line addresses to prefetch."""
+
+    def _count(self, candidates: List[int]) -> List[int]:
+        self.issued += len(candidates)
+        return candidates

@@ -1,0 +1,74 @@
+"""Bingo spatial prefetcher (Bakhshalipour et al., HPCA'19), compact model.
+
+Bingo records the footprint (bitmap of accessed lines) of each spatial
+region and associates it with the *trigger* access's long event (PC +
+address) and short event (PC + offset).  When a new region is triggered,
+the history is probed long-event-first and the stored footprint is
+prefetched.  Regions are 2KB; prefetching never leaves the region, so --
+like SPP -- Bingo cannot cover replay loads on new pages.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, List, Optional, Tuple
+
+from repro.memsys.request import MemoryRequest
+from repro.prefetch.base import Prefetcher
+
+#: Region size in lines (2KB regions of 64B lines).
+REGION_LINES = 32
+
+
+class BingoPrefetcher(Prefetcher):
+    """Footprint history keyed by PC+address (long) and PC+offset (short)."""
+
+    name = "bingo"
+    ACCUMULATION_CAPACITY = 64
+    HISTORY_CAPACITY = 4096
+
+    def __init__(self):
+        super().__init__()
+        # region -> (trigger_pc, trigger_offset, footprint_bitmap)
+        self._accumulating: "OrderedDict[int, Tuple[int, int, int]]" = OrderedDict()
+        self._history_long: "OrderedDict[Tuple[int, int], int]" = OrderedDict()
+        self._history_short: "OrderedDict[Tuple[int, int], int]" = OrderedDict()
+
+    def _retire_region(self, region: int) -> None:
+        pc, offset, footprint = self._accumulating.pop(region)
+        self._history_long[(pc, region)] = footprint
+        self._history_short[(pc, offset)] = footprint
+        while len(self._history_long) > self.HISTORY_CAPACITY:
+            self._history_long.popitem(last=False)
+        while len(self._history_short) > self.HISTORY_CAPACITY:
+            self._history_short.popitem(last=False)
+
+    def _predict(self, pc: int, region: int, offset: int) -> Optional[int]:
+        footprint = self._history_long.get((pc, region))
+        if footprint is None:
+            footprint = self._history_short.get((pc, offset))
+        return footprint
+
+    def operate(self, req: MemoryRequest, hit: bool) -> List[int]:
+        line = req.line_addr
+        region = line // REGION_LINES
+        offset = line % REGION_LINES
+
+        candidates: List[int] = []
+        entry = self._accumulating.get(region)
+        if entry is None:
+            # Trigger access: probe history, start accumulating.
+            footprint = self._predict(req.ip, region, offset)
+            if footprint is not None:
+                base = region * REGION_LINES
+                candidates = [base + i for i in range(REGION_LINES)
+                              if (footprint >> i) & 1 and i != offset]
+            self._accumulating[region] = (req.ip, offset, 1 << offset)
+            if len(self._accumulating) > self.ACCUMULATION_CAPACITY:
+                old_region = next(iter(self._accumulating))
+                self._retire_region(old_region)
+        else:
+            pc, trig_offset, footprint = entry
+            self._accumulating[region] = (pc, trig_offset,
+                                          footprint | (1 << offset))
+        return self._count(candidates)

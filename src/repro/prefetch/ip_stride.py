@@ -1,0 +1,44 @@
+"""Classic per-IP stride prefetcher with confidence."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.memsys.request import MemoryRequest
+from repro.prefetch.base import Prefetcher, clamp_to_page
+
+
+class IPStridePrefetcher(Prefetcher):
+    """Tracks (last line, stride, confidence) per instruction pointer."""
+
+    name = "ip_stride"
+    TABLE_SIZE = 1024
+
+    def __init__(self, degree: int = 3, confidence_threshold: int = 2):
+        super().__init__()
+        self.degree = degree
+        self.threshold = confidence_threshold
+        # ip_hash -> (last_line, stride, confidence)
+        self._table: Dict[int, Tuple[int, int, int]] = {}
+
+    def operate(self, req: MemoryRequest, hit: bool) -> List[int]:
+        key = req.ip % self.TABLE_SIZE
+        line = req.line_addr
+        entry = self._table.get(key)
+        candidates: List[int] = []
+        if entry is not None:
+            last, stride, conf = entry
+            new_stride = line - last
+            if new_stride == stride and stride != 0:
+                conf = min(conf + 1, 3)
+            else:
+                conf = max(conf - 1, 0)
+                if conf == 0:
+                    stride = new_stride
+            if conf >= self.threshold and stride != 0:
+                candidates = [line + stride * d
+                              for d in range(1, self.degree + 1)]
+            self._table[key] = (line, stride, conf)
+        else:
+            self._table[key] = (line, 0, 0)
+        return self._count(clamp_to_page(line, candidates))

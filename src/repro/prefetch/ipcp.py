@@ -1,0 +1,86 @@
+"""IPCP: Instruction Pointer Classifier-based spatial Prefetching
+(Pakalapati & Panda, ISCA'20), compact model.
+
+IPCP lives at the L1D and works on *virtual* addresses, so it is the one
+baseline prefetcher that can cross page boundaries.  IPs are classified as
+constant-stride (CS) or complex/global-stream (GS); CS IPs issue strided
+prefetches, GS IPs follow the global access stream.  Cross-page candidates
+must translate first: the hierarchy routes them through the STLB and, on a
+miss, the prefetch is delayed until the walk completes -- the *late
+prefetching* that makes IPCP unable to hide replay-load stalls (Section III).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.params import LINE_SHIFT, PAGE_SHIFT
+
+_LINES_PER_PAGE = 1 << (PAGE_SHIFT - LINE_SHIFT)
+
+
+class IPCPPrefetcher:
+    """Per-IP classifier over virtual line addresses."""
+
+    name = "ipcp"
+    TABLE_SIZE = 1024
+    CS_DEGREE = 4
+    GS_DEGREE = 2
+    CONF_MAX = 3
+    CS_THRESHOLD = 2
+
+    def __init__(self):
+        # ip_hash -> (last_vline, stride, confidence)
+        self._table: Dict[int, Tuple[int, int, int]] = {}
+        # Global stream: recent virtual lines (for GS class).
+        self._last_global_vline = 0
+        self._global_stride = 0
+        self._global_conf = 0
+        self.issued = 0
+        self.cross_page_issued = 0
+
+    def operate_virtual(self, ip: int, vline: int, hit: bool) -> List[int]:
+        """Observe an L1D demand access; returns virtual lines to prefetch."""
+        key = ip % self.TABLE_SIZE
+        candidates: List[int] = []
+
+        entry = self._table.get(key)
+        if entry is not None:
+            last, stride, conf = entry
+            delta = vline - last
+            if delta == stride and stride != 0:
+                conf = min(conf + 1, self.CONF_MAX)
+            else:
+                conf = max(conf - 1, 0)
+                if conf == 0:
+                    stride = delta
+            self._table[key] = (vline, stride, conf)
+            if conf >= self.CS_THRESHOLD and stride != 0:
+                candidates = [vline + stride * d
+                              for d in range(1, self.CS_DEGREE + 1)]
+        else:
+            self._table[key] = (vline, 0, 0)
+
+        if not candidates:
+            # Global-stream class: follow the overall stride if stable.
+            g_delta = vline - self._last_global_vline
+            if g_delta == self._global_stride and g_delta != 0:
+                self._global_conf = min(self._global_conf + 1, self.CONF_MAX)
+            else:
+                self._global_conf = max(self._global_conf - 1, 0)
+                if self._global_conf == 0:
+                    self._global_stride = g_delta
+            self._last_global_vline = vline
+            if (self._global_conf >= self.CS_THRESHOLD
+                    and self._global_stride != 0):
+                candidates = [vline + self._global_stride * d
+                              for d in range(1, self.GS_DEGREE + 1)]
+        else:
+            self._last_global_vline = vline
+
+        candidates = [c for c in candidates if c > 0]
+        self.issued += len(candidates)
+        page = vline >> (PAGE_SHIFT - LINE_SHIFT)
+        self.cross_page_issued += sum(
+            1 for c in candidates if (c >> (PAGE_SHIFT - LINE_SHIFT)) != page)
+        return candidates

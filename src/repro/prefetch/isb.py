@@ -1,0 +1,74 @@
+"""ISB: Irregular Stream Buffer (Jain & Lin, MICRO'13), compact model.
+
+ISB linearizes irregular miss streams: each PC gets a *structural* address
+space in which the lines it touches are laid out consecutively, regardless
+of their physical addresses.  Prefetching walks the structural space.  This
+is the temporal prefetcher the paper finds helps some benchmarks (e.g.
+xalancbmk) because repeated irregular sequences recur.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, List
+
+from repro.memsys.request import MemoryRequest
+from repro.prefetch.base import Prefetcher
+
+#: Structural addresses per PC stream chunk.
+_STREAM_CHUNK = 256
+
+
+class ISBPrefetcher(Prefetcher):
+    """PC-localized structural-address mapping with bounded tables."""
+
+    name = "isb"
+    PS_CAPACITY = 32768   # physical -> structural entries
+    DEGREE = 3
+
+    def __init__(self):
+        super().__init__()
+        # physical line -> structural address
+        self._ps: "OrderedDict[int, int]" = OrderedDict()
+        # structural address -> physical line
+        self._sp: Dict[int, int] = {}
+        # pc -> next structural address to assign in its stream
+        self._stream_cursor: Dict[int, int] = {}
+        self._next_chunk = 0
+
+    def _assign(self, pc: int, line: int) -> int:
+        cursor = self._stream_cursor.get(pc)
+        if cursor is None or cursor % _STREAM_CHUNK == _STREAM_CHUNK - 1:
+            cursor = self._next_chunk * _STREAM_CHUNK
+            self._next_chunk += 1
+        else:
+            cursor += 1
+        self._stream_cursor[pc] = cursor
+        old = self._ps.get(line)
+        if old is not None:
+            self._sp.pop(old, None)
+        self._ps[line] = cursor
+        self._sp[cursor] = line
+        while len(self._ps) > self.PS_CAPACITY:
+            dead_line, dead_struct = self._ps.popitem(last=False)
+            self._sp.pop(dead_struct, None)
+        return cursor
+
+    def operate(self, req: MemoryRequest, hit: bool) -> List[int]:
+        line = req.line_addr
+        structural = self._ps.get(line)
+        candidates: List[int] = []
+        if structural is not None:
+            self._ps.move_to_end(line)
+            base_chunk = structural // _STREAM_CHUNK
+            for d in range(1, self.DEGREE + 1):
+                nxt = structural + d
+                if nxt // _STREAM_CHUNK != base_chunk:
+                    break
+                phys = self._sp.get(nxt)
+                if phys is not None:
+                    candidates.append(phys)
+        # Train on misses only (the classic ISB trigger is the miss stream).
+        if not hit:
+            self._assign(req.ip, line)
+        return self._count(candidates)

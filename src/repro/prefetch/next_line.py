@@ -1,0 +1,23 @@
+"""Next-line prefetcher (simplest baseline)."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.memsys.request import MemoryRequest
+from repro.prefetch.base import Prefetcher, clamp_to_page
+
+
+class NextLinePrefetcher(Prefetcher):
+    """On every demand access, prefetch the next ``degree`` lines."""
+
+    name = "next_line"
+
+    def __init__(self, degree: int = 1):
+        super().__init__()
+        self.degree = degree
+
+    def operate(self, req: MemoryRequest, hit: bool) -> List[int]:
+        line = req.line_addr
+        candidates = [line + d for d in range(1, self.degree + 1)]
+        return self._count(clamp_to_page(line, candidates))

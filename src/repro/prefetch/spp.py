@@ -1,0 +1,91 @@
+"""SPP: Signature Path Prefetcher (Kim et al., MICRO'16), compact model.
+
+Per-page signatures compress the recent delta history; a pattern table maps
+signatures to delta predictions with confidence.  Lookahead chains
+predictions while the confidence product stays above a threshold.  SPP
+operates on physical addresses at the L2C and therefore never prefetches
+across a 4KB page boundary -- the property the paper leans on in Fig 8.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.memsys.request import MemoryRequest
+from repro.params import LINE_SHIFT, PAGE_SHIFT
+from repro.prefetch.base import LINES_PER_PAGE, Prefetcher
+
+_SIG_BITS = 12
+_SIG_MASK = (1 << _SIG_BITS) - 1
+
+
+def _advance_signature(sig: int, delta: int) -> int:
+    return ((sig << 3) ^ (delta & 0x7F)) & _SIG_MASK
+
+
+class SPPPrefetcher(Prefetcher):
+    """Signature table + pattern table + lookahead."""
+
+    name = "spp"
+    ST_SIZE = 256
+    PT_SIZE = 4096
+    COUNTER_MAX = 15
+    #: Minimum per-step confidence to keep prefetching (out of 1.0).
+    CONFIDENCE_THRESHOLD = 0.35
+    MAX_DEGREE = 4
+
+    def __init__(self):
+        super().__init__()
+        # page -> (last_offset, signature); bounded FIFO-ish.
+        self._signature_table: Dict[int, Tuple[int, int]] = {}
+        # signature -> {delta: counter}
+        self._pattern_table: Dict[int, Dict[int, int]] = {}
+
+    def _train(self, sig: int, delta: int) -> None:
+        deltas = self._pattern_table.setdefault(sig, {})
+        deltas[delta] = min(deltas.get(delta, 0) + 1, self.COUNTER_MAX)
+        if len(self._pattern_table) > self.PT_SIZE:
+            self._pattern_table.pop(next(iter(self._pattern_table)))
+
+    def _best_delta(self, sig: int) -> Tuple[int, float]:
+        deltas = self._pattern_table.get(sig)
+        if not deltas:
+            return 0, 0.0
+        total = sum(deltas.values())
+        delta, count = max(deltas.items(), key=lambda kv: kv[1])
+        return delta, count / total
+
+    def operate(self, req: MemoryRequest, hit: bool) -> List[int]:
+        line = req.line_addr
+        page = line >> (PAGE_SHIFT - LINE_SHIFT)
+        offset = line & (LINES_PER_PAGE - 1)
+
+        entry = self._signature_table.get(page)
+        if entry is None:
+            sig = 0
+        else:
+            last_offset, sig = entry
+            delta = offset - last_offset
+            if delta != 0:
+                self._train(sig, delta)
+                sig = _advance_signature(sig, delta)
+        self._signature_table[page] = (offset, sig)
+        if len(self._signature_table) > self.ST_SIZE:
+            self._signature_table.pop(next(iter(self._signature_table)))
+
+        # Lookahead from the current signature.
+        candidates: List[int] = []
+        path_confidence = 1.0
+        current_offset, current_sig = offset, sig
+        for _ in range(self.MAX_DEGREE):
+            delta, confidence = self._best_delta(current_sig)
+            path_confidence *= confidence
+            if delta == 0 or path_confidence < self.CONFIDENCE_THRESHOLD:
+                break
+            current_offset += delta
+            if not 0 <= current_offset < LINES_PER_PAGE:
+                break  # SPP never crosses the page
+            candidates.append((page << (PAGE_SHIFT - LINE_SHIFT))
+                              + current_offset)
+            current_sig = _advance_signature(current_sig, delta)
+        return self._count(candidates)

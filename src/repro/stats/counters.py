@@ -1,0 +1,87 @@
+"""Hit/miss counters broken down by the paper's request categories."""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict
+
+#: Request categories tracked everywhere (matches
+#: :meth:`repro.memsys.request.MemoryRequest.category`).
+CATEGORIES = ("translation", "replay", "non_replay", "prefetch", "writeback")
+
+
+class CacheStats:
+    """Per-category access/hit/miss counters for one cache level."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self.accesses: Dict[str, int] = defaultdict(int)
+        self.hits: Dict[str, int] = defaultdict(int)
+        self.misses: Dict[str, int] = defaultdict(int)
+        #: Leaf-level translations tracked separately (the paper's "PTL1").
+        self.leaf_accesses = 0
+        self.leaf_hits = 0
+        self.leaf_misses = 0
+        #: Demand requests that hit on a prefetched, not-yet-used block.
+        self.prefetch_useful = 0
+        self.prefetch_fills = 0
+
+    def record(self, category: str, hit: bool, leaf: bool = False) -> None:
+        self.accesses[category] += 1
+        if hit:
+            self.hits[category] += 1
+        else:
+            self.misses[category] += 1
+        if leaf:
+            self.leaf_accesses += 1
+            if hit:
+                self.leaf_hits += 1
+            else:
+                self.leaf_misses += 1
+
+    def mpki(self, category: str, instructions: int) -> float:
+        """Misses per kilo-instruction for one category."""
+        if instructions <= 0:
+            return 0.0
+        return 1000.0 * self.misses[category] / instructions
+
+    def leaf_mpki(self, instructions: int) -> float:
+        """Leaf-level translation (PTL1) misses per kilo-instruction."""
+        if instructions <= 0:
+            return 0.0
+        return 1000.0 * self.leaf_misses / instructions
+
+    def hit_rate(self, category: str) -> float:
+        acc = self.accesses[category]
+        return self.hits[category] / acc if acc else 0.0
+
+    def total_misses(self) -> int:
+        return sum(self.misses.values())
+
+    def snapshot(self) -> Dict[str, Dict[str, int]]:
+        return {"accesses": dict(self.accesses), "hits": dict(self.hits),
+                "misses": dict(self.misses),
+                "leaf": {"accesses": self.leaf_accesses,
+                         "hits": self.leaf_hits,
+                         "misses": self.leaf_misses}}
+
+
+class LevelDistribution:
+    """Which level of the hierarchy served each request class (Fig 3)."""
+
+    LEVELS = ("L1D", "L2C", "LLC", "DRAM")
+
+    def __init__(self):
+        self.counts: Dict[str, Dict[str, int]] = {
+            "translation": defaultdict(int), "replay": defaultdict(int),
+            "non_replay": defaultdict(int)}
+
+    def record(self, category: str, level: str) -> None:
+        if category in self.counts:
+            self.counts[category][level] += 1
+
+    def fractions(self, category: str) -> Dict[str, float]:
+        total = sum(self.counts[category].values())
+        if total == 0:
+            return {lvl: 0.0 for lvl in self.LEVELS}
+        return {lvl: self.counts[category][lvl] / total for lvl in self.LEVELS}

@@ -1,0 +1,95 @@
+"""Recall-distance tracking (Figs 5, 7 and 18).
+
+The paper defines *recall distance* as the number of **unique** accesses that
+arrive at the same cache set between a block's eviction and the next request
+for that block.  We track it exactly up to a cap (the paper's figures bucket
+everything above 50 together), bounding memory use.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, List, Set, Tuple
+
+#: Histogram bucket upper bounds; the final bucket is "> 50".
+RECALL_BUCKETS: Tuple[int, ...] = (10, 20, 30, 40, 50)
+
+_CAP = 64           # distances are exact below this, saturating above
+_MAX_PENDING = 256  # evicted blocks tracked per set
+
+
+class RecallTracker:
+    """Tracks recall distance of evicted blocks of one category at one cache."""
+
+    def __init__(self, name: str):
+        self.name = name
+        # set_idx -> OrderedDict[line_addr -> set of unique lines seen]
+        self._pending: Dict[int, "OrderedDict[int, Set[int]]"] = {}
+        #: Final histogram: len(RECALL_BUCKETS)+1 bins, last is overflow.
+        self.histogram: List[int] = [0] * (len(RECALL_BUCKETS) + 1)
+        self.samples = 0
+
+    def on_evict(self, set_idx: int, line_addr: int) -> None:
+        """A tracked block was evicted from ``set_idx``."""
+        pending = self._pending.setdefault(set_idx, OrderedDict())
+        pending[line_addr] = set()
+        pending.move_to_end(line_addr)
+        if len(pending) > _MAX_PENDING:
+            # Censored: it outlived the tracking window without a recall.
+            pending.popitem(last=False)
+            self._record_censored()
+
+    def on_access(self, set_idx: int, line_addr: int) -> None:
+        """Any access arrived at ``set_idx``; resolves recalls and counts
+        uniques for still-pending evictions."""
+        pending = self._pending.get(set_idx)
+        if not pending:
+            return
+        recalled = pending.pop(line_addr, None)
+        if recalled is not None:
+            self._record(len(recalled))
+        for seen in pending.values():
+            if len(seen) < _CAP:
+                seen.add(line_addr)
+
+    def _record(self, distance: int) -> None:
+        self.samples += 1
+        for i, bound in enumerate(RECALL_BUCKETS):
+            if distance <= bound:
+                self.histogram[i] += 1
+                return
+        self.histogram[-1] += 1
+
+    def _record_censored(self) -> None:
+        """A block was never recalled: it belongs with the "dead" (> 50)
+        population the paper's Figs 5/7/18 bucket together."""
+        self.samples += 1
+        self.histogram[-1] += 1
+
+    def cdf(self) -> List[float]:
+        """Cumulative fraction per bucket (last entry is always 1.0)."""
+        if self.samples == 0:
+            return [0.0] * len(self.histogram)
+        out, running = [], 0
+        for count in self.histogram:
+            running += count
+            out.append(running / self.samples)
+        return out
+
+    def fraction_within(self, bound: int) -> float:
+        """Fraction of recalls with distance <= ``bound`` (a bucket edge)."""
+        if self.samples == 0:
+            return 0.0
+        total = 0
+        for i, edge in enumerate(RECALL_BUCKETS):
+            if edge <= bound:
+                total += self.histogram[i]
+        return total / self.samples
+
+    def flush(self) -> None:
+        """Resolve all still-pending evictions as never-recalled (censored
+        into the > 50 bucket)."""
+        for pending in self._pending.values():
+            for _seen in pending.values():
+                self._record_censored()
+        self._pending.clear()

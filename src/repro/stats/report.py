@@ -1,0 +1,77 @@
+"""Plain-text table formatting for experiment output.
+
+Every benchmark harness prints its figure/table through :func:`format_table`
+so the regenerated rows look like the paper's."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Union
+
+Cell = Union[str, int, float]
+
+
+def _fmt(cell: Cell) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.3f}"
+    return str(cell)
+
+
+def format_table(title: str, headers: Sequence[str],
+                 rows: Iterable[Sequence[Cell]]) -> str:
+    """Render an aligned ASCII table with a title line."""
+    str_rows: List[List[str]] = [[_fmt(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(c.ljust(widths[i]) for i, c in enumerate(cells))
+
+    sep = "-" * (sum(widths) + 2 * (len(widths) - 1))
+    out = [title, sep, line(list(headers)), sep]
+    out.extend(line(row) for row in str_rows)
+    out.append(sep)
+    return "\n".join(out)
+
+
+def bar_chart(title: str, labels: Sequence[str],
+              values: Sequence[float], width: int = 50,
+              baseline: float = 0.0) -> str:
+    """Render a horizontal ASCII bar chart.
+
+    ``baseline`` shifts the bar origin -- pass 1.0 for normalized
+    speedups so the bars show the delta over the baseline."""
+    if len(labels) != len(values):
+        raise ValueError("labels and values must align")
+    if not values:
+        return title
+    span = max(abs(v - baseline) for v in values) or 1.0
+    label_width = max(len(l) for l in labels)
+    lines = [title]
+    for label, value in zip(labels, values):
+        magnitude = int(round(abs(value - baseline) / span * width))
+        bar = "#" * magnitude
+        lines.append(f"{label.ljust(label_width)}  {value:8.3f}  {bar}")
+    return "\n".join(lines)
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geometric mean, the paper's aggregate for normalized performance."""
+    if not values:
+        return 0.0
+    product = 1.0
+    for v in values:
+        if v <= 0:
+            raise ValueError("geometric mean requires positive values")
+        product *= v
+    return product ** (1.0 / len(values))
+
+
+def harmonic_mean(values: Sequence[float]) -> float:
+    """Harmonic mean, used for SMT mix speedups (Fig 17)."""
+    if not values:
+        return 0.0
+    if any(v <= 0 for v in values):
+        raise ValueError("harmonic mean requires positive values")
+    return len(values) / sum(1.0 / v for v in values)

@@ -1,0 +1,6 @@
+"""Uncore: wires TLBs, caches, DRAM, the walker and the prefetchers into a
+complete per-core memory hierarchy."""
+
+from repro.uncore.hierarchy import MemoryHierarchy, LoadResult
+
+__all__ = ["MemoryHierarchy", "LoadResult"]

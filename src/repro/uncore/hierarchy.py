@@ -1,0 +1,273 @@
+"""The complete memory hierarchy of one core.
+
+Builds (per Table I): DTLB/STLB + PSCs + PTW, L1D -> L2C -> LLC -> DRAM,
+applies the configured replacement policies (swapping in T-DRRIP / T-SHiP /
+T-Hawkeye when the paper's enhancements are enabled) and attaches the
+configured prefetchers (IPCP at L1D; SPP/Bingo/ISB at L2C; ATP at L2C+LLC;
+TEMPO at the DRAM controller).
+
+``load``/``store`` perform the full two-phase access the paper studies:
+address translation first, then the (replay or non-replay) data access.
+
+For multi-core configurations the LLC and DRAM can be shared: pass them in
+via ``shared_llc``/``shared_dram``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.cache.cache import Cache
+from repro.cache.replacement import make_policy
+from repro.memsys.dram import DRAM
+from repro.memsys.request import AccessType, MemoryRequest
+from repro.params import LINE_SHIFT, PAGE_SHIFT, SimConfig
+from repro.prefetch import make_l2c_prefetcher
+from repro.prefetch.atp import ATPPrefetcher
+from repro.prefetch.ipcp import IPCPPrefetcher
+from repro.prefetch.tempo import TEMPOPrefetcher
+from repro.stats.counters import LevelDistribution
+from repro.vm.mmu import MMU
+from repro.vm.page_table import PageTable
+
+
+@dataclass
+class LoadResult:
+    """Timing of one demand load through translation + data access."""
+
+    vaddr: int
+    paddr: int
+    issue_cycle: int
+    translation_done: int
+    data_done: int
+    is_replay: bool
+    dtlb_hit: bool
+    stlb_hit: bool
+    data_served_by: str
+
+
+class MemoryHierarchy:
+    """Per-core memory system (optionally sharing LLC/DRAM with peers)."""
+
+    def __init__(self, config: SimConfig,
+                 page_table: Optional[PageTable] = None,
+                 shared_llc: Optional[Cache] = None,
+                 shared_dram: Optional[DRAM] = None):
+        self.config = config
+        enh = config.enhancements
+        ideal = config.ideal
+
+        self.dram = shared_dram or DRAM(config.dram)
+
+        if shared_llc is not None:
+            self.llc = shared_llc
+        else:
+            llc_policy_name = config.llc.replacement
+            if enh.t_llc:
+                llc_policy_name = {"ship": "t_ship",
+                                   "hawkeye": "t_hawkeye"}.get(
+                    llc_policy_name, llc_policy_name)
+            elif enh.new_signatures and llc_policy_name == "ship":
+                llc_policy_name = "newsign_ship"
+            llc_kwargs = {}
+            if llc_policy_name in ("t_ship",) and enh.replay_rrpv0:
+                llc_kwargs["replay_rrpv0"] = True
+            llc_policy = make_policy(llc_policy_name, config.llc.num_sets,
+                                     config.llc.ways, **llc_kwargs)
+            self.llc = Cache(config.llc, self.dram, policy=llc_policy,
+                             track_recall=config.track_recall,
+                             ideal_translations=ideal.llc_translations,
+                             ideal_replays=ideal.llc_replays)
+
+        l2c_policy_name = config.l2c.replacement
+        l2c_kwargs = {}
+        if enh.t_drrip and l2c_policy_name == "drrip":
+            l2c_policy_name = "t_drrip"
+            if enh.replay_rrpv0:
+                l2c_kwargs["replay_rrpv0"] = True
+        l2c_policy = make_policy(l2c_policy_name, config.l2c.num_sets,
+                                 config.l2c.ways, **l2c_kwargs)
+        self.l2c = Cache(config.l2c, self.llc, policy=l2c_policy,
+                         track_recall=config.track_recall,
+                         ideal_translations=ideal.l2c_translations,
+                         ideal_replays=ideal.l2c_replays)
+        self.l1d = Cache(config.l1d, self.l2c)
+        if config.llc_inclusion == "inclusive":
+            self.llc.back_invalidate_targets.extend([self.l2c, self.l1d])
+        elif config.llc_inclusion != "non_inclusive":
+            raise ValueError(
+                f"unknown inclusion policy {config.llc_inclusion!r}")
+
+        if page_table is not None:
+            self.page_table = page_table
+        else:
+            predicate = None
+            if config.huge_page_policy == "gather_region":
+                from repro.workloads.synthetic import RANDOM_BASE
+                predicate = lambda va: va >= RANDOM_BASE  # noqa: E731
+            elif config.huge_page_policy != "none":
+                raise ValueError(
+                    f"unknown huge-page policy {config.huge_page_policy!r}")
+            self.page_table = PageTable(huge_page_predicate=predicate)
+        self.mmu = MMU(config, self.page_table, self.l1d)
+
+        # Section V-B prior-work comparison modes.
+        self.dead_page_predictor = None
+        self.dead_block_bypass = None
+        if config.comparison == "cbpred":
+            from repro.compare.dead_page import (DeadBlockBypass,
+                                                 DeadPagePredictor)
+            self.dead_page_predictor = DeadPagePredictor()
+            self.mmu.stlb.observer = self.dead_page_predictor
+            self.mmu.dead_page_predictor = self.dead_page_predictor
+            if shared_llc is None:
+                self.dead_block_bypass = DeadBlockBypass(
+                    self.dead_page_predictor)
+                self.llc.bypass_predicate = self.dead_block_bypass
+        elif config.comparison == "csalt":
+            if shared_llc is None:
+                from repro.compare.csalt import CSALTPolicy
+                self.llc.policy = CSALTPolicy(config.llc.num_sets,
+                                              config.llc.ways)
+        elif config.comparison != "none":
+            raise ValueError(
+                f"unknown comparison mode {config.comparison!r}")
+
+        # Prefetchers.
+        self.l2c.prefetcher = make_l2c_prefetcher(config.l2c_prefetcher)
+        self.ipcp: Optional[IPCPPrefetcher] = None
+        if config.l1d_prefetcher == "ipcp":
+            self.ipcp = IPCPPrefetcher()
+        elif config.l1d_prefetcher not in ("none", "", None):
+            # Physical-address prefetchers can also sit at the L1D.
+            self.l1d.prefetcher = make_l2c_prefetcher(config.l1d_prefetcher)
+
+        self.atp: Optional[ATPPrefetcher] = None
+        if enh.atp:
+            self.atp = ATPPrefetcher(self.l2c, self.llc)
+            self.atp.attach()
+        self.tempo: Optional[TEMPOPrefetcher] = None
+        if enh.tempo:
+            self.tempo = TEMPOPrefetcher(self.dram, self.llc)
+            self.tempo.attach()
+
+        #: Optional instruction-side path (Table I: ITLB + L1I).
+        self.frontend = None
+        if config.model_frontend:
+            from repro.core.frontend import Frontend
+            self.frontend = Frontend(config, self.mmu, self.l2c)
+
+        #: Fig 3: which level served leaf translations / replays.
+        self.response_distribution = LevelDistribution()
+        self.loads = 0
+        self.stores = 0
+
+    # ------------------------------------------------------------------
+    def load(self, va: int, cycle: int, ip: int = 0) -> LoadResult:
+        """A demand load: translate, then fetch the data line."""
+        self.loads += 1
+        tr = self.mmu.translate(va, cycle, ip)
+        is_replay = tr.is_replay
+        issue_at = tr.done_cycle
+        if is_replay:
+            # The load is replayed from the load queue after the walk
+            # fills the TLBs (pipeline re-issue latency).
+            issue_at += self.config.core.replay_issue_latency
+            if tr.walk is not None and tr.walk.leaf_served_by:
+                self.response_distribution.record(
+                    "translation", self._level_key(tr.walk.leaf_served_by))
+
+        req = MemoryRequest(address=tr.paddr, cycle=issue_at, ip=ip,
+                            access_type=AccessType.LOAD, is_replay=is_replay)
+        data_done = self.l1d.access(req)
+        category = "replay" if is_replay else "non_replay"
+        self.response_distribution.record(category,
+                                          self._level_key(req.served_by))
+        if self.ipcp is not None:
+            self._run_ipcp(ip, va, cycle)
+        return LoadResult(vaddr=va, paddr=tr.paddr, issue_cycle=cycle,
+                          translation_done=tr.done_cycle, data_done=data_done,
+                          is_replay=is_replay, dtlb_hit=tr.dtlb_hit,
+                          stlb_hit=tr.stlb_hit, data_served_by=req.served_by)
+
+    def store(self, va: int, cycle: int, ip: int = 0) -> LoadResult:
+        """A demand store: translation matters, data is buffered."""
+        self.stores += 1
+        tr = self.mmu.translate(va, cycle, ip)
+        req = MemoryRequest(address=tr.paddr, cycle=tr.done_cycle, ip=ip,
+                            access_type=AccessType.STORE,
+                            is_replay=tr.is_replay)
+        data_done = self.l1d.access(req)
+        return LoadResult(vaddr=va, paddr=tr.paddr, issue_cycle=cycle,
+                          translation_done=tr.done_cycle, data_done=data_done,
+                          is_replay=tr.is_replay, dtlb_hit=tr.dtlb_hit,
+                          stlb_hit=tr.stlb_hit, data_served_by=req.served_by)
+
+    # ------------------------------------------------------------------
+    def _run_ipcp(self, ip: int, va: int, cycle: int) -> None:
+        """Issue IPCP's virtual-address prefetches through the MMU.
+
+        Same-page candidates reuse the demand's translation; cross-page
+        candidates must translate first and, on an STLB miss, wait for the
+        full page-table walk -- the late-prefetch effect of Section III.
+        """
+        vline = va >> LINE_SHIFT
+        for cand_vline in self.ipcp.operate_virtual(ip, vline, hit=True):
+            cand_va = cand_vline << LINE_SHIFT
+            if self.page_table.lookup(cand_va) is None:
+                continue  # unmapped page: a real prefetch would fault
+            # Same-page candidates hit the just-filled DTLB (1 cycle);
+            # cross-page STLB misses pay a full walk -> late prefetch.
+            tr = self.mmu.translate(cand_va, cycle, ip, count_stats=False)
+            pline = tr.paddr >> LINE_SHIFT
+            if self.l1d.contains(pline):
+                continue
+            pref = MemoryRequest(address=tr.paddr, cycle=tr.done_cycle,
+                                 ip=ip, access_type=AccessType.PREFETCH)
+            self.l1d.access(pref)
+
+    @staticmethod
+    def _level_key(served_by: str) -> str:
+        return served_by if served_by else "DRAM"
+
+    def reset_stats(self) -> None:
+        """Zero every statistics counter (warmup boundary).  Cache, TLB and
+        predictor *contents* are preserved -- only the counting restarts."""
+        self.l1d.reset_stats()
+        self.l2c.reset_stats()
+        self.llc.reset_stats()
+        self.mmu.dtlb.reset_stats()
+        self.mmu.stlb.reset_stats()
+        self.mmu.translations = 0
+        self.mmu.walk_cycles_total = 0
+        self.mmu.walker.walks = 0
+        self.mmu.walker.pte_reads = 0
+        self.dram.accesses = 0
+        self.dram.row_hits = 0
+        self.dram.row_misses = 0
+        self.response_distribution = LevelDistribution()
+        self.loads = 0
+        self.stores = 0
+        if self.atp is not None:
+            self.atp.triggered_l2c = 0
+            self.atp.triggered_llc = 0
+        if self.tempo is not None:
+            self.tempo.triggered = 0
+        if self.ipcp is not None:
+            self.ipcp.issued = 0
+            self.ipcp.cross_page_issued = 0
+        if self.frontend is not None:
+            self.frontend.itlb.reset_stats()
+            self.frontend.l1i.reset_stats()
+            self.frontend.fetches = 0
+            self.frontend.itlb_walks = 0
+
+    # ------------------------------------------------------------------
+    def leaf_translation_hit_rate(self) -> float:
+        """On-chip hit rate of leaf translations (paper: 99% with T-*)."""
+        acc = (self.l1d.stats.leaf_accesses)
+        if acc == 0:
+            return 1.0
+        dram = self.llc.stats.leaf_misses
+        return 1.0 - dram / acc

@@ -1,0 +1,84 @@
+"""Hardware page-table walker.
+
+After an STLB miss the walker probes the paging-structure caches (one
+cycle, all levels in parallel) and then issues one *dependent* 64-byte read
+per remaining page-table level through the data-cache hierarchy
+(L1D -> L2C -> LLC -> DRAM).  The leaf-level read carries the paper's extra
+PTW flags: ``pt_level == 1`` (IsLeafLevel) and ``replay_line_addr`` -- the
+physical line the corresponding replay load will touch, derivable because
+the PTW carries the upper six page-offset bits of the faulting access.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.memsys.request import AccessType, MemoryRequest
+from repro.params import LINE_SHIFT, PAGE_SHIFT
+from repro.vm.page_table import PageTable
+from repro.vm.psc import PagingStructureCaches
+
+
+@dataclass
+class WalkResult:
+    """Outcome of one page-table walk."""
+
+    pfn: int
+    done_cycle: int
+    levels_walked: int
+    psc_hit_level: int  # 0 when no PSC hit (walk started at the root)
+    leaf_served_by: str
+
+
+class PageTableWalker:
+    """Walks the radix page table, reading PTEs through the cache hierarchy."""
+
+    def __init__(self, page_table: PageTable, psc: PagingStructureCaches,
+                 first_cache):
+        self.page_table = page_table
+        self.psc = psc
+        self.first_cache = first_cache
+        self.walks = 0
+        self.pte_reads = 0
+
+    def walk(self, va: int, cycle: int, ip: int = 0) -> WalkResult:
+        """Translate ``va`` starting at ``cycle``; returns the walk result.
+
+        Each PTE read depends on the previous level's data, so reads are
+        strictly serial (this is what makes STLB misses so expensive).
+        """
+        self.walks += 1
+        pfn = self.page_table.translate(va)
+        path: List[Tuple[int, int]] = self.page_table.walk_path(va)
+        leaf_level = path[-1][0]  # 1, or 2 for 2MB huge pages
+
+        t = cycle + self.psc.latency
+        hit_level, _frame = self.psc.lookup(va)
+        start_level = (hit_level - 1) if hit_level is not None else 5
+
+        replay_line = ((pfn << PAGE_SHIFT) | (va & 0xFFF)) >> LINE_SHIFT
+        leaf_served_by = ""
+        levels_walked = 0
+        for level, pte_pa in path:
+            if level > start_level:
+                continue
+            is_leaf = level == leaf_level
+            req = MemoryRequest(
+                address=pte_pa, cycle=t, ip=ip,
+                access_type=AccessType.TRANSLATION, pt_level=level,
+                leaf_walk=is_leaf,
+                replay_line_addr=replay_line if is_leaf else None)
+            t = self.first_cache.access(req)
+            self.pte_reads += 1
+            levels_walked += 1
+            if is_leaf:
+                leaf_served_by = req.served_by
+            else:
+                # Cache the walk-through-``level`` outcome in PSCL<level>.
+                self.psc.fill(va, level,
+                              self.page_table.node_frame(va, level - 1))
+
+        return WalkResult(pfn=pfn, done_cycle=t, levels_walked=levels_walked,
+                          psc_hit_level=hit_level or 0,
+                          leaf_served_by=leaf_served_by)

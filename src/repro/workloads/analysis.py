@@ -1,0 +1,92 @@
+"""Trace analysis utilities.
+
+Used to calibrate the synthetic workloads against the paper's Table II
+and to sanity-check that the generated address streams have the
+properties the mechanisms react to (page-level reuse, working-set size,
+stride structure).
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.params import LINE_SHIFT, PAGE_SHIFT
+from repro.workloads.trace import KIND_LOAD, KIND_NONMEM, Trace
+
+
+def memory_addresses(trace: Trace) -> np.ndarray:
+    """Virtual addresses of all memory operations, in program order."""
+    mask = trace.kinds != KIND_NONMEM
+    return trace.addrs[mask]
+
+
+def working_set(trace: Trace) -> Dict[str, int]:
+    """Distinct pages/lines touched (virtual)."""
+    addrs = memory_addresses(trace)
+    if addrs.size == 0:
+        return {"pages": 0, "lines": 0}
+    return {"pages": int(np.unique(addrs >> PAGE_SHIFT).size),
+            "lines": int(np.unique(addrs >> LINE_SHIFT).size)}
+
+
+def page_reuse_histogram(trace: Trace,
+                         buckets: Sequence[int] = (1, 2, 4, 8, 16, 64)
+                         ) -> Dict[str, int]:
+    """How many pages are touched 1x, 2x, ... (page-level reuse is what
+    gives leaf-PTE lines their recall behaviour)."""
+    addrs = memory_addresses(trace)
+    counts = Counter((addrs >> PAGE_SHIFT).tolist())
+    histogram = {f"<={b}": 0 for b in buckets}
+    histogram[f">{buckets[-1]}"] = 0
+    for touches in counts.values():
+        for b in buckets:
+            if touches <= b:
+                histogram[f"<={b}"] += 1
+                break
+        else:
+            histogram[f">{buckets[-1]}"] += 1
+    return histogram
+
+
+def stride_profile(trace: Trace, top: int = 5) -> List[Tuple[int, float]]:
+    """The most common successive load strides (bytes) and their share."""
+    loads = trace.addrs[trace.kinds == KIND_LOAD]
+    if loads.size < 2:
+        return []
+    strides = np.diff(loads)
+    counts = Counter(strides.tolist())
+    total = strides.size
+    return [(int(s), c / total) for s, c in counts.most_common(top)]
+
+
+def stlb_reach_ratio(trace: Trace, stlb_entries: int) -> float:
+    """Touched pages per STLB entry: > 1 means the STLB cannot cover the
+    working set (the paper's Medium/High regime)."""
+    pages = working_set(trace)["pages"]
+    return pages / stlb_entries if stlb_entries else float("inf")
+
+
+def leaf_pte_lines(trace: Trace) -> int:
+    """Distinct leaf-PTE cache lines the trace's pages map to (8 pages
+    share one PTE line) -- the translation working set at L2C/LLC."""
+    addrs = memory_addresses(trace)
+    if addrs.size == 0:
+        return 0
+    pages = np.unique(addrs >> PAGE_SHIFT)
+    return int(np.unique(pages >> 3).size)
+
+
+def summarize(trace: Trace, stlb_entries: int = 128) -> Dict[str, float]:
+    """One-stop characterization used by calibration scripts."""
+    ws = working_set(trace)
+    return {
+        "instructions": len(trace),
+        "loads_per_kilo": trace.loads_per_kilo(),
+        "pages": ws["pages"],
+        "lines": ws["lines"],
+        "leaf_pte_lines": leaf_pte_lines(trace),
+        "stlb_reach_ratio": stlb_reach_ratio(trace, stlb_entries),
+    }

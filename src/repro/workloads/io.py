@@ -1,0 +1,40 @@
+"""Trace persistence: save/load traces as compressed ``.npz`` files.
+
+The on-disk format mirrors a ChampSim trace at the abstraction level this
+simulator consumes: parallel int arrays for instruction pointers, kinds
+and virtual addresses, plus the trace name.  Useful for pinning a
+workload across experiments or shipping a regression input.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Union
+
+import numpy as np
+
+from repro.workloads.trace import Trace
+
+#: Format marker stored in every trace file.
+FORMAT_VERSION = 1
+
+
+def save_trace(trace: Trace, path: Union[str, os.PathLike]) -> None:
+    """Write ``trace`` to ``path`` (``.npz``, compressed)."""
+    np.savez_compressed(
+        path, version=np.int64(FORMAT_VERSION),
+        name=np.bytes_(trace.name.encode("utf-8")),
+        ips=trace.ips, kinds=trace.kinds, addrs=trace.addrs,
+        deps=trace.deps)
+
+
+def load_trace(path: Union[str, os.PathLike]) -> Trace:
+    """Read a trace previously written by :func:`save_trace`."""
+    with np.load(path) as data:
+        version = int(data["version"])
+        if version != FORMAT_VERSION:
+            raise ValueError(f"unsupported trace format version {version}")
+        name = bytes(data["name"]).decode("utf-8")
+        deps = data["deps"] if "deps" in data.files else None
+        return Trace(data["ips"], data["kinds"], data["addrs"], name=name,
+                     deps=deps)

@@ -1,0 +1,20 @@
+"""PARSEC workload model (canneal).
+
+canneal performs simulated-annealing swaps of netlist elements: random
+read-modify-write pairs over a 2.3GB footprint with almost no streaming --
+Medium STLB MPKI, low non-replay traffic (Table II: L2C non-replay MPKI
+only 4.15 while replay MPKI is 17.5).
+"""
+
+from __future__ import annotations
+
+from repro.workloads.synthetic import PatternMix
+
+
+def canneal_mix() -> PatternMix:
+    """canneal: random swaps, negligible streaming."""
+    return PatternMix(loads_per_kilo=180, stores_per_kilo=45,
+                      random_fraction=0.098, seq_fraction=0.035,
+                      random_pages=18_000,
+                      random_window_pages=20_000, seq_pages=6_000,
+                      seq_stride=16, local_pages=2, n_random_ips=3)

@@ -1,0 +1,32 @@
+"""SPEC CPU2017 workload models (xalancbmk, mcf).
+
+*xalancbmk* (XML transformation) has strong temporal locality with a small
+tail of cold pages -- Low STLB MPKI.  *mcf* (network simplex) chases
+pointers through a multi-GB arena -- Medium STLB MPKI with essentially every
+gather both TLB- and cache-missing.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.synthetic import PatternMix
+
+
+def xalancbmk_mix() -> PatternMix:
+    """xalancbmk: Low STLB MPKI (~4.8), moderate cache misses."""
+    return PatternMix(loads_per_kilo=280, stores_per_kilo=40,
+                      random_fraction=0.050, seq_fraction=0.25,
+                      random_pages=12_000,
+                      random_window_pages=16_000, seq_pages=16_000,
+                      seq_stride=16, local_pages=2,
+                      zipf_alpha=0.3, n_random_ips=6,
+                      n_local_ips=12)
+
+
+def mcf_mix() -> PatternMix:
+    """mcf: pointer chasing over a ~400MB region (STLB MPKI ~22)."""
+    return PatternMix(loads_per_kilo=240, stores_per_kilo=25,
+                      random_fraction=0.090, seq_fraction=0.09,
+                      random_pages=20_000,
+                      random_window_pages=24_000, seq_pages=10_000,
+                      seq_stride=16, local_pages=2,
+                      pointer_chase=True, n_random_ips=2)

@@ -1,0 +1,134 @@
+"""Analytic validation: the timing model against hand-computable cases.
+
+Each test constructs a scenario whose latency/throughput can be derived
+on paper from Table I's parameters, and checks the simulator reproduces
+it.  These pin the timing composition rules (serial walks, bus-rate
+streaming, TLB reach, MSHR-bounded MLP) rather than emergent behaviour.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.ooo_core import OOOCore
+from repro.params import default_config
+from repro.uncore.hierarchy import MemoryHierarchy
+from repro.vm.address import make_va
+from repro.workloads.trace import KIND_LOAD, KIND_NONMEM, Trace
+
+
+def test_cold_walk_latency_composes_exactly():
+    """A cold five-level walk: PSC probe + 5 serial (L1D+L2C+LLC+DRAM)
+    round trips, each a DRAM row miss."""
+    cfg = default_config()
+    h = MemoryHierarchy(cfg)
+    res = h.load(make_va([1, 2, 3, 4, 5]), cycle=0)
+    on_chip = cfg.l1d.latency + cfg.l2c.latency + cfg.llc.latency
+    # Table pages get frames 0..4; two 4KB frames share one 8KB DRAM row,
+    # so the five serial PTE reads alternate row miss/hit/miss/hit/miss.
+    dram = (3 * cfg.dram.row_miss_latency + 2 * cfg.dram.row_hit_latency)
+    expected_walk = (cfg.dtlb.latency + cfg.stlb.latency
+                     + cfg.psc.latency + 5 * on_chip + dram
+                     + cfg.stlb_fill_latency)
+    assert res.translation_done == expected_walk
+
+
+def test_warm_hit_latency_is_dtlb_plus_l1d():
+    cfg = default_config()
+    h = MemoryHierarchy(cfg)
+    va = make_va([1, 2, 3, 4, 5])
+    h.load(va, cycle=0)
+    res = h.load(va, cycle=50_000)
+    assert res.data_done - 50_000 == cfg.dtlb.latency + cfg.l1d.latency
+
+
+def test_replay_data_pays_issue_latency_plus_memory():
+    """The replay demand starts replay_issue_latency after the walk and
+    descends the whole hierarchy (cold caches, open row from the walk's
+    leaf read is elsewhere)."""
+    cfg = default_config()
+    h = MemoryHierarchy(cfg)
+    res = h.load(make_va([2, 2, 2, 2, 2], 0x10), cycle=0)
+    lower = (res.translation_done + cfg.core.replay_issue_latency
+             + cfg.l1d.latency + cfg.l2c.latency + cfg.llc.latency
+             + cfg.dram.row_hit_latency)
+    upper = (res.translation_done + cfg.core.replay_issue_latency
+             + cfg.l1d.latency + cfg.l2c.latency + cfg.llc.latency
+             + cfg.dram.row_miss_latency)
+    assert lower <= res.data_done <= upper
+
+
+def test_stream_throughput_bounded_by_bus():
+    """100 distinct lines from one DRAM row cannot transfer faster than
+    the channel's bucketed bus rate (one line per bus_transfer cycles)."""
+    cfg = default_config()
+    h = MemoryHierarchy(cfg)
+    base = make_va([3, 3, 3, 3, 3])
+    h.load(base, cycle=0)  # open the row / warm translation
+    start, last_done = 10_000, 0
+    for i in range(1, 50):
+        res = h.load(base + i * 64, cycle=start)
+        last_done = max(last_done, res.data_done)
+    min_time = 49 * cfg.dram.bus_transfer_cycles
+    assert last_done - start >= min_time
+
+
+def test_stlb_reach_exact():
+    """Cycling over exactly one set's worth of pages hits after the
+    first pass; one extra page in the set thrashes LRU."""
+    cfg = default_config()
+    h = MemoryHierarchy(cfg)
+    stlb = h.mmu.stlb
+    sets, ways = stlb.num_sets, stlb.num_ways
+    base = make_va([4, 4, 4, 0, 0])
+
+    fitting = [base + ((i * sets) << 12) for i in range(ways)]
+    for _ in range(3):
+        for va in fitting:
+            h.load(va, cycle=0)
+    h.mmu.dtlb.invalidate_all()
+    before = stlb.misses
+    for va in fitting:
+        h.load(va, cycle=10_000)
+    assert stlb.misses == before  # all hits: the set holds `ways` pages
+
+    thrashing = [base + ((i * sets) << 12) for i in range(ways + 1)]
+    for _ in range(3):
+        for va in thrashing:
+            h.mmu.dtlb.invalidate_all()
+            h.load(va, cycle=20_000)
+    before = stlb.misses
+    h.mmu.dtlb.invalidate_all()
+    for va in thrashing:
+        h.load(va, cycle=30_000)
+    assert stlb.misses > before  # LRU cycling over ways+1 pages misses
+
+
+def test_mlp_bounded_by_l1d_mshrs():
+    """Halving the L1D MSHRs must not speed up a miss-parallel burst."""
+    import dataclasses
+
+    def run(mshr):
+        cfg = default_config()
+        cfg = cfg.replace(l1d=dataclasses.replace(cfg.l1d,
+                                                  mshr_entries=mshr))
+        n = 400
+        # Independent cold loads to distinct pages: pure MLP.
+        addrs = np.array([make_va([5, 0, 0, i // 512, i % 512])
+                          for i in range(n)], dtype=np.int64)
+        trace = Trace(np.full(n, 0x400, dtype=np.int64),
+                      np.full(n, KIND_LOAD, dtype=np.int8), addrs)
+        return OOOCore(cfg, MemoryHierarchy(cfg)).run(trace).cycles
+
+    assert run(4) >= run(24)
+
+
+def test_retire_width_exact_ipc():
+    """Pure non-memory code retires exactly retire_width per cycle in
+    steady state."""
+    cfg = default_config()
+    n = 8000
+    trace = Trace(np.full(n, 0x400, dtype=np.int64),
+                  np.full(n, KIND_NONMEM, dtype=np.int8),
+                  np.zeros(n, dtype=np.int64))
+    result = OOOCore(cfg, MemoryHierarchy(cfg)).run(trace, warmup=1000)
+    assert result.ipc == pytest.approx(cfg.core.retire_width, rel=0.02)

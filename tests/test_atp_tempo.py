@@ -1,0 +1,103 @@
+"""Tests for ATP and TEMPO (the paper's prefetchers)."""
+
+import pytest
+
+from repro.cache.cache import Cache
+from repro.memsys.dram import DRAM
+from repro.memsys.request import AccessType, MemoryRequest
+from repro.params import CacheConfig, DRAMConfig
+from repro.prefetch.atp import ATPPrefetcher
+from repro.prefetch.tempo import TEMPOPrefetcher
+
+
+def build_two_level():
+    dram = DRAM(DRAMConfig())
+    llc = Cache(CacheConfig("LLC", 64 * 64, 4, 20), dram)
+    l2c = Cache(CacheConfig("L2C", 32 * 64, 4, 10), llc)
+    return l2c, llc, dram
+
+
+def leaf_read(addr, replay_line, cycle=0):
+    return MemoryRequest(address=addr, cycle=cycle,
+                         access_type=AccessType.TRANSLATION, pt_level=1,
+                         replay_line_addr=replay_line)
+
+
+def test_atp_prefetches_on_l2c_translation_hit():
+    l2c, llc, dram = build_two_level()
+    atp = ATPPrefetcher(l2c, llc)
+    atp.attach()
+    l2c.access(leaf_read(0x1000, replay_line=0x500, cycle=0))  # fill
+    l2c.access(leaf_read(0x1000, replay_line=0x501, cycle=1000))  # hit
+    assert atp.triggered_l2c == 1
+    assert l2c.contains(0x501)
+
+
+def test_atp_prefetches_on_llc_translation_hit():
+    l2c, llc, dram = build_two_level()
+    atp = ATPPrefetcher(l2c, llc)
+    atp.attach()
+    llc.access(leaf_read(0x1000, replay_line=0x500, cycle=0))
+    llc.access(leaf_read(0x1000, replay_line=0x502, cycle=1000))
+    assert atp.triggered_llc == 1
+    assert llc.contains(0x502)
+    assert not l2c.contains(0x502)  # LLC-hit prefetch fills the LLC only
+
+
+def test_atp_replay_demand_merges_with_prefetch():
+    """The replay demand arriving behind the prefetch must not refetch."""
+    l2c, llc, dram = build_two_level()
+    atp = ATPPrefetcher(l2c, llc)
+    atp.attach()
+    l2c.access(leaf_read(0x1000, replay_line=0x500, cycle=0))
+    l2c.access(leaf_read(0x1000, replay_line=0x600, cycle=1000))  # triggers
+    n_dram = dram.accesses
+    done = l2c.access(MemoryRequest(address=0x600 << 6, cycle=1020,
+                                    is_replay=True))
+    assert dram.accesses == n_dram  # merged / hit, no second DRAM trip
+    # The demand waits for the prefetch fill, not a full fresh access.
+    fresh = 1020 + 10 + 20 + dram.config.row_miss_latency
+    assert done < fresh
+
+
+def test_atp_prefetch_fill_has_eviction_priority():
+    l2c, llc, dram = build_two_level()
+    atp = ATPPrefetcher(l2c, llc)
+    atp.attach()
+    l2c.access(leaf_read(0x1000, replay_line=0x500, cycle=0))
+    l2c.access(leaf_read(0x1000, replay_line=0x600, cycle=1000))
+    block = l2c.block_for(0x600)
+    assert block is not None
+    assert block.dead_on_hit
+
+
+def test_atp_skips_when_no_replay_line():
+    l2c, llc, dram = build_two_level()
+    atp = ATPPrefetcher(l2c, llc)
+    atp.attach()
+    req = MemoryRequest(address=0x1000, cycle=0,
+                        access_type=AccessType.TRANSLATION, pt_level=1)
+    l2c.access(req)
+    l2c.access(MemoryRequest(address=0x1000, cycle=100,
+                             access_type=AccessType.TRANSLATION, pt_level=1))
+    assert atp.triggered == 0
+
+
+def test_tempo_prefetches_on_dram_leaf_translation():
+    l2c, llc, dram = build_two_level()
+    tempo = TEMPOPrefetcher(dram, llc)
+    tempo.attach()
+    # A leaf translation that misses everywhere reaches DRAM.
+    llc.access(leaf_read(0x2000, replay_line=0x700, cycle=0))
+    assert tempo.triggered == 1
+    assert llc.contains(0x700)
+
+
+def test_tempo_ignores_data_and_upper_levels():
+    l2c, llc, dram = build_two_level()
+    tempo = TEMPOPrefetcher(dram, llc)
+    tempo.attach()
+    llc.access(MemoryRequest(address=0x3000, cycle=0))
+    llc.access(MemoryRequest(address=0x4000, cycle=0,
+                             access_type=AccessType.TRANSLATION, pt_level=4))
+    assert tempo.triggered == 0

@@ -1,0 +1,47 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import FIGURES, main
+
+
+def test_list_command(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "pr" in out
+    assert "fig14" in out
+
+
+def test_run_command(capsys):
+    rc = main(["run", "tc", "--instructions", "2000", "--warmup", "500"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "IPC" in out
+    assert "stlb_mpki" in out
+
+
+def test_run_with_enhancements(capsys):
+    rc = main(["run", "tc", "--enhancements", "full",
+               "--instructions", "2000", "--warmup", "500"])
+    assert rc == 0
+    assert "full" in capsys.readouterr().out
+
+
+def test_figure_command(capsys):
+    rc = main(["figure", "fig3", "--benchmarks", "tc",
+               "--instructions", "2000", "--warmup", "500"])
+    assert rc == 0
+    assert "[Fig 3]" in capsys.readouterr().out
+
+
+def test_figure_registry_covers_all_data_figures():
+    expected = {"fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7",
+                "fig8", "fig10", "fig12", "fig14", "fig15", "fig16",
+                "fig17", "fig18", "fig19", "fig20", "fig21", "table2",
+                "multicore"}
+    assert expected <= set(FIGURES)
+
+
+def test_invalid_benchmark_rejected():
+    with pytest.raises(SystemExit):
+        main(["run", "gcc"])

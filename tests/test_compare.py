@@ -1,0 +1,138 @@
+"""Tests for the Section V-B prior-work models (DpPred/CbPred, CSALT)."""
+
+import pytest
+
+from repro.cache.block import CacheBlock
+from repro.compare.csalt import CSALTPolicy
+from repro.compare.dead_page import DeadBlockBypass, DeadPagePredictor
+from repro.memsys.request import AccessType, MemoryRequest
+from repro.params import default_config
+from repro.uncore.hierarchy import MemoryHierarchy
+from repro.vm.address import make_va
+
+
+# -- DpPred ---------------------------------------------------------------
+def test_dppred_learns_dead_signature():
+    pred = DeadPagePredictor()
+    ip = 0x42
+    for vpn in range(10):
+        pred.on_stlb_fill(vpn, ip)
+        pred.on_stlb_evict(vpn)  # never reused
+    assert pred.is_dead(ip)
+
+
+def test_dppred_learns_live_signature():
+    pred = DeadPagePredictor()
+    ip = 0x42
+    for vpn in range(10):
+        pred.on_stlb_fill(vpn, ip)
+        pred.on_stlb_reuse(vpn)
+        pred.on_stlb_evict(vpn)
+    assert not pred.is_dead(ip)
+
+
+def test_dppred_signatures_independent():
+    pred = DeadPagePredictor()
+    for vpn in range(10):
+        pred.on_stlb_fill(vpn, 0x42)
+        pred.on_stlb_evict(vpn)
+    assert pred.is_dead(0x42)
+    assert not pred.is_dead(0x1000 + 7)
+
+
+def test_dppred_evict_unknown_vpn_is_noop():
+    pred = DeadPagePredictor()
+    pred.on_stlb_evict(0x999)  # never filled: no crash, no training
+    pred.on_stlb_reuse(0x999)
+
+
+# -- CbPred bypass ----------------------------------------------------------
+def test_dead_block_bypass_only_demand_data():
+    pred = DeadPagePredictor()
+    for vpn in range(10):
+        pred.on_stlb_fill(vpn, 0x42)
+        pred.on_stlb_evict(vpn)
+    bypass = DeadBlockBypass(pred)
+    dead_load = MemoryRequest(address=0x1000, cycle=0, ip=0x42)
+    translation = MemoryRequest(address=0x1000, cycle=0, ip=0x42,
+                                access_type=AccessType.TRANSLATION,
+                                pt_level=1)
+    assert bypass(dead_load)
+    assert not bypass(translation)  # translations are never bypassed
+    assert bypass.bypassed == 1
+
+
+def test_cbpred_hierarchy_wiring():
+    cfg = default_config().replace(comparison="cbpred")
+    h = MemoryHierarchy(cfg)
+    assert h.dead_page_predictor is not None
+    assert h.mmu.stlb.observer is h.dead_page_predictor
+    assert h.llc.bypass_predicate is h.dead_block_bypass
+    # It runs end to end.
+    h.load(make_va([1, 2, 3, 4, 5]), cycle=0, ip=0x42)
+
+
+def test_unknown_comparison_mode_rejected():
+    cfg = default_config().replace(comparison="mockingjay")
+    with pytest.raises(ValueError):
+        MemoryHierarchy(cfg)
+
+
+def test_llc_bypass_skips_install():
+    cfg = default_config().replace(comparison="cbpred")
+    h = MemoryHierarchy(cfg)
+    # Make every prediction dead.
+    h.dead_page_predictor._counters = [0] * len(
+        h.dead_page_predictor._counters)
+    va = make_va([1, 2, 3, 4, 5])
+    res = h.load(va, cycle=0, ip=0x42)
+    assert not h.llc.contains(res.paddr >> 6)  # bypassed at the LLC
+    assert h.l2c.contains(res.paddr >> 6)      # still filled above
+    assert h.llc.fills_bypassed >= 1
+
+
+# -- CSALT -----------------------------------------------------------------
+def _filled(blocks, specs):
+    for block, (line, is_translation) in zip(blocks, specs):
+        block.valid = True
+        block.line_addr = line
+        block.is_translation = is_translation
+        block.rrpv = 1
+
+
+def test_csalt_partition_evicts_within_class():
+    pol = CSALTPolicy(4, 4, initial_t_ways=2)
+    blocks = [CacheBlock() for _ in range(4)]
+    _filled(blocks, [(1, True), (2, True), (3, False), (4, False)])
+    # Translation fill while at quota: must evict a translation way.
+    t_req = MemoryRequest(address=0x100, cycle=0,
+                          access_type=AccessType.TRANSLATION, pt_level=1)
+    victim = pol.victim(0, t_req, blocks)
+    assert blocks[victim].is_translation
+    # Data fill while translations within quota: evicts a data way.
+    d_req = MemoryRequest(address=0x200, cycle=0)
+    victim = pol.victim(0, d_req, blocks)
+    assert not blocks[victim].is_translation
+
+
+def test_csalt_quota_adapts():
+    pol = CSALTPolicy(4, 8, initial_t_ways=2)
+    start = pol.t_ways
+    # Starve translations: low translation hit rate, high data hit rate.
+    t_req = MemoryRequest(address=0x100, cycle=0,
+                          access_type=AccessType.TRANSLATION, pt_level=1)
+    d_req = MemoryRequest(address=0x200, cycle=0)
+    block = CacheBlock()
+    for _ in range(pol.EPOCH_FILLS):
+        pol._accesses["translation"] += 1       # misses only
+        pol.on_hit(0, 0, d_req, block)
+        pol._epoch_tick_count = 0
+        pol.on_fill(0, 0, d_req, block)
+    assert pol.t_ways > start
+
+
+def test_csalt_hierarchy_wiring():
+    cfg = default_config().replace(comparison="csalt")
+    h = MemoryHierarchy(cfg)
+    assert h.llc.policy.name == "csalt"
+    h.load(make_va([1, 2, 3, 4, 5]), cycle=0)

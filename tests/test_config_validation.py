@@ -1,0 +1,41 @@
+"""Tests for configuration validation."""
+
+import pytest
+
+from repro.params import CacheConfig, TLBConfig
+
+
+def test_cache_rejects_zero_ways():
+    with pytest.raises(ValueError):
+        CacheConfig("X", 1024, 0, 10)
+
+
+def test_cache_rejects_misaligned_size():
+    with pytest.raises(ValueError):
+        CacheConfig("X", 1000, 4, 10)  # not a multiple of 64 * 4
+
+
+def test_cache_rejects_zero_mshr():
+    with pytest.raises(ValueError):
+        CacheConfig("X", 1024, 4, 10, mshr_entries=0)
+
+
+def test_cache_accepts_valid():
+    c = CacheConfig("X", 64 * 4 * 2, 4, 10)
+    assert c.num_sets == 2
+
+
+def test_tlb_rejects_nonmultiple_entries():
+    with pytest.raises(ValueError):
+        TLBConfig("T", 10, 4, 1)
+
+
+def test_tlb_rejects_zero_entries():
+    with pytest.raises(ValueError):
+        TLBConfig("T", 0, 4, 1)
+
+
+def test_tlb_scaling_keeps_validity():
+    t = TLBConfig("T", 2048, 16, 8)
+    s = t.scaled(10_000)  # floor at `ways`
+    assert s.entries == 16

@@ -1,0 +1,32 @@
+"""Every example script must at least parse and compile.
+
+(Full executions are exercised manually / by the figure benches; this
+guards against bit-rot in the examples directory.)"""
+
+import pathlib
+import py_compile
+
+import pytest
+
+EXAMPLES = sorted(
+    pathlib.Path(__file__).resolve().parent.parent.joinpath("examples")
+    .glob("*.py"))
+
+
+def test_examples_exist():
+    names = {p.name for p in EXAMPLES}
+    assert "quickstart.py" in names
+    assert len(EXAMPLES) >= 3  # the deliverable minimum
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.name)
+def test_example_compiles(path, tmp_path):
+    py_compile.compile(str(path), cfile=str(tmp_path / "out.pyc"),
+                       doraise=True)
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.name)
+def test_example_has_main_guard_and_docstring(path):
+    source = path.read_text()
+    assert '__name__ == "__main__"' in source, path.name
+    assert source.lstrip().startswith(('"""', '#!')), path.name

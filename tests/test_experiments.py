@@ -1,0 +1,97 @@
+"""Tests for the experiment harness (runner + figure functions).
+
+These use tiny runs: they validate plumbing and result shapes, not the
+paper-scale numbers (the benchmarks/ directory regenerates those).
+"""
+
+import pytest
+
+from repro.core.rob import StallCategory
+from repro.experiments.figures import (FigureResult, fig1_rob_stalls,
+                                       fig3_response_distribution,
+                                       fig10_replay_rrpv0_degradation,
+                                       fig12_newsign_mpki,
+                                       fig14_performance,
+                                       fig16_stall_reduction,
+                                       table2_characterization)
+from repro.experiments.runner import run_benchmark
+from repro.params import EnhancementConfig, default_config
+
+TINY = dict(instructions=4000, warmup=1000)
+TWO = dict(benchmarks=["pr", "xalancbmk"], **TINY)
+
+
+def test_run_benchmark_produces_metrics():
+    r = run_benchmark("pr", **TINY)
+    assert r.benchmark == "pr"
+    assert r.instructions == 4000
+    assert r.cycles > 0
+    assert r.stlb_mpki > 0
+    s = r.summary()
+    assert set(s) >= {"ipc", "stlb_mpki", "llc_replay_mpki",
+                      "stall_translation", "stall_replay"}
+
+
+def test_run_benchmark_respects_config():
+    cfg = default_config().replace(enhancements=EnhancementConfig.full())
+    r = run_benchmark("pr", config=cfg, **TINY)
+    assert r.hierarchy.atp is not None
+
+
+def test_speedup_between_runs():
+    base = run_benchmark("pr", **TINY)
+    again = run_benchmark("pr", **TINY)
+    assert again.speedup_over(base) == pytest.approx(1.0)  # deterministic
+
+
+def test_fig1_shape():
+    res = fig1_rob_stalls(**TWO)
+    assert isinstance(res, FigureResult)
+    assert len(res.rows) == 3  # two benchmarks + mean
+    assert "pr" in res.data
+    assert res.data["pr"]["replay_avg"] >= 0
+    assert str(res).startswith("[Fig 1]")
+
+
+def test_fig1_replay_stalls_exceed_translation_stalls():
+    """The paper's central Fig 1 claim at any scale: replay loads stall
+    the head of the ROB for much longer, in aggregate, than the walks
+    themselves (most walks hit on-chip; replay data goes to DRAM)."""
+    res = fig1_rob_stalls(benchmarks=["pr"], instructions=12_000,
+                          warmup=3_000)
+    assert (res.data["pr"]["replay_total"]
+            > res.data["pr"]["translation_total"])
+
+
+def test_fig3_fractions_sum_to_one():
+    res = fig3_response_distribution(benchmarks=["pr"], **TINY)
+    t = res.data["pr"]["translation"]
+    assert sum(t.values()) == pytest.approx(1.0)
+
+
+def test_fig10_returns_normalized_performance():
+    res = fig10_replay_rrpv0_degradation(benchmarks=["pr"], **TINY)
+    assert 0.3 < res.data["pr"] < 1.5
+
+
+def test_fig12_rows_per_variant():
+    res = fig12_newsign_mpki(benchmarks=["pr"], **TINY)
+    assert set(res.data["pr"]) == {"ship", "newsign", "t_ship"}
+
+
+def test_fig14_has_all_variants_and_gmean():
+    res = fig14_performance(benchmarks=["pr"], **TINY)
+    assert list(res.data["pr"]) == ["T-DRRIP", "+T-SHiP", "+ATP", "+TEMPO"]
+    assert "gmean" in res.data
+
+
+def test_fig16_reductions_bounded():
+    res = fig16_stall_reduction(benchmarks=["pr"], **TINY)
+    for key in ("translation", "replay", "combined"):
+        assert res.data["pr"][key] <= 1.0
+
+
+def test_table2_reports_measured_and_reference():
+    res = table2_characterization(benchmarks=["pr"], **TINY)
+    assert res.data["pr"]["stlb_mpki"] > 0
+    assert any("STLB(paper)" in h for h in res.headers)

@@ -1,0 +1,71 @@
+"""Shape/plumbing tests for the remaining figure functions (tiny runs)."""
+
+import pytest
+
+from repro.experiments.figures import (fig2_ideal, fig4_translation_mpki,
+                                       fig5_recall_translations,
+                                       fig6_replay_mpki,
+                                       fig7_recall_replays,
+                                       fig8_prefetcher_replay_mpki,
+                                       fig15_with_prefetchers,
+                                       fig18_stlb_recall)
+from repro.experiments.mixes import fig17_smt, multicore_study
+from repro.experiments.sweeps import fig19_stlb_sensitivity
+
+TINY = dict(instructions=2500, warmup=600, benchmarks=["pr"])
+
+
+def test_fig2_modes_selectable():
+    res = fig2_ideal(modes=["LLC(TR)"], **TINY)
+    assert list(res.data["pr"]) == ["LLC(TR)"]
+    assert res.data["pr"]["LLC(TR)"] > 0.5
+
+
+def test_fig4_policy_subset():
+    res = fig4_translation_mpki(policies=["lru", "ship"], **TINY)
+    assert set(res.data["pr"]) == {"lru", "ship"}
+    assert all(v >= 0 for v in res.data["pr"].values())
+
+
+def test_fig6_policy_subset():
+    res = fig6_replay_mpki(policies=["lru", "srrip"], **TINY)
+    assert set(res.data["pr"]) == {"lru", "srrip"}
+
+
+def test_fig5_and_fig7_sum_to_one():
+    for fn in (fig5_recall_translations, fig7_recall_replays,
+               fig18_stlb_recall):
+        res = fn(**TINY)
+        for trackers in res.data.values():
+            for d in trackers.values():
+                if d["samples"]:
+                    assert d["cdf"][-1] == pytest.approx(1.0)
+
+
+def test_fig8_prefetcher_subset():
+    res = fig8_prefetcher_replay_mpki(prefetchers=["none", "spp"], **TINY)
+    assert set(res.data["pr"]) == {"none", "spp"}
+
+
+def test_fig15_prefetcher_subset():
+    res = fig15_with_prefetchers(prefetchers=["spp"], **TINY)
+    assert set(res.data["pr"]) == {"spp"}
+    assert 0.5 < res.data["pr"]["spp"] < 2.0
+
+
+def test_fig17_smt_runs_one_mix():
+    res = fig17_smt(mixes=[("tc", "tc")], instructions=2500, warmup=600)
+    assert "tc-tc" in res.data
+    assert res.data["tc-tc"]["harmonic"] > 0.5
+
+
+def test_multicore_study_runs_one_mix():
+    res = multicore_study(mixes=[("tc", "pr")], instructions=2000,
+                          warmup=500)
+    assert res.data["gmean"] > 0.5
+
+
+def test_sweep_rows_have_gmean_column():
+    res = fig19_stlb_sensitivity(points=(2048,), **TINY)
+    assert res.headers[-1] == "gmean"
+    assert len(res.rows[0]) == len(res.headers)

@@ -1,0 +1,83 @@
+"""Tests for the optional instruction-side frontend (ITLB + L1I)."""
+
+import numpy as np
+import pytest
+
+from repro.core.frontend import Frontend
+from repro.core.ooo_core import OOOCore
+from repro.params import default_config
+from repro.uncore.hierarchy import MemoryHierarchy
+from repro.workloads.trace import KIND_NONMEM, Trace
+
+
+def build(model_frontend=True):
+    cfg = default_config().replace(model_frontend=model_frontend)
+    return MemoryHierarchy(cfg), cfg
+
+
+def test_frontend_built_only_when_enabled():
+    h, _ = build(model_frontend=False)
+    assert h.frontend is None
+    h2, _ = build(model_frontend=True)
+    assert isinstance(h2.frontend, Frontend)
+
+
+def test_cold_fetch_walks_then_hits():
+    h, cfg = build()
+    ip = 0x400000
+    done1 = h.frontend.fetch(ip, cycle=0)
+    assert h.frontend.itlb_walks == 1
+    done2 = h.frontend.fetch(ip, cycle=10_000)
+    # Warm fetch: ITLB hit + L1I hit.
+    assert done2 - 10_000 == h.frontend.hidden_latency
+    assert done2 - 10_000 < done1
+
+
+def test_itlb_shares_stlb():
+    h, _ = build()
+    ip = 0x400000
+    h.frontend.fetch(ip, cycle=0)
+    # The code page's translation landed in the unified STLB.
+    assert h.mmu.stlb.lookup(ip >> 12, count=False) is not None
+
+
+def test_fetch_categorized_as_ifetch():
+    h, _ = build()
+    h.frontend.fetch(0x400000, cycle=0)
+    assert h.frontend.l1i.stats.accesses["ifetch"] == 1
+
+
+def test_core_with_frontend_runs_and_is_slower_when_code_misses():
+    cfg_on = default_config().replace(model_frontend=True)
+    cfg_off = default_config()
+    n = 3000
+    # A code footprint far beyond the scaled L1I: every line fetch misses.
+    ips = (0x400000 + (np.arange(n, dtype=np.int64) * 64)
+           % (1 << 22))
+    trace = Trace(ips, np.full(n, KIND_NONMEM, dtype=np.int8),
+                  np.zeros(n, dtype=np.int64))
+    on = OOOCore(cfg_on, MemoryHierarchy(cfg_on)).run(trace)
+    off = OOOCore(cfg_off, MemoryHierarchy(cfg_off)).run(trace)
+    assert on.cycles > off.cycles
+
+
+def test_small_code_footprint_barely_costs():
+    """Once the loop body is resident in the L1I, fetch is pipeline-hidden
+    (measured post-warmup to exclude the cold fills)."""
+    cfg_on = default_config().replace(model_frontend=True)
+    cfg_off = default_config()
+    n = 6000
+    ips = 0x400000 + (np.arange(n, dtype=np.int64) * 4) % 512
+    trace = Trace(ips, np.full(n, KIND_NONMEM, dtype=np.int8),
+                  np.zeros(n, dtype=np.int64))
+    on = OOOCore(cfg_on, MemoryHierarchy(cfg_on)).run(trace, warmup=2000)
+    off = OOOCore(cfg_off, MemoryHierarchy(cfg_off)).run(trace, warmup=2000)
+    assert on.cycles <= off.cycles * 1.05
+
+
+def test_reset_stats_covers_frontend():
+    h, _ = build()
+    h.frontend.fetch(0x400000, cycle=0)
+    h.reset_stats()
+    assert h.frontend.fetches == 0
+    assert h.frontend.itlb.accesses == 0

@@ -1,0 +1,82 @@
+"""Property-based fuzzing of the full memory hierarchy and core.
+
+Random short traces through every enhancement configuration: the
+invariants are causality (completions after issues), accounting
+consistency (hits + misses == accesses at every level), and
+classification sanity (replay implies an STLB miss happened)."""
+
+import hypothesis.strategies as st
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.core.ooo_core import OOOCore
+from repro.params import EnhancementConfig, default_config
+from repro.uncore.hierarchy import MemoryHierarchy
+from repro.vm.address import make_va
+from repro.workloads.trace import KIND_LOAD, KIND_NONMEM, KIND_STORE, Trace
+
+ENHANCEMENTS = [
+    EnhancementConfig.none(),
+    EnhancementConfig(t_drrip=True, t_llc=True, new_signatures=True),
+    EnhancementConfig.full(),
+]
+
+RECORDS = st.lists(
+    st.tuples(st.integers(min_value=0, max_value=2),      # kind
+              st.integers(min_value=0, max_value=63),     # page selector
+              st.integers(min_value=0, max_value=63),     # offset word
+              st.integers(min_value=0, max_value=15)),    # ip selector
+    min_size=5, max_size=120)
+
+
+def build_trace(records):
+    n = len(records)
+    ips = np.zeros(n, dtype=np.int64)
+    kinds = np.zeros(n, dtype=np.int8)
+    addrs = np.zeros(n, dtype=np.int64)
+    for i, (kind, page, word, ip_sel) in enumerate(records):
+        kinds[i] = (KIND_NONMEM, KIND_LOAD, KIND_STORE)[kind]
+        ips[i] = 0x400000 + ip_sel * 4
+        if kinds[i] != KIND_NONMEM:
+            addrs[i] = make_va([7, 0, 0, page // 32, page % 32],
+                               word * 64 % 4096)
+    return Trace(ips, kinds, addrs)
+
+
+@pytest.mark.parametrize("enh_idx", range(len(ENHANCEMENTS)))
+@settings(max_examples=20, deadline=None)
+@given(records=RECORDS)
+def test_hierarchy_invariants_under_fuzz(enh_idx, records):
+    cfg = default_config().replace(enhancements=ENHANCEMENTS[enh_idx])
+    hierarchy = MemoryHierarchy(cfg)
+    core = OOOCore(cfg, hierarchy)
+    result = core.run(build_trace(records))
+
+    assert result.cycles >= 1
+    assert result.instructions == len(records)
+
+    for cache in (hierarchy.l1d, hierarchy.l2c, hierarchy.llc):
+        stats = cache.stats
+        for category in set(stats.accesses) | set(stats.hits):
+            assert (stats.hits[category] + stats.misses[category]
+                    == stats.accesses[category]), (cache.name, category)
+        assert stats.leaf_hits + stats.leaf_misses == stats.leaf_accesses
+
+    mmu = hierarchy.mmu
+    assert mmu.stlb.hits + mmu.stlb.misses == mmu.stlb.accesses
+    assert mmu.walker.walks == mmu.stlb.misses  # every miss walks
+
+    # Replay classification: replay data accesses at L1D equal walks
+    # from loads (stores also walk but their data is buffered).
+    assert hierarchy.l1d.stats.accesses["replay"] <= mmu.walker.walks
+
+
+@settings(max_examples=10, deadline=None)
+@given(records=RECORDS)
+def test_fuzz_deterministic(records):
+    cfg = default_config()
+    trace = build_trace(records)
+    a = OOOCore(cfg, MemoryHierarchy(cfg)).run(trace)
+    b = OOOCore(cfg, MemoryHierarchy(cfg)).run(trace)
+    assert a.cycles == b.cycles

@@ -1,0 +1,151 @@
+"""Tests for the wired memory hierarchy."""
+
+import pytest
+
+from repro.memsys.request import AccessType
+from repro.params import EnhancementConfig, IdealConfig, default_config
+from repro.uncore.hierarchy import MemoryHierarchy
+from repro.vm.address import make_va
+
+VA = make_va([1, 2, 3, 4, 5], 0x40)
+
+
+def build(enh=None, **cfg_kwargs):
+    cfg = default_config()
+    if enh is not None:
+        cfg = cfg.replace(enhancements=enh)
+    if cfg_kwargs:
+        cfg = cfg.replace(**cfg_kwargs)
+    return MemoryHierarchy(cfg)
+
+
+def test_cold_load_is_replay_and_reaches_dram():
+    h = build()
+    res = h.load(VA, cycle=0)
+    assert res.is_replay
+    assert res.data_served_by == "DRAM"
+    assert res.data_done > res.translation_done
+
+
+def test_replay_issue_latency_applied():
+    h = build()
+    res = h.load(VA, cycle=0)
+    # Data request issued replay_issue_latency after translation.
+    min_data = (res.translation_done
+                + h.config.core.replay_issue_latency
+                + h.config.l1d.latency)
+    assert res.data_done >= min_data
+
+
+def test_warm_load_is_non_replay():
+    h = build()
+    h.load(VA, cycle=0)
+    res = h.load(VA, cycle=10_000)
+    assert not res.is_replay
+    assert res.dtlb_hit
+    assert res.data_served_by == "L1D"
+
+
+def test_store_translates_and_fills():
+    h = build()
+    res = h.store(VA, cycle=0)
+    assert res.is_replay
+    assert h.l1d.block_for(res.paddr >> 6).dirty
+
+
+def test_response_distribution_tracks_replays():
+    h = build()
+    h.load(VA, cycle=0)
+    dist = h.response_distribution
+    assert sum(dist.counts["replay"].values()) == 1
+    assert sum(dist.counts["translation"].values()) == 1
+
+
+def test_t_policies_swapped_in():
+    h = build(EnhancementConfig(t_drrip=True, t_llc=True,
+                                new_signatures=True))
+    assert h.l2c.policy.name == "t_drrip"
+    assert h.llc.policy.name == "t_ship"
+
+
+def test_newsign_only_variant():
+    h = build(EnhancementConfig(new_signatures=True))
+    assert h.llc.policy.name == "newsign_ship"
+    assert h.l2c.policy.name == "drrip"
+
+
+def test_t_hawkeye_when_llc_is_hawkeye():
+    cfg = default_config().replace(
+        enhancements=EnhancementConfig(t_llc=True))
+    cfg.llc.replacement = "hawkeye"
+    h = MemoryHierarchy(cfg)
+    assert h.llc.policy.name == "t_hawkeye"
+
+
+def test_atp_and_tempo_attached():
+    h = build(EnhancementConfig.full())
+    assert h.atp is not None
+    assert h.l2c.on_leaf_translation_hit is not None
+    assert h.llc.on_leaf_translation_hit is not None
+    assert h.tempo is not None
+    assert h.dram.on_leaf_translation is not None
+
+
+def test_baseline_has_no_prefetchers():
+    h = build()
+    assert h.atp is None and h.tempo is None and h.ipcp is None
+    assert h.l2c.prefetcher is None
+
+
+def test_l2c_prefetcher_attached():
+    h = build(None, l2c_prefetcher="spp")
+    assert h.l2c.prefetcher is not None
+    assert h.l2c.prefetcher.name == "spp"
+
+
+def test_ipcp_runs_on_loads():
+    h = build(None, l1d_prefetcher="ipcp")
+    base = make_va([2, 2, 2, 2, 0])
+    for i in range(12):
+        h.load(base + i * 128, cycle=i * 100, ip=0x42)
+    assert h.ipcp.issued > 0
+
+
+def test_ideal_llc_modes_wire_through():
+    cfg = default_config().replace(
+        ideal=IdealConfig(llc_translations=True, llc_replays=True))
+    h = MemoryHierarchy(cfg)
+    assert h.llc.ideal_translations and h.llc.ideal_replays
+    assert not h.l2c.ideal_translations
+
+
+def test_shared_llc_between_hierarchies():
+    from repro.vm.page_table import FrameAllocator, PageTable
+    cfg = default_config()
+    alloc = FrameAllocator()
+    first = MemoryHierarchy(cfg, page_table=PageTable(alloc))
+    second = MemoryHierarchy(cfg, page_table=PageTable(alloc),
+                             shared_llc=first.llc, shared_dram=first.dram)
+    assert second.llc is first.llc
+    assert second.dram is first.dram
+    assert second.l2c is not first.l2c
+
+
+def test_leaf_translation_hit_rate():
+    h = build(EnhancementConfig(t_drrip=True, t_llc=True,
+                                new_signatures=True))
+    base = make_va([3, 3, 3, 0, 0])
+    for i in range(200):
+        h.load(base + (i % 50) * 4096, cycle=i * 300)
+    assert 0.0 <= h.leaf_translation_hit_rate() <= 1.0
+
+
+def test_reset_stats_clears_everything():
+    h = build(EnhancementConfig.full())
+    h.load(VA, cycle=0)
+    h.reset_stats()
+    assert h.loads == 0
+    assert h.dram.accesses == 0
+    assert h.mmu.stlb.accesses == 0
+    assert h.l1d.stats.total_misses() == 0
+    assert sum(h.response_distribution.counts["replay"].values()) == 0

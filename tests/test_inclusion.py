@@ -1,0 +1,66 @@
+"""Tests for the inclusive-LLC mode."""
+
+import pytest
+
+from repro.cache.cache import Cache
+from repro.memsys.request import MemoryRequest
+from repro.params import CacheConfig, EnhancementConfig, default_config
+from repro.uncore.hierarchy import MemoryHierarchy
+from repro.vm.address import make_va
+
+
+class Null:
+    def access(self, req):
+        req.served_by = "DRAM"
+        return req.cycle + 100
+
+
+def test_invalidate_api():
+    cache = Cache(CacheConfig("T", 2 * 64 * 2, 2, 10), Null())
+    cache.access(MemoryRequest(address=0x1000, cycle=0))
+    line = 0x1000 >> 6
+    assert cache.contains(line)
+    assert cache.invalidate(line)
+    assert not cache.contains(line)
+    assert not cache.invalidate(line)  # second time: not resident
+
+
+def test_back_invalidation_on_eviction():
+    lower = Cache(CacheConfig("LLC", 2 * 64 * 1, 1, 20), Null())
+    upper = Cache(CacheConfig("L2C", 2 * 64 * 2, 2, 10), lower)
+    lower.back_invalidate_targets.append(upper)
+    stride = lower.num_sets * 64
+    upper.access(MemoryRequest(address=0x0, cycle=0))       # fills both
+    assert upper.contains(0) and lower.contains(0)
+    # Force the LLC (1-way) to evict line 0 by filling its set.
+    lower.access(MemoryRequest(address=stride, cycle=1000))
+    assert not lower.contains(0)
+    assert not upper.contains(0)  # back-invalidated
+    assert lower.back_invalidations == 1
+
+
+def test_hierarchy_inclusive_wiring():
+    cfg = default_config().replace(llc_inclusion="inclusive")
+    h = MemoryHierarchy(cfg)
+    assert h.l2c in h.llc.back_invalidate_targets
+    assert h.l1d in h.llc.back_invalidate_targets
+    h.load(make_va([1, 2, 3, 4, 5]), cycle=0)  # runs end to end
+
+
+def test_hierarchy_rejects_unknown_inclusion():
+    cfg = default_config().replace(llc_inclusion="exclusive")
+    with pytest.raises(ValueError):
+        MemoryHierarchy(cfg)
+
+
+def test_inclusive_llc_still_benefits_from_enhancements():
+    """The T-policies must survive inclusion: pinning translations at the
+    LLC also *protects* their L2C copies from back-invalidation."""
+    from repro.experiments.runner import run_benchmark
+    base_cfg = default_config().replace(llc_inclusion="inclusive")
+    enh_cfg = base_cfg.replace(enhancements=EnhancementConfig.full())
+    base = run_benchmark("canneal", config=base_cfg, instructions=12_000,
+                         warmup=3_000)
+    enh = run_benchmark("canneal", config=enh_cfg, instructions=12_000,
+                        warmup=3_000)
+    assert enh.speedup_over(base) > 0.99

@@ -1,0 +1,76 @@
+"""Tests for repro.memsys.mshr."""
+
+import pytest
+
+from repro.memsys.mshr import MSHR
+
+
+def test_rejects_zero_entries():
+    with pytest.raises(ValueError):
+        MSHR(0)
+
+
+def test_lookup_miss_returns_none():
+    mshr = MSHR(4)
+    assert mshr.lookup(0x10, now=0) is None
+
+
+def test_merge_with_inflight_fill():
+    mshr = MSHR(4)
+    mshr.allocate(0x10, fill_cycle=100, now=0)
+    assert mshr.lookup(0x10, now=50) == 100
+    assert mshr.merges == 1
+
+
+def test_completed_fill_does_not_merge():
+    mshr = MSHR(4)
+    mshr.allocate(0x10, fill_cycle=100, now=0)
+    assert mshr.lookup(0x10, now=100) is None
+    assert mshr.lookup(0x10, now=150) is None
+
+
+def test_admission_free_when_not_full():
+    mshr = MSHR(2)
+    assert mshr.admission_delay(now=0) == 0
+    mshr.allocate(0x1, 100, 0)
+    assert mshr.admission_delay(now=0) == 0
+
+
+def test_admission_delay_waits_for_earliest_fill():
+    mshr = MSHR(2)
+    mshr.allocate(0x1, 100, 0)
+    mshr.allocate(0x2, 200, 0)
+    # Full: the next miss waits until the earliest fill (100) completes.
+    assert mshr.admission_delay(now=10) == 90
+    assert mshr.admission_stall_cycles == 90
+
+
+def test_admission_expires_completed_entries():
+    mshr = MSHR(2)
+    mshr.allocate(0x1, 100, 0)
+    mshr.allocate(0x2, 200, 0)
+    # At now=150 the first fill has completed: a slot is free.
+    assert mshr.admission_delay(now=150) == 0
+
+
+def test_prefetch_allocation_bypasses_capacity():
+    mshr = MSHR(1)
+    mshr.allocate(0x1, 100, 0)
+    mshr.allocate_prefetch(0x2, 120, 0)
+    # Both fills visible for merging.
+    assert mshr.lookup(0x2, now=10) == 120
+    assert mshr.occupancy(10) == 2
+
+
+def test_peak_occupancy_tracks_demand_allocations():
+    mshr = MSHR(8)
+    for i in range(5):
+        mshr.allocate(i, 1000 + i, 0)
+    assert mshr.peak_occupancy == 5
+
+
+def test_occupancy_counts_only_pending(  ):
+    mshr = MSHR(8)
+    mshr.allocate(1, 50, 0)
+    mshr.allocate(2, 150, 0)
+    assert mshr.occupancy(100) == 1

@@ -1,0 +1,97 @@
+"""Tests for phased workloads and the adaptive T-DRRIP extension."""
+
+import numpy as np
+import pytest
+
+from repro.cache.replacement import make_policy
+from repro.cache.replacement.translation_aware import AdaptiveTDRRIPPolicy
+from repro.memsys.request import AccessType, MemoryRequest
+from repro.workloads.graph import pr_mix
+from repro.workloads.spec import xalancbmk_mix
+from repro.workloads.synthetic import PatternMix, PhasedWorkload
+
+
+# -- PhasedWorkload ---------------------------------------------------------
+def test_phased_validates():
+    with pytest.raises(ValueError):
+        PhasedWorkload([])
+    with pytest.raises(ValueError):
+        PhasedWorkload([(pr_mix(), 0)])
+
+
+def test_phased_length_and_name():
+    w = PhasedWorkload([(pr_mix(), 1), (xalancbmk_mix(), 1)], name="mixed")
+    trace = w.generate(10_000, seed=3)
+    assert len(trace) == 10_000
+    assert trace.name == "mixed"
+
+
+def test_phased_actually_changes_behavior():
+    """The pr phase gathers over the big region; the xalancbmk phase is
+    tamer -- the halves must differ in footprint."""
+    w = PhasedWorkload([(pr_mix(), 1), (xalancbmk_mix(), 1)])
+    trace = w.generate(20_000, seed=3)
+    first, second = trace[:10_000], trace[10_000:]
+    assert first.footprint_pages() != second.footprint_pages()
+
+
+def test_phased_repeats():
+    w = PhasedWorkload([(pr_mix(), 1), (xalancbmk_mix(), 1)], repeats=2)
+    trace = w.generate(8_000)
+    assert len(trace) == 8_000
+
+
+def test_phased_runs_through_simulator():
+    from repro.core.ooo_core import OOOCore
+    from repro.params import default_config
+    from repro.uncore.hierarchy import MemoryHierarchy
+    cfg = default_config()
+    w = PhasedWorkload([(pr_mix(), 1), (xalancbmk_mix(), 1)], repeats=2)
+    result = OOOCore(cfg, MemoryHierarchy(cfg)).run(
+        w.generate(6_000), warmup=1_000)
+    assert result.cycles > 0
+
+
+# -- AdaptiveTDRRIPPolicy -----------------------------------------------------
+def leaf(ip=0x400):
+    return MemoryRequest(address=0x1000, cycle=0, ip=ip,
+                         access_type=AccessType.TRANSLATION, pt_level=1)
+
+
+def test_adaptive_registry():
+    pol = make_policy("t_drrip_adaptive", 256, 8)
+    assert isinstance(pol, AdaptiveTDRRIPPolicy)
+
+
+def test_adaptive_t_leaders_always_pin_translations():
+    pol = AdaptiveTDRRIPPolicy(256, 8)
+    t_leader = next(iter(pol._t_leaders))
+    assert pol.insertion_rrpv(t_leader, leaf()) == 0
+
+
+def test_adaptive_plain_leaders_never_pin():
+    pol = AdaptiveTDRRIPPolicy(256, 8)
+    plain = next(iter(pol._plain_leaders))
+    assert pol.insertion_rrpv(plain, leaf()) != 0
+
+
+def test_adaptive_followers_switch_with_tpsel():
+    pol = AdaptiveTDRRIPPolicy(256, 8)
+    follower = next(s for s in range(256)
+                    if s not in pol._t_leaders
+                    and s not in pol._plain_leaders)
+    # Punish the T-leaders: followers fall back to plain DRRIP.
+    t_leader = next(iter(pol._t_leaders))
+    for _ in range(600):
+        pol.record_miss(t_leader)
+    assert pol.insertion_rrpv(follower, leaf()) != 0
+    # Punish the plain leaders harder: followers re-enable T-insertion.
+    plain = next(iter(pol._plain_leaders))
+    for _ in range(1200):
+        pol.record_miss(plain)
+    assert pol.insertion_rrpv(follower, leaf()) == 0
+
+
+def test_adaptive_leader_groups_disjoint():
+    pol = AdaptiveTDRRIPPolicy(256, 8)
+    assert not (pol._t_leaders & pol._plain_leaders)

@@ -1,0 +1,59 @@
+"""Golden-number regression tests.
+
+These pin the simulator's *deterministic* outputs for fixed seeds and
+configurations, with loose tolerances, so that accidental behavioural
+changes (a policy update, a latency tweak, a workload recalibration)
+surface immediately instead of silently shifting every figure.
+
+When a change is intentional, update the golden values and note it in
+the commit.
+"""
+
+import pytest
+
+from repro.core.rob import StallCategory
+from repro.experiments.runner import run_benchmark
+from repro.params import EnhancementConfig, default_config
+
+KW = dict(instructions=12_000, warmup=3_000, seed=1)
+
+#: Benchmark -> (metric accessor description, expected, rel tolerance).
+GOLDEN_BASELINE = {
+    "xalancbmk": {"stlb_mpki": (5.9, 0.25), "ipc": (1.18, 0.3)},
+    "canneal": {"stlb_mpki": (19.3, 0.2), "ipc": (1.07, 0.3)},
+    "pr": {"stlb_mpki": (85.4, 0.15), "ipc": (0.62, 0.3)},
+}
+
+
+@pytest.mark.parametrize("name", sorted(GOLDEN_BASELINE))
+def test_baseline_golden_metrics(name):
+    run = run_benchmark(name, **KW)
+    golden = GOLDEN_BASELINE[name]
+    assert run.stlb_mpki == pytest.approx(golden["stlb_mpki"][0],
+                                          rel=golden["stlb_mpki"][1]), name
+    assert run.ipc == pytest.approx(golden["ipc"][0],
+                                    rel=golden["ipc"][1]), name
+
+
+def test_simulation_is_deterministic():
+    a = run_benchmark("pr", **KW)
+    b = run_benchmark("pr", **KW)
+    assert a.cycles == b.cycles
+    assert a.summary() == b.summary()
+
+
+def test_enhancement_stack_golden_direction():
+    """The full stack's effect on canneal stays in its known band."""
+    base = run_benchmark("canneal", **KW)
+    cfg = default_config().replace(enhancements=EnhancementConfig.full())
+    enh = run_benchmark("canneal", config=cfg, **KW)
+    speedup = enh.speedup_over(base)
+    assert 0.98 < speedup < 1.25
+
+
+def test_stall_attribution_golden_shape():
+    """pr: replay stalls dominate translation stalls by >= 5x."""
+    run = run_benchmark("pr", **KW)
+    replay = run.stall_cycles(StallCategory.REPLAY)
+    translation = run.stall_cycles(StallCategory.TRANSLATION)
+    assert replay > 5 * max(1, translation)

@@ -1,0 +1,104 @@
+"""Tests for the Hawkeye policy (OPTgen + PC predictor)."""
+
+import pytest
+
+from repro.cache.block import CacheBlock
+from repro.cache.replacement.hawkeye import HawkeyePolicy, _SetHistory
+from repro.memsys.request import MemoryRequest
+
+
+def req(ip=0x400, addr=0x1000):
+    return MemoryRequest(address=addr, cycle=0, ip=ip)
+
+
+def test_set_history_first_access_has_no_outcome():
+    h = _SetHistory(ways=2)
+    assert h.access(0x1, signature=7) is None
+
+
+def test_set_history_opt_hit_within_capacity():
+    h = _SetHistory(ways=2)
+    h.access(0x1, 7)
+    h.access(0x2, 8)
+    outcome = h.access(0x1, 7)
+    assert outcome == (True, 7)
+
+
+def test_set_history_opt_miss_when_interval_full():
+    h = _SetHistory(ways=1)
+    h.access(0x1, 7)
+    # Two other lines hit-reuse in between, saturating occupancy 1.
+    h.access(0x2, 8)
+    h.access(0x2, 8)   # opt hit: occupies the interval
+    h.access(0x3, 9)
+    h.access(0x3, 9)   # opt hit: occupies
+    outcome = h.access(0x1, 7)
+    assert outcome is not None
+    assert outcome[0] is False  # OPT would not have kept line 1
+
+
+def test_predictor_trains_toward_averse():
+    pol = HawkeyePolicy(64, 4)
+    r = req(ip=0x42)
+    sig = pol.signature(r)
+    for _ in range(10):
+        pol._train(sig, positive=False)
+    assert not pol._is_friendly(sig)
+    assert pol.insertion_rrpv(0, r) == pol.max_rrpv
+
+
+def test_predictor_trains_toward_friendly():
+    pol = HawkeyePolicy(64, 4)
+    r = req(ip=0x42)
+    sig = pol.signature(r)
+    for _ in range(10):
+        pol._train(sig, positive=True)
+    assert pol._is_friendly(sig)
+    assert pol.insertion_rrpv(0, r) == 0
+
+
+def test_victim_prefers_cache_averse():
+    pol = HawkeyePolicy(64, 4)
+    bs = []
+    for i in range(4):
+        b = CacheBlock()
+        b.valid = True
+        b.rrpv = 0
+        bs.append(b)
+    bs[3].rrpv = pol.max_rrpv
+    assert pol.victim(0, req(), bs) == 3
+
+
+def test_victim_falls_back_to_oldest_friendly():
+    pol = HawkeyePolicy(64, 4)
+    bs = []
+    for i in range(4):
+        b = CacheBlock()
+        b.valid = True
+        b.rrpv = i  # none at max (7)
+        bs.append(b)
+    assert pol.victim(0, req(), bs) == 3
+
+
+def test_on_fill_observes_sampled_sets_only():
+    pol = HawkeyePolicy(1024, 4)
+    assert len(pol._histories) <= 2 * HawkeyePolicy.SAMPLED_SETS
+    sampled = next(iter(pol._histories))
+    b = CacheBlock()
+    before = pol._histories[sampled].time
+    pol.on_fill(sampled, 0, req(), b)
+    assert pol._histories[sampled].time == before + 1
+
+
+def test_detrain_on_unreused_friendly_eviction():
+    pol = HawkeyePolicy(64, 4)
+    r = req(ip=0x42)
+    sig = pol.signature(r)
+    start = pol._predictor[sig]
+    b = CacheBlock()
+    b.valid = True
+    pol.on_fill(9999 % 64, 0, r, b)  # unsampled set: no OPTgen effect
+    b.reused = False
+    b.rrpv = 0  # friendly insertion
+    pol.on_evict(0, 0, b)
+    assert pol._predictor[sig] == max(0, start - 1)

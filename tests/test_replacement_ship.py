@@ -1,0 +1,85 @@
+"""Tests for SHiP and the signature machinery."""
+
+import pytest
+
+from repro.cache.block import CacheBlock
+from repro.cache.replacement.ship import SHiPPolicy
+from repro.memsys.request import AccessType, MemoryRequest
+
+
+def req(ip=0x400, **kw):
+    return MemoryRequest(address=0x1000, cycle=0, ip=ip, **kw)
+
+
+def filled_block(pol, r):
+    b = CacheBlock()
+    b.valid = True
+    pol.on_fill(0, 0, r, b)
+    return b
+
+
+def test_fill_records_signature():
+    pol = SHiPPolicy(16, 4)
+    b = filled_block(pol, req(ip=0x1234))
+    assert b.signature == pol.signature(req(ip=0x1234))
+
+
+def test_hit_trains_signature_up():
+    pol = SHiPPolicy(16, 4)
+    r = req(ip=0x42)
+    before = pol.shct_value(r)
+    b = filled_block(pol, r)
+    pol.on_hit(0, 0, r, b)
+    assert pol.shct_value(r) == min(before + 1, pol.SHCT_MAX)
+    assert b.rrpv == 0
+
+
+def test_unreused_eviction_trains_down():
+    pol = SHiPPolicy(16, 4)
+    r = req(ip=0x42)
+    before = pol.shct_value(r)
+    b = filled_block(pol, r)
+    b.reused = False
+    pol.on_evict(0, 0, b)
+    assert pol.shct_value(r) == max(before - 1, 0)
+
+
+def test_reused_eviction_does_not_train_down():
+    pol = SHiPPolicy(16, 4)
+    r = req(ip=0x42)
+    before = pol.shct_value(r)
+    b = filled_block(pol, r)
+    b.reused = True
+    pol.on_evict(0, 0, b)
+    assert pol.shct_value(r) == before
+
+
+def test_dead_signature_inserts_distant():
+    pol = SHiPPolicy(16, 4)
+    r = req(ip=0x42)
+    # Train the signature to zero via repeated dead evictions.
+    for _ in range(10):
+        b = filled_block(pol, r)
+        pol.on_evict(0, 0, b)
+    assert pol.shct_value(r) == 0
+    assert pol.insertion_rrpv(0, r) == pol.max_rrpv
+
+
+def test_live_signature_inserts_long():
+    pol = SHiPPolicy(16, 4)
+    r = req(ip=0x42)
+    b = filled_block(pol, r)
+    for _ in range(5):
+        pol.on_hit(0, 0, r, b)
+    assert pol.insertion_rrpv(0, r) == pol.max_rrpv - 1
+
+
+def test_training_is_per_signature():
+    pol = SHiPPolicy(16, 4)
+    dead, live = req(ip=0x42), req(ip=0x1000043)
+    assert pol.signature(dead) != pol.signature(live)
+    for _ in range(10):
+        b = filled_block(pol, dead)
+        pol.on_evict(0, 0, b)
+    assert pol.insertion_rrpv(0, dead) == pol.max_rrpv
+    assert pol.insertion_rrpv(0, live) == pol.max_rrpv - 1

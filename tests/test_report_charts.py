@@ -1,0 +1,34 @@
+"""Tests for the ASCII bar-chart renderer."""
+
+import pytest
+
+from repro.stats.report import bar_chart
+
+
+def test_bar_chart_basic():
+    out = bar_chart("Speedups", ["a", "bb"], [1.05, 1.10], baseline=1.0)
+    lines = out.splitlines()
+    assert lines[0] == "Speedups"
+    assert len(lines) == 3
+    # The larger delta gets the longer bar.
+    assert lines[2].count("#") > lines[1].count("#")
+
+
+def test_bar_chart_alignment():
+    out = bar_chart("t", ["x", "longer"], [1.0, 2.0])
+    for line in out.splitlines()[1:]:
+        assert "  " in line
+
+
+def test_bar_chart_validates():
+    with pytest.raises(ValueError):
+        bar_chart("t", ["a"], [1.0, 2.0])
+
+
+def test_bar_chart_empty():
+    assert bar_chart("t", [], []) == "t"
+
+
+def test_bar_chart_flat_values():
+    out = bar_chart("t", ["a", "b"], [1.0, 1.0], baseline=1.0)
+    assert "#" not in out  # zero deltas, no bars

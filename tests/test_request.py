@@ -1,0 +1,68 @@
+"""Tests for repro.memsys.request."""
+
+import pytest
+
+from repro.memsys.request import AccessType, MemoryRequest
+
+
+def test_line_addr_strips_offset():
+    req = MemoryRequest(address=0x1234, cycle=0)
+    assert req.line_addr == 0x1234 >> 6
+    req2 = MemoryRequest(address=0x123F, cycle=0)
+    assert req2.line_addr == req.line_addr  # same 64B line
+
+
+def test_default_request_is_non_replay_load():
+    req = MemoryRequest(address=0x1000, cycle=5)
+    assert req.access_type is AccessType.LOAD
+    assert not req.is_replay
+    assert req.category() == "non_replay"
+    assert req.is_demand_data
+    assert not req.is_translation
+
+
+def test_replay_category():
+    req = MemoryRequest(address=0x1000, cycle=0, is_replay=True)
+    assert req.category() == "replay"
+
+
+def test_store_is_demand_data():
+    req = MemoryRequest(address=0x1000, cycle=0,
+                        access_type=AccessType.STORE, is_replay=True)
+    assert req.is_demand_data
+    assert req.category() == "replay"
+
+
+def test_translation_category_and_leaf():
+    req = MemoryRequest(address=0x2000, cycle=0,
+                        access_type=AccessType.TRANSLATION, pt_level=3)
+    assert req.category() == "translation"
+    assert req.is_translation
+    assert not req.is_leaf_translation
+    assert not req.is_demand_data
+
+    leaf = MemoryRequest(address=0x2000, cycle=0,
+                         access_type=AccessType.TRANSLATION, pt_level=1)
+    assert leaf.is_leaf_translation
+
+
+def test_translation_outranks_replay_flag():
+    # A PTE read during a replay-causing walk is a translation, not a replay.
+    req = MemoryRequest(address=0x2000, cycle=0,
+                        access_type=AccessType.TRANSLATION, pt_level=1,
+                        is_replay=True)
+    assert req.category() == "translation"
+
+
+def test_prefetch_and_writeback_categories():
+    assert MemoryRequest(address=0, cycle=0,
+                         access_type=AccessType.PREFETCH).category() == "prefetch"
+    assert MemoryRequest(address=0, cycle=0,
+                         access_type=AccessType.WRITEBACK).category() == "writeback"
+
+
+def test_replay_line_addr_carried_on_leaf():
+    req = MemoryRequest(address=0x2000, cycle=0,
+                        access_type=AccessType.TRANSLATION, pt_level=1,
+                        replay_line_addr=0xABCD)
+    assert req.replay_line_addr == 0xABCD

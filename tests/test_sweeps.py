@@ -1,0 +1,38 @@
+"""Tests for the sensitivity-sweep experiment functions."""
+
+import pytest
+
+from repro.experiments.sweeps import (fig19_stlb_sensitivity,
+                                      fig20_l2c_sensitivity,
+                                      fig21_llc_sensitivity,
+                                      psc_sensitivity)
+
+TINY = dict(benchmarks=["pr"], instructions=3000, warmup=800)
+
+
+def test_stlb_sweep_shape():
+    res = fig19_stlb_sensitivity(points=(1024, 4096), **TINY)
+    assert set(res.data) == {1024, 4096}
+    assert "pr" in res.data[1024]
+    assert "gmean" in res.data[1024]
+
+
+def test_l2c_sweep_uses_latency_table():
+    res = fig20_l2c_sensitivity(points=(256 * 1024, 1024 * 1024), **TINY)
+    assert len(res.rows) == 2
+
+
+def test_llc_sweep_shape():
+    res = fig21_llc_sensitivity(points=(1 << 20, 8 << 20), **TINY)
+    assert all(isinstance(v, float) for v in
+               (res.data[1 << 20]["pr"], res.data[8 << 20]["pr"]))
+
+
+def test_psc_sweep_monotone_walk_latency():
+    """More PSC capacity must not lengthen walks."""
+    res = psc_sensitivity(benchmarks=["pr"], instructions=6000, warmup=1500)
+    d = res.data["pr"]
+    assert d["no_psc"]["walk_latency"] >= d["table1"]["walk_latency"] - 1
+    assert d["table1"]["walk_latency"] >= d["4x"]["walk_latency"] - 1
+    # Walks take at least one cache access even with perfect PSCs.
+    assert d["4x"]["walk_latency"] > 5

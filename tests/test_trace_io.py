@@ -1,0 +1,44 @@
+"""Tests for trace save/load."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.io import FORMAT_VERSION, load_trace, save_trace
+from repro.workloads.registry import make_trace
+
+
+def test_roundtrip(tmp_path):
+    trace = make_trace("pr", 2000, seed=5)
+    path = tmp_path / "pr.npz"
+    save_trace(trace, path)
+    loaded = load_trace(path)
+    assert loaded.name == "pr"
+    assert np.array_equal(loaded.ips, trace.ips)
+    assert np.array_equal(loaded.kinds, trace.kinds)
+    assert np.array_equal(loaded.addrs, trace.addrs)
+
+
+def test_loaded_trace_simulates_identically(tmp_path):
+    from repro.core.ooo_core import OOOCore
+    from repro.params import default_config
+    from repro.uncore.hierarchy import MemoryHierarchy
+
+    trace = make_trace("tc", 3000, seed=2)
+    path = tmp_path / "tc.npz"
+    save_trace(trace, path)
+    loaded = load_trace(path)
+
+    cfg = default_config()
+    a = OOOCore(cfg, MemoryHierarchy(cfg)).run(trace, warmup=500)
+    b = OOOCore(cfg, MemoryHierarchy(cfg)).run(loaded, warmup=500)
+    assert a.cycles == b.cycles
+
+
+def test_version_check(tmp_path):
+    trace = make_trace("tc", 100)
+    path = tmp_path / "t.npz"
+    np.savez_compressed(path, version=np.int64(FORMAT_VERSION + 1),
+                        name=np.bytes_(b"t"), ips=trace.ips,
+                        kinds=trace.kinds, addrs=trace.addrs)
+    with pytest.raises(ValueError):
+        load_trace(path)

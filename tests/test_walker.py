@@ -1,0 +1,89 @@
+"""Tests for the page-table walker."""
+
+import pytest
+
+from repro.memsys.request import AccessType
+from repro.params import LINE_SHIFT, PAGE_SHIFT, PSCConfig
+from repro.vm.address import make_va
+from repro.vm.page_table import PageTable
+from repro.vm.psc import PagingStructureCaches
+from repro.vm.walker import PageTableWalker
+
+
+class FlatMemory:
+    """Fixed-latency 'cache' that records every PTE read."""
+
+    def __init__(self, latency=10):
+        self.latency = latency
+        self.requests = []
+
+    def access(self, req):
+        self.requests.append(req)
+        req.served_by = "L1D"
+        return req.cycle + self.latency
+
+
+def make_walker():
+    pt = PageTable()
+    psc = PagingStructureCaches(PSCConfig())
+    mem = FlatMemory()
+    return PageTableWalker(pt, psc, mem), pt, psc, mem
+
+
+def test_cold_walk_reads_five_levels_serially():
+    walker, pt, psc, mem = make_walker()
+    result = walker.walk(make_va([1, 2, 3, 4, 5], 0x88), cycle=0)
+    assert result.levels_walked == 5
+    assert result.psc_hit_level == 0
+    # PSC probe (1 cycle) + five dependent 10-cycle reads.
+    assert result.done_cycle == 1 + 5 * 10
+    assert [r.pt_level for r in mem.requests] == [5, 4, 3, 2, 1]
+    assert all(r.access_type is AccessType.TRANSLATION
+               for r in mem.requests)
+
+
+def test_leaf_read_carries_replay_line():
+    walker, pt, psc, mem = make_walker()
+    va = make_va([1, 2, 3, 4, 5], 0x88)
+    result = walker.walk(va, cycle=0)
+    leaf = mem.requests[-1]
+    expected = ((result.pfn << PAGE_SHIFT) | 0x88) >> LINE_SHIFT
+    assert leaf.replay_line_addr == expected
+    assert mem.requests[0].replay_line_addr is None
+
+
+def test_second_walk_uses_psc():
+    walker, pt, psc, mem = make_walker()
+    va = make_va([1, 2, 3, 4, 5])
+    walker.walk(va, cycle=0)
+    mem.requests.clear()
+    # Same page path: PSCL2 now holds the walk-through-level-2 outcome.
+    result = walker.walk(make_va([1, 2, 3, 4, 6]), cycle=100)
+    assert result.psc_hit_level == 2
+    assert result.levels_walked == 1
+    assert [r.pt_level for r in mem.requests] == [1]
+    assert result.done_cycle == 100 + 1 + 10
+
+
+def test_partial_psc_hit_resumes_mid_walk():
+    walker, pt, psc, mem = make_walker()
+    walker.walk(make_va([1, 2, 3, 4, 5]), cycle=0)
+    # A VA sharing only the level-5..4 path: PSCL4 should hit.
+    mem.requests.clear()
+    result = walker.walk(make_va([1, 2, 9, 8, 7]), cycle=0)
+    assert result.psc_hit_level == 4
+    assert [r.pt_level for r in mem.requests] == [3, 2, 1]
+
+
+def test_leaf_served_by_propagates():
+    walker, _, _, mem = make_walker()
+    result = walker.walk(make_va([1, 2, 3, 4, 5]), cycle=0)
+    assert result.leaf_served_by == "L1D"
+
+
+def test_walk_counts():
+    walker, _, _, _ = make_walker()
+    walker.walk(make_va([1, 2, 3, 4, 5]), cycle=0)
+    walker.walk(make_va([1, 2, 3, 4, 6]), cycle=50)
+    assert walker.walks == 2
+    assert walker.pte_reads == 6  # 5 cold + 1 via PSCL2

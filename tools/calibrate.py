@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Workload calibration report.
+
+Prints, for every Table II benchmark: the measured STLB / L2C / LLC
+MPKIs next to the paper's reference values, the trace-level working-set
+statistics that drive them, and flags any benchmark that has drifted
+out of its band.  Run after touching the workload generators.
+
+Usage::
+
+    python tools/calibrate.py [--instructions N] [--warmup N]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.experiments.runner import run_benchmark
+from repro.params import default_config
+from repro.stats.report import format_table
+from repro.workloads.analysis import summarize
+from repro.workloads.registry import (TABLE2_REFERENCE, benchmark_names,
+                                      categorize, make_trace)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--instructions", type=int, default=60_000)
+    parser.add_argument("--warmup", type=int, default=15_000)
+    args = parser.parse_args(argv)
+
+    cfg = default_config()
+    rows, ws_rows, drifted = [], [], []
+    for name in benchmark_names():
+        run = run_benchmark(name, instructions=args.instructions,
+                            warmup=args.warmup)
+        ref = TABLE2_REFERENCE[name]
+        measured_cat = categorize(run.stlb_mpki)
+        ref_cat = categorize(ref["stlb"])
+        status = "ok" if measured_cat == ref_cat else "DRIFTED"
+        if status != "ok":
+            drifted.append(name)
+        rows.append([name, run.stlb_mpki, ref["stlb"], measured_cat,
+                     run.cache_mpki("l2c", "replay"),
+                     run.cache_mpki("l2c", "non_replay"),
+                     run.leaf_mpki("llc"), status])
+
+        trace = make_trace(name, args.instructions)
+        stats = summarize(trace, stlb_entries=cfg.stlb.entries)
+        ws_rows.append([name, stats["loads_per_kilo"], stats["pages"],
+                        stats["leaf_pte_lines"],
+                        stats["stlb_reach_ratio"]])
+
+    print(format_table(
+        "Calibration vs Table II (reduced scale)",
+        ["benchmark", "STLB", "STLB(ref)", "band", "L2C R", "L2C NR",
+         "LLC PTL1", "status"], rows))
+    print()
+    print(format_table(
+        "Trace working sets",
+        ["benchmark", "loads/KI", "pages", "PTE lines", "reach ratio"],
+        ws_rows))
+    if drifted:
+        print(f"\nDRIFTED: {', '.join(drifted)}")
+        return 1
+    print("\nAll benchmarks within their Table II bands.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
