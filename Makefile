@@ -1,6 +1,6 @@
 # Convenience targets for the reproduction repo.
 
-.PHONY: install test bench figures calibrate all
+.PHONY: install test bench figures figures-fast calibrate all
 
 install:
 	pip install -e . --no-build-isolation
@@ -13,6 +13,12 @@ bench:
 
 figures:
 	python examples/regenerate_experiments.py EXPERIMENTS.md
+
+# Figs 1/4/14 through the parallel, memoised runner at test scale
+# (smoke-tests the whole figure path in well under a minute).
+figures-fast:
+	PYTHONPATH=src python -m repro figure fig1 fig4 fig14 \
+		--jobs 4 --instructions 20000 --warmup 4000 --verbose
 
 calibrate:
 	python tools/calibrate.py

@@ -4,7 +4,12 @@ Subcommands::
 
     python -m repro run pr --enhancements full       # one simulation
     python -m repro figure fig14                     # regenerate a figure
+    python -m repro figure fig1 fig4 fig14 --jobs 8  # parallel + memoised
     python -m repro list                             # what's available
+
+``figure`` fans independent runs out over ``--jobs`` worker processes
+and memoises results under ``~/.cache/repro-runs`` (``--no-cache`` to
+disable; the cache auto-invalidates when the simulator code changes).
 """
 
 from __future__ import annotations
@@ -88,12 +93,28 @@ def _cmd_run(args) -> int:
     return 0
 
 
+def _progress(event) -> None:
+    tag = "cache" if event.source == "cache" else f"{event.wall_time:.1f}s"
+    print(f"  [{event.done}/{event.total}] {event.key.benchmark} "
+          f"cfg={event.key.config_hash[:8]} ({tag})", file=sys.stderr)
+
+
 def _cmd_figure(args) -> int:
-    fn = FIGURES[args.name]
-    kwargs = {"instructions": args.instructions, "warmup": args.warmup}
-    if args.benchmarks and args.name not in ("fig17", "multicore"):
-        kwargs["benchmarks"] = args.benchmarks
-    print(fn(**kwargs))
+    from repro.experiments import parallel
+
+    runner = parallel.configure(jobs=args.jobs,
+                                use_cache=not args.no_cache,
+                                progress=_progress if args.verbose else None)
+    for name in args.names:
+        fn = FIGURES[name]
+        kwargs = {"instructions": args.instructions, "warmup": args.warmup}
+        if args.benchmarks and name not in ("fig17", "multicore"):
+            kwargs["benchmarks"] = args.benchmarks
+        print(fn(**kwargs))
+    m = runner.metrics
+    print(f"runs: {m.executed} executed, {m.cache_hits} from cache, "
+          f"{m.retries} retried, {m.total_wall_time:.1f}s simulated",
+          file=sys.stderr)
     return 0
 
 
@@ -122,12 +143,20 @@ def main(argv=None) -> int:
     p_run.add_argument("--scale", type=int, default=DEFAULT_SCALE)
     p_run.set_defaults(func=_cmd_run)
 
-    p_fig = sub.add_parser("figure", help="regenerate a paper figure")
-    p_fig.add_argument("name", choices=sorted(FIGURES))
+    p_fig = sub.add_parser("figure", help="regenerate paper figures")
+    p_fig.add_argument("names", nargs="+", choices=sorted(FIGURES),
+                       metavar="name")
     p_fig.add_argument("--benchmarks", nargs="*", default=None)
     p_fig.add_argument("--instructions", type=int,
                        default=DEFAULT_INSTRUCTIONS)
     p_fig.add_argument("--warmup", type=int, default=DEFAULT_WARMUP)
+    p_fig.add_argument("--jobs", type=int, default=1,
+                       help="worker processes for independent runs")
+    p_fig.add_argument("--no-cache", action="store_true",
+                       help="skip the on-disk result memo "
+                            "(~/.cache/repro-runs)")
+    p_fig.add_argument("--verbose", action="store_true",
+                       help="per-run progress on stderr")
     p_fig.set_defaults(func=_cmd_figure)
 
     p_list = sub.add_parser("list", help="list benchmarks and figures")

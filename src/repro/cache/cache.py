@@ -292,9 +292,12 @@ class Cache:
         self.stats = CacheStats(self.name)
         self.writebacks_issued = 0
         self.prefetches_dropped = 0
+        self.fills_bypassed = 0
+        self.back_invalidations = 0
         self.mshr.merges = 0
         self.mshr.allocations = 0
         self.mshr.peak_occupancy = 0
+        self.mshr.admission_stall_cycles = 0
         if self.recall_translation is not None:
             self.recall_translation = RecallTracker(f"{self.name}/translation")
             self.recall_replay = RecallTracker(f"{self.name}/replay")

@@ -13,9 +13,9 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence
 
-from repro.experiments.figures import FigureResult
-from repro.experiments.runner import (DEFAULT_INSTRUCTIONS, DEFAULT_WARMUP,
-                                      run_benchmark)
+from repro.experiments.figures import FigureResult, _run_grid
+from repro.experiments.parallel import RunKey
+from repro.experiments.runner import DEFAULT_INSTRUCTIONS, DEFAULT_WARMUP
 from repro.params import DEFAULT_SCALE, EnhancementConfig, default_config
 from repro.stats.report import geometric_mean
 from repro.workloads.registry import benchmark_names
@@ -37,19 +37,22 @@ def single_mechanism_ablation(benchmarks: Optional[Sequence[str]] = None,
                               scale: int = DEFAULT_SCALE) -> FigureResult:
     """Speedup of each mechanism alone vs the shared baseline."""
     names = list(benchmarks) if benchmarks else benchmark_names()
-    base = {name: run_benchmark(name, instructions=instructions,
-                                warmup=warmup, scale=scale)
-            for name in names}
+    specs = {(name, "base"): RunKey.make(name, None, instructions, warmup,
+                                         scale)
+             for name in names}
+    for name in names:
+        for label, enh in ABLATION_VARIANTS.items():
+            cfg = default_config(scale).replace(enhancements=enh)
+            specs[(name, label)] = RunKey.make(name, cfg, instructions,
+                                               warmup, scale)
+    runs = _run_grid(specs)
     rows, data = [], {}
     speedups: Dict[str, List[float]] = {v: [] for v in ABLATION_VARIANTS}
     for name in names:
         row = [name]
         data[name] = {}
-        for label, enh in ABLATION_VARIANTS.items():
-            cfg = default_config(scale).replace(enhancements=enh)
-            run = run_benchmark(name, config=cfg, instructions=instructions,
-                                warmup=warmup, scale=scale)
-            sp = run.speedup_over(base[name])
+        for label in ABLATION_VARIANTS:
+            sp = runs[(name, label)].speedup_over(runs[(name, "base")])
             row.append(sp)
             data[name][label] = sp
             speedups[label].append(sp)
@@ -73,19 +76,20 @@ def atp_trigger_placement(benchmarks: Optional[Sequence[str]] = None,
     size (Fig 21 discussion).
     """
     names = list(benchmarks) if benchmarks else benchmark_names()
+    cfg = default_config(scale).replace(
+        enhancements=EnhancementConfig.full())
+    runs = _run_grid({name: RunKey.make(name, cfg, instructions, warmup,
+                                        scale)
+                      for name in names})
     rows, data = [], {}
     for name in names:
-        cfg = default_config(scale).replace(
-            enhancements=EnhancementConfig.full())
-        run = run_benchmark(name, config=cfg, instructions=instructions,
-                            warmup=warmup, scale=scale)
-        atp = run.hierarchy.atp
-        tempo = run.hierarchy.tempo
-        total = max(1, atp.triggered + tempo.triggered)
-        rows.append([name, atp.triggered_l2c, atp.triggered_llc,
-                     tempo.triggered, atp.triggered_l2c / total])
-        data[name] = {"l2c": atp.triggered_l2c, "llc": atp.triggered_llc,
-                      "tempo": tempo.triggered}
+        run = runs[name]
+        total = max(1, run.atp_triggered + run.tempo_triggered)
+        rows.append([name, run.atp_triggered_l2c, run.atp_triggered_llc,
+                     run.tempo_triggered, run.atp_triggered_l2c / total])
+        data[name] = {"l2c": run.atp_triggered_l2c,
+                      "llc": run.atp_triggered_llc,
+                      "tempo": run.tempo_triggered}
     return FigureResult(
         "Ablation", "Replay-prefetch trigger placement (full config)",
         ["benchmark", "ATP @ L2C", "ATP @ LLC", "TEMPO @ DRAM",

@@ -13,18 +13,16 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence
 
-from repro.experiments.figures import FigureResult
-from repro.experiments.runner import (DEFAULT_INSTRUCTIONS, DEFAULT_WARMUP,
-                                      run_benchmark)
+from repro.experiments.figures import FigureResult, _run_grid
+from repro.experiments.parallel import RunKey
+from repro.experiments.runner import DEFAULT_INSTRUCTIONS, DEFAULT_WARMUP
 from repro.params import DEFAULT_SCALE, EnhancementConfig, default_config
 from repro.workloads.registry import benchmark_names
 
 
 def _useful_and_filled(run, levels: Sequence[str]):
-    useful = sum(getattr(run.hierarchy, lvl).stats.prefetch_useful
-                 for lvl in levels)
-    filled = sum(getattr(run.hierarchy, lvl).stats.prefetch_fills
-                 for lvl in levels)
+    useful = sum(run.prefetch_useful(lvl) for lvl in levels)
+    filled = sum(run.prefetch_fills(lvl) for lvl in levels)
     return useful, filled
 
 
@@ -46,6 +44,13 @@ def prefetch_accuracy(benchmarks: Optional[Sequence[str]] = None,
             t_drrip=True, t_llc=True, new_signatures=True, atp=True)),
             ("l2c", "llc")),
     }
+    specs = {}
+    for name in names:
+        for label, (overrides, levels) in variants.items():
+            cfg = default_config(scale).replace(**overrides)
+            specs[(name, label)] = RunKey.make(name, cfg, instructions,
+                                               warmup, scale)
+    runs = _run_grid(specs)
     rows: List[List] = []
     data: Dict = {}
     totals = {v: [0, 0] for v in variants}
@@ -53,15 +58,13 @@ def prefetch_accuracy(benchmarks: Optional[Sequence[str]] = None,
         row = [name]
         data[name] = {}
         for label, (overrides, levels) in variants.items():
-            cfg = default_config(scale).replace(**overrides)
-            run = run_benchmark(name, config=cfg, instructions=instructions,
-                                warmup=warmup, scale=scale)
+            run = runs[(name, label)]
             useful, filled = _useful_and_filled(run, levels)
             if label == "atp":
                 # Each trigger targets exactly one block at one level;
                 # the passthrough LLC copy of an L2C-targeted prefetch is
                 # not a prediction.  Consumed triggers / triggers.
-                filled = run.hierarchy.atp.triggered
+                filled = run.atp_triggered
             accuracy = min(1.0, useful / filled) if filled else 0.0
             row.append(accuracy)
             data[name][label] = {"useful": useful, "filled": filled,

@@ -14,9 +14,9 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence
 
-from repro.experiments.figures import FigureResult
-from repro.experiments.runner import (DEFAULT_INSTRUCTIONS, DEFAULT_WARMUP,
-                                      run_benchmark)
+from repro.experiments.figures import FigureResult, _run_grid
+from repro.experiments.parallel import RunKey
+from repro.experiments.runner import DEFAULT_INSTRUCTIONS, DEFAULT_WARMUP
 from repro.params import DEFAULT_SCALE, EnhancementConfig, default_config
 from repro.stats.report import geometric_mean
 from repro.workloads.registry import benchmark_names
@@ -35,20 +35,24 @@ def adaptive_tdrrip_study(benchmarks: Optional[Sequence[str]] = None,
     value is insurance, not speedup.
     """
     names = list(benchmarks) if benchmarks else benchmark_names()
-    rows, data = [], {}
-    speedups = {"static": [], "adaptive": []}
+    specs = {}
     for name in names:
-        base = run_benchmark(name, instructions=instructions,
-                             warmup=warmup, scale=scale)
-        row = [name]
-        data[name] = {}
+        specs[(name, "base")] = RunKey.make(name, None, instructions,
+                                            warmup, scale)
         for label, policy in (("static", "t_drrip"),
                               ("adaptive", "t_drrip_adaptive")):
             cfg = default_config(scale)
             cfg.l2c.replacement = policy
-            run = run_benchmark(name, config=cfg, instructions=instructions,
-                                warmup=warmup, scale=scale)
-            sp = run.speedup_over(base)
+            specs[(name, label)] = RunKey.make(name, cfg, instructions,
+                                               warmup, scale)
+    runs = _run_grid(specs)
+    rows, data = [], {}
+    speedups = {"static": [], "adaptive": []}
+    for name in names:
+        row = [name]
+        data[name] = {}
+        for label in ("static", "adaptive"):
+            sp = runs[(name, label)].speedup_over(runs[(name, "base")])
             row.append(sp)
             data[name][label] = sp
             speedups[label].append(sp)
@@ -70,23 +74,27 @@ def huge_page_study(benchmarks: Optional[Sequence[str]] = None,
     4KB/2MB STLB MPKIs are reported alongside.
     """
     names = list(benchmarks) if benchmarks else benchmark_names()
+    variant_cfgs = {
+        "4K+enh": ("none", EnhancementConfig.full()),
+        "2M": ("gather_region", EnhancementConfig.none()),
+        "2M+enh": ("gather_region", EnhancementConfig.full()),
+    }
+    specs = {}
+    for name in names:
+        specs[(name, "base")] = RunKey.make(name, None, instructions,
+                                            warmup, scale)
+        for label, (huge, enh) in variant_cfgs.items():
+            cfg = default_config(scale).replace(huge_page_policy=huge,
+                                                enhancements=enh)
+            specs[(name, label)] = RunKey.make(name, cfg, instructions,
+                                               warmup, scale)
+    runs = _run_grid(specs)
     rows: List[List] = []
     data: Dict = {}
     speedup_cols = {"4K+enh": [], "2M": [], "2M+enh": []}
     for name in names:
-        base = run_benchmark(name, instructions=instructions,
-                             warmup=warmup, scale=scale)
-        variants = {}
-        for label, (huge, enh) in {
-                "4K+enh": ("none", EnhancementConfig.full()),
-                "2M": ("gather_region", EnhancementConfig.none()),
-                "2M+enh": ("gather_region", EnhancementConfig.full()),
-        }.items():
-            cfg = default_config(scale).replace(huge_page_policy=huge,
-                                                enhancements=enh)
-            variants[label] = run_benchmark(name, config=cfg,
-                                            instructions=instructions,
-                                            warmup=warmup, scale=scale)
+        base = runs[(name, "base")]
+        variants = {label: runs[(name, label)] for label in variant_cfgs}
         row = [name, base.stlb_mpki, variants["2M"].stlb_mpki]
         data[name] = {"stlb_4k": base.stlb_mpki,
                       "stlb_2m": variants["2M"].stlb_mpki}

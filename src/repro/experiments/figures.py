@@ -14,8 +14,8 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 from repro.core.rob import StallCategory
-from repro.experiments.runner import (DEFAULT_INSTRUCTIONS, DEFAULT_WARMUP,
-                                      RunResult, run_benchmark)
+from repro.experiments.parallel import RunKey, RunSummary, run_many
+from repro.experiments.runner import DEFAULT_INSTRUCTIONS, DEFAULT_WARMUP
 from repro.params import (DEFAULT_SCALE, EnhancementConfig, IdealConfig,
                           SimConfig, default_config)
 from repro.stats.recall import RECALL_BUCKETS
@@ -68,11 +68,24 @@ def _benchmarks(benchmarks: Optional[Sequence[str]]) -> List[str]:
 
 def _run_all(benchmarks: Sequence[str], config: Optional[SimConfig],
              instructions: int, warmup: int, scale: int,
-             seed: int = 1) -> Dict[str, RunResult]:
-    return {name: run_benchmark(name, config=config,
-                                instructions=instructions, warmup=warmup,
-                                scale=scale, seed=seed)
+             seed: int = 1) -> Dict[str, RunSummary]:
+    """Simulate every benchmark under one config (parallel, memoised)."""
+    keys = {name: RunKey.make(name, config, instructions, warmup, scale,
+                              seed)
             for name in benchmarks}
+    results = run_many(keys.values())
+    return {name: results[key] for name, key in keys.items()}
+
+
+def _run_grid(specs: Dict) -> Dict:
+    """Simulate a labelled grid of runs in one parallel batch.
+
+    ``specs`` maps an arbitrary hashable label to a :class:`RunKey`;
+    returns ``{label: RunSummary}``.  Duplicate keys (e.g. a shared
+    baseline) are simulated once.
+    """
+    results = run_many(specs.values())
+    return {label: results[key] for label, key in specs.items()}
 
 
 # ----------------------------------------------------------------------
@@ -139,17 +152,22 @@ def fig2_ideal(benchmarks: Optional[Sequence[str]] = None,
     replay loads (R) and both (TR)."""
     names = _benchmarks(benchmarks)
     mode_names = list(modes) if modes else list(_IDEAL_MODES)
-    base_runs = _run_all(names, None, instructions, warmup, scale)
+    specs = {(name, "base"): RunKey.make(name, None, instructions, warmup,
+                                         scale)
+             for name in names}
+    for name in names:
+        for mode in mode_names:
+            cfg = default_config(scale).replace(ideal=_IDEAL_MODES[mode])
+            specs[(name, mode)] = RunKey.make(name, cfg, instructions,
+                                              warmup, scale)
+    runs = _run_grid(specs)
     rows, data = [], {}
     speedups_by_mode: Dict[str, List[float]] = {m: [] for m in mode_names}
     for name in names:
         row = [name]
         data[name] = {}
         for mode in mode_names:
-            cfg = default_config(scale).replace(ideal=_IDEAL_MODES[mode])
-            run = run_benchmark(name, config=cfg, instructions=instructions,
-                                warmup=warmup, scale=scale)
-            sp = run.speedup_over(base_runs[name])
+            sp = runs[(name, mode)].speedup_over(runs[(name, "base")])
             row.append(sp)
             data[name][mode] = sp
             speedups_by_mode[mode].append(sp)
@@ -177,9 +195,8 @@ def fig3_response_distribution(benchmarks: Optional[Sequence[str]] = None,
     sums = {"T": {lvl: 0.0 for lvl in ("L1D", "L2C", "LLC", "DRAM")},
             "R": {lvl: 0.0 for lvl in ("L1D", "L2C", "LLC", "DRAM")}}
     for name in names:
-        dist = runs[name].hierarchy.response_distribution
-        t = dist.fractions("translation")
-        r = dist.fractions("replay")
+        t = runs[name].response_fractions("translation")
+        r = runs[name].response_fractions("replay")
         rows.append([name, t["L1D"], t["L2C"], t["LLC"], t["DRAM"],
                      r["L1D"], r["L2C"], r["LLC"], r["DRAM"]])
         data[name] = {"translation": t, "replay": r}
@@ -211,17 +228,22 @@ def _policy_mpki_figure(figure: str, title: str, metric: str,
                         instructions: int, warmup: int, scale: int,
                         policies: Sequence[str]) -> FigureResult:
     names = _benchmarks(benchmarks)
+    specs = {}
+    for name in names:
+        for policy in policies:
+            cfg = default_config(scale)
+            cfg = cfg.replace(llc=cfg.llc.scaled(1))
+            cfg.llc.replacement = policy
+            specs[(name, policy)] = RunKey.make(name, cfg, instructions,
+                                                warmup, scale)
+    runs = _run_grid(specs)
     rows, data = [], {}
     totals = {p: 0.0 for p in policies}
     for name in names:
         row = [name]
         data[name] = {}
         for policy in policies:
-            cfg = default_config(scale)
-            cfg = cfg.replace(llc=cfg.llc.scaled(1))
-            cfg.llc.replacement = policy
-            run = run_benchmark(name, config=cfg, instructions=instructions,
-                                warmup=warmup, scale=scale)
+            run = runs[(name, policy)]
             mpki = (run.leaf_mpki("llc") if metric == "ptl1"
                     else run.cache_mpki("llc", metric))
             row.append(mpki)
@@ -271,21 +293,16 @@ def _recall_figure(figure: str, title: str, kind: str,
     bucket_labels = [f"<={b}" for b in RECALL_BUCKETS] + [">50"]
     rows, data = [], {}
     for name in names:
-        h = runs[name].hierarchy
         if kind == "stlb":
-            trackers = {"STLB": h.mmu.stlb.recall}
-        elif kind == "translation":
-            trackers = {"LLC": h.llc.recall_translation,
-                        "L2C": h.l2c.recall_translation}
+            trackers = {"STLB": runs[name].recall_data("stlb")}
         else:
-            trackers = {"LLC": h.llc.recall_replay,
-                        "L2C": h.l2c.recall_replay}
+            trackers = {"LLC": runs[name].recall_data("llc", kind),
+                        "L2C": runs[name].recall_data("l2c", kind)}
         data[name] = {}
-        for where, tracker in trackers.items():
-            tracker.flush()
-            cdf = tracker.cdf()
+        for where, tracked in trackers.items():
+            cdf = tracked["cdf"]
             rows.append([name, where] + cdf)
-            data[name][where] = {"cdf": cdf, "samples": tracker.samples}
+            data[name][where] = {"cdf": cdf, "samples": tracked["samples"]}
     return FigureResult(figure, title, ["benchmark", "at"] + bucket_labels,
                         rows, data)
 
@@ -332,20 +349,24 @@ def fig8_prefetcher_replay_mpki(benchmarks: Optional[Sequence[str]] = None,
                                 ) -> FigureResult:
     """LLC replay-load MPKI with and without data prefetchers."""
     names = _benchmarks(benchmarks)
-    rows, data = [], {}
-    totals = {p: 0.0 for p in prefetchers}
+    specs = {}
     for name in names:
-        row = [name]
-        data[name] = {}
         for pf in prefetchers:
             cfg = default_config(scale)
             if pf == "ipcp":
                 cfg = cfg.replace(l1d_prefetcher="ipcp")
             elif pf != "none":
                 cfg = cfg.replace(l2c_prefetcher=pf)
-            run = run_benchmark(name, config=cfg, instructions=instructions,
-                                warmup=warmup, scale=scale)
-            mpki = run.cache_mpki("llc", "replay")
+            specs[(name, pf)] = RunKey.make(name, cfg, instructions,
+                                            warmup, scale)
+    runs = _run_grid(specs)
+    rows, data = [], {}
+    totals = {p: 0.0 for p in prefetchers}
+    for name in names:
+        row = [name]
+        data[name] = {}
+        for pf in prefetchers:
+            mpki = runs[(name, pf)].cache_mpki("llc", "replay")
             row.append(mpki)
             data[name][pf] = mpki
             totals[pf] += mpki
@@ -367,17 +388,21 @@ def fig10_replay_rrpv0_degradation(benchmarks: Optional[Sequence[str]] = None,
     """Performance when both translations AND replays insert at RRPV=0
     (normalized to baseline; the paper shows degradation)."""
     names = _benchmarks(benchmarks)
-    base = _run_all(names, None, instructions, warmup, scale)
+    cfg = default_config(scale).replace(
+        enhancements=EnhancementConfig(t_drrip=True, t_llc=True,
+                                       new_signatures=True,
+                                       replay_rrpv0=True))
+    specs = {}
+    for name in names:
+        specs[(name, "base")] = RunKey.make(name, None, instructions,
+                                            warmup, scale)
+        specs[(name, "rrpv0")] = RunKey.make(name, cfg, instructions,
+                                             warmup, scale)
+    runs = _run_grid(specs)
     rows, data = [], {}
     speedups = []
     for name in names:
-        cfg = default_config(scale).replace(
-            enhancements=EnhancementConfig(t_drrip=True, t_llc=True,
-                                           new_signatures=True,
-                                           replay_rrpv0=True))
-        run = run_benchmark(name, config=cfg, instructions=instructions,
-                            warmup=warmup, scale=scale)
-        sp = run.speedup_over(base[name])
+        sp = runs[(name, "rrpv0")].speedup_over(runs[(name, "base")])
         rows.append([name, sp])
         data[name] = sp
         speedups.append(sp)
@@ -405,16 +430,20 @@ def fig12_newsign_mpki(benchmarks: Optional[Sequence[str]] = None,
         "t_ship": EnhancementConfig(t_drrip=True, t_llc=True,
                                     new_signatures=True),
     }
+    specs = {}
+    for name in names:
+        for label, enh in variants.items():
+            cfg = default_config(scale).replace(enhancements=enh)
+            specs[(name, label)] = RunKey.make(name, cfg, instructions,
+                                               warmup, scale)
+    runs = _run_grid(specs)
     rows, data = [], {}
     totals = {v: 0.0 for v in variants}
     for name in names:
         row = [name]
         data[name] = {}
-        for label, enh in variants.items():
-            cfg = default_config(scale).replace(enhancements=enh)
-            run = run_benchmark(name, config=cfg, instructions=instructions,
-                                warmup=warmup, scale=scale)
-            mpki = run.leaf_mpki("llc")
+        for label in variants:
+            mpki = runs[(name, label)].leaf_mpki("llc")
             row.append(mpki)
             data[name][label] = mpki
             totals[label] += mpki
@@ -448,19 +477,22 @@ def fig14_performance(benchmarks: Optional[Sequence[str]] = None,
     """Normalized performance of T-DRRIP -> +T-SHiP -> +ATP -> +TEMPO."""
     names = _benchmarks(benchmarks)
     base_cfg = base_config or default_config(scale)
-    base = {name: run_benchmark(name, config=base_cfg,
-                                instructions=instructions, warmup=warmup,
-                                scale=scale) for name in names}
+    specs = {(name, "base"): RunKey.make(name, base_cfg, instructions,
+                                         warmup, scale)
+             for name in names}
+    for name in names:
+        for label, enh in FIG14_VARIANTS.items():
+            cfg = base_cfg.replace(enhancements=enh)
+            specs[(name, label)] = RunKey.make(name, cfg, instructions,
+                                               warmup, scale)
+    runs = _run_grid(specs)
     rows, data = [], {}
     speedups = {v: [] for v in FIG14_VARIANTS}
     for name in names:
         row = [name]
         data[name] = {}
-        for label, enh in FIG14_VARIANTS.items():
-            cfg = base_cfg.replace(enhancements=enh)
-            run = run_benchmark(name, config=cfg, instructions=instructions,
-                                warmup=warmup, scale=scale)
-            sp = run.speedup_over(base[name])
+        for label in FIG14_VARIANTS:
+            sp = runs[(name, label)].speedup_over(runs[(name, "base")])
             row.append(sp)
             data[name][label] = sp
             speedups[label].append(sp)
@@ -486,24 +518,29 @@ def fig15_with_prefetchers(benchmarks: Optional[Sequence[str]] = None,
     """Normalized performance of the full enhancement stack on top of each
     prefetcher baseline."""
     names = _benchmarks(benchmarks)
-    rows, data = [], {}
-    speedups = {p: [] for p in prefetchers}
+    specs = {}
     for name in names:
-        row = [name]
-        data[name] = {}
         for pf in prefetchers:
             cfg = default_config(scale)
             if pf == "ipcp":
                 cfg = cfg.replace(l1d_prefetcher="ipcp")
             else:
                 cfg = cfg.replace(l2c_prefetcher=pf)
-            base = run_benchmark(name, config=cfg, instructions=instructions,
-                                 warmup=warmup, scale=scale)
             enh_cfg = cfg.replace(enhancements=EnhancementConfig.full())
-            enh = run_benchmark(name, config=enh_cfg,
-                                instructions=instructions, warmup=warmup,
-                                scale=scale)
-            sp = enh.speedup_over(base)
+            specs[(name, pf, "base")] = RunKey.make(name, cfg, instructions,
+                                                    warmup, scale)
+            specs[(name, pf, "enh")] = RunKey.make(name, enh_cfg,
+                                                   instructions, warmup,
+                                                   scale)
+    runs = _run_grid(specs)
+    rows, data = [], {}
+    speedups = {p: [] for p in prefetchers}
+    for name in names:
+        row = [name]
+        data[name] = {}
+        for pf in prefetchers:
+            sp = runs[(name, pf, "enh")].speedup_over(
+                runs[(name, pf, "base")])
             row.append(sp)
             data[name][pf] = sp
             speedups[pf].append(sp)
@@ -527,10 +564,17 @@ def fig16_stall_reduction(benchmarks: Optional[Sequence[str]] = None,
     """Reduction in head-of-ROB stall cycles due to STLB misses and replay
     requests with the full enhancement stack."""
     names = _benchmarks(benchmarks)
-    base = _run_all(names, None, instructions, warmup, scale)
     cfg = default_config(scale).replace(
         enhancements=EnhancementConfig.full())
-    enh = _run_all(names, cfg, instructions, warmup, scale)
+    specs = {}
+    for name in names:
+        specs[(name, "base")] = RunKey.make(name, None, instructions,
+                                            warmup, scale)
+        specs[(name, "enh")] = RunKey.make(name, cfg, instructions,
+                                           warmup, scale)
+    runs = _run_grid(specs)
+    base = {name: runs[(name, "base")] for name in names}
+    enh = {name: runs[(name, "enh")] for name in names}
     rows, data = [], {}
     t_reductions, r_reductions, tr_reductions = [], [], []
 

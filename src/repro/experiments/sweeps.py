@@ -11,9 +11,9 @@ from __future__ import annotations
 import dataclasses
 from typing import Dict, List, Optional, Sequence
 
-from repro.experiments.figures import FigureResult
-from repro.experiments.runner import (DEFAULT_INSTRUCTIONS, DEFAULT_WARMUP,
-                                      run_benchmark)
+from repro.experiments.figures import FigureResult, _run_grid
+from repro.experiments.parallel import RunKey
+from repro.experiments.runner import DEFAULT_INSTRUCTIONS, DEFAULT_WARMUP
 from repro.params import DEFAULT_SCALE, EnhancementConfig, default_config
 from repro.stats.report import geometric_mean
 from repro.workloads.registry import benchmark_names
@@ -33,6 +33,34 @@ def _sweep(figure: str, title: str, structure: str, points: Sequence[int],
            benchmarks: Optional[Sequence[str]], instructions: int,
            warmup: int, scale: int) -> FigureResult:
     names = list(benchmarks) if benchmarks else benchmark_names()
+
+    def point_config(point: int):
+        cfg = default_config(scale)
+        if structure == "stlb":
+            stlb = dataclasses.replace(cfg.stlb,
+                                       entries=max(cfg.stlb.ways,
+                                                   point // scale))
+            return cfg.replace(stlb=stlb)
+        if structure == "l2c":
+            l2c = dataclasses.replace(
+                cfg.l2c, size_bytes=max(64 * cfg.l2c.ways, point // scale),
+                latency=_L2C_LATENCY[point])
+            return cfg.replace(l2c=l2c)
+        llc = dataclasses.replace(
+            cfg.llc, size_bytes=max(64 * cfg.llc.ways, point // scale),
+            latency=_LLC_LATENCY[point])
+        return cfg.replace(llc=llc)
+
+    specs = {}
+    for point in points:
+        cfg = point_config(point)
+        enh_cfg = cfg.replace(enhancements=EnhancementConfig.full())
+        for name in names:
+            specs[(point, name, "base")] = RunKey.make(
+                name, cfg, instructions, warmup, scale)
+            specs[(point, name, "enh")] = RunKey.make(
+                name, enh_cfg, instructions, warmup, scale)
+    runs = _run_grid(specs)
     rows: List[List] = []
     data: Dict = {}
     gmeans = []
@@ -40,29 +68,8 @@ def _sweep(figure: str, title: str, structure: str, points: Sequence[int],
         speedups = []
         data[point] = {}
         for name in names:
-            cfg = default_config(scale)
-            if structure == "stlb":
-                stlb = dataclasses.replace(cfg.stlb,
-                                           entries=max(cfg.stlb.ways,
-                                                       point // scale))
-                cfg = cfg.replace(stlb=stlb)
-            elif structure == "l2c":
-                l2c = dataclasses.replace(
-                    cfg.l2c, size_bytes=max(64 * cfg.l2c.ways, point // scale),
-                    latency=_L2C_LATENCY[point])
-                cfg = cfg.replace(l2c=l2c)
-            else:
-                llc = dataclasses.replace(
-                    cfg.llc, size_bytes=max(64 * cfg.llc.ways, point // scale),
-                    latency=_LLC_LATENCY[point])
-                cfg = cfg.replace(llc=llc)
-            base = run_benchmark(name, config=cfg, instructions=instructions,
-                                 warmup=warmup, scale=scale)
-            enh_cfg = cfg.replace(enhancements=EnhancementConfig.full())
-            enh = run_benchmark(name, config=enh_cfg,
-                                instructions=instructions, warmup=warmup,
-                                scale=scale)
-            sp = enh.speedup_over(base)
+            sp = runs[(point, name, "enh")].speedup_over(
+                runs[(point, name, "base")])
             speedups.append(sp)
             data[point][name] = sp
         g = geometric_mean(speedups)
@@ -94,19 +101,21 @@ def psc_sensitivity(benchmarks: Optional[Sequence[str]] = None,
         "4x": PSCConfig(pscl5_entries=8, pscl4_entries=16,
                         pscl3_entries=32, pscl2_entries=128),
     }
+    specs = {}
+    for name in names:
+        for label, psc in variants.items():
+            cfg = default_config(scale).replace(psc=psc)
+            specs[(name, label)] = RunKey.make(name, cfg, instructions,
+                                               warmup, scale)
+    runs = _run_grid(specs)
     rows, data = [], {}
     for name in names:
         row = [name]
         data[name] = {}
-        for label, psc in variants.items():
-            cfg = default_config(scale).replace(psc=psc)
-            run = run_benchmark(name, config=cfg, instructions=instructions,
-                                warmup=warmup, scale=scale)
-            mmu = run.hierarchy.mmu
-            walk_latency = (mmu.walk_cycles_total
-                            / max(1, mmu.walker.walks))
-            row.append(walk_latency)
-            data[name][label] = {"walk_latency": walk_latency,
+        for label in variants:
+            run = runs[(name, label)]
+            row.append(run.walk_latency)
+            data[name][label] = {"walk_latency": run.walk_latency,
                                  "ipc": run.ipc}
         rows.append(row)
     return FigureResult("PSC sweep",

@@ -52,12 +52,14 @@ class MSHR:
         """Cycles until a demand miss may enter the MSHR at ``now``.
 
         When the table is full of pending fills, the miss waits for the
-        earliest outstanding fill to complete (that entry is retired)."""
+        earliest outstanding fill to complete.  The entry is *not* deleted:
+        its fill may still be in flight, and later requests to that line
+        must keep merging with it (it expires lazily once its fill time
+        passes, as documented above)."""
         self._expire(now)
         if len(self._inflight) < self.entries:
             return 0
-        earliest_line = min(self._inflight, key=self._inflight.__getitem__)
-        earliest = self._inflight.pop(earliest_line)
+        earliest = min(self._inflight.values())
         delay = max(0, earliest - now)
         self.admission_stall_cycles += delay
         return delay
@@ -80,6 +82,8 @@ class MSHR:
         """
         self._inflight[line_addr] = fill_cycle
         self.allocations += 1
+        if len(self._inflight) > self.peak_occupancy:
+            self.peak_occupancy = len(self._inflight)
         return fill_cycle
 
     def occupancy(self, now: int) -> int:

@@ -38,12 +38,18 @@ class ATPPrefetcher:
     def on_l2c_hit(self, req: MemoryRequest, cycle: int) -> None:
         if req.replay_line_addr is None:
             return
+        # Already-resident lines need no prefetch and must not count as
+        # triggers (they would inflate the accuracy denominator).
+        if self.l2c.contains(req.replay_line_addr):
+            return
         self.triggered_l2c += 1
         self.l2c.issue_prefetch(req.replay_line_addr, cycle,
                                 evict_priority=True)
 
     def on_llc_hit(self, req: MemoryRequest, cycle: int) -> None:
         if req.replay_line_addr is None:
+            return
+        if self.llc.contains(req.replay_line_addr):
             return
         self.triggered_llc += 1
         self.llc.issue_prefetch(req.replay_line_addr, cycle,

@@ -101,3 +101,20 @@ def test_tempo_ignores_data_and_upper_levels():
     llc.access(MemoryRequest(address=0x4000, cycle=0,
                              access_type=AccessType.TRANSLATION, pt_level=4))
     assert tempo.triggered == 0
+
+
+def test_atp_does_not_count_triggers_for_resident_lines():
+    """Regression: triggered_* used to increment before the residency
+    check in issue_prefetch, inflating trigger counts (and deflating the
+    accuracy study's useful/triggered ratio) for already-resident lines."""
+    l2c, llc, dram = build_two_level()
+    atp = ATPPrefetcher(l2c, llc)
+    atp.attach()
+    l2c.access(leaf_read(0x1000, replay_line=0x500, cycle=0))      # fill
+    l2c.access(MemoryRequest(address=0x500 << 6, cycle=500))       # resident
+    l2c.access(leaf_read(0x1000, replay_line=0x500, cycle=1000))   # hit
+    assert atp.triggered_l2c == 0
+    llc.access(leaf_read(0x8000, replay_line=0x700, cycle=0))
+    llc.access(MemoryRequest(address=0x700 << 6, cycle=500))
+    llc.access(leaf_read(0x8000, replay_line=0x700, cycle=1000))
+    assert atp.triggered_llc == 0

@@ -215,3 +215,54 @@ def test_writeback_miss_installs_line():
     assert cache.contains(0x9000 >> 6)
     assert cache.block_for(0x9000 >> 6).dirty
     assert not mem.accesses  # absorbed, not forwarded
+
+
+def test_post_throttle_request_to_throttling_line_still_merges():
+    """Regression for the MSHR merge-loss bug: when a full MSHR delays a
+    new miss, the earliest in-flight entry used to be deleted, so a
+    later request to that line got the bare hit latency instead of
+    waiting for (merging with) its in-flight fill."""
+    cache, mem = small_cache()
+    first = 0x10000
+    # Saturate the 8-entry MSHR; every fill lands at cycle 110.
+    for i in range(8):
+        cache.access(load(first + i * 0x1000, cycle=0))
+    n_mem = len(mem.accesses)
+    # The 9th miss is admission-throttled until the earliest fill (110).
+    cache.access(load(0x50000, cycle=0))
+    assert cache.mshr.admission_stall_cycles > 0
+    # A request to the throttling line while its fill is in flight must
+    # complete at the fill time (110), not the tag-hit latency (60).
+    done = cache.access(load(first, cycle=50))
+    assert done == 110
+    assert len(mem.accesses) == n_mem + 1  # only the throttled miss went down
+
+
+class _InvalidateRecorder:
+    """Stand-in upper level that accepts every back-invalidation."""
+
+    def invalidate(self, line_addr):
+        return True
+
+
+def test_reset_stats_clears_congestion_counters():
+    """Regression for the warmup stat leak: admission stalls, bypassed
+    fills and back-invalidations from the warmup phase must not leak
+    into ROI-reported numbers."""
+    cache, _ = small_cache()
+    cache.back_invalidate_targets.append(_InvalidateRecorder())
+    cache.bypass_predicate = lambda req: req.line_addr == (0x9999 << 6) >> 6
+    # All of these map to set 0 (stride = 0x1000 lines x 64B): 8 distinct
+    # lines overflow the 2 ways (back-invalidations) and fill the MSHR.
+    for i in range(8):
+        cache.access(load(0x10000 + i * 0x1000, cycle=0))
+    cache.access(load(0x50000, cycle=0))        # admission-throttled
+    cache.access(load(0x9999 << 6, cycle=5000))  # bypassed fill
+    assert cache.mshr.admission_stall_cycles > 0
+    assert cache.back_invalidations > 0
+    assert cache.fills_bypassed == 1
+    cache.reset_stats()
+    assert cache.mshr.admission_stall_cycles == 0
+    assert cache.back_invalidations == 0
+    assert cache.fills_bypassed == 0
+    assert cache.mshr.peak_occupancy == 0

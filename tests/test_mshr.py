@@ -74,3 +74,36 @@ def test_occupancy_counts_only_pending(  ):
     mshr.allocate(1, 50, 0)
     mshr.allocate(2, 150, 0)
     assert mshr.occupancy(100) == 1
+
+
+def test_admission_delay_keeps_throttling_entry_mergeable():
+    """Regression: admission throttling used to *pop* the earliest entry
+    even while its fill was still in flight (earliest > now), so a later
+    request to that line could no longer merge and re-issued a duplicate
+    downstream access."""
+    mshr = MSHR(2)
+    mshr.allocate(0x1, 100, 0)
+    mshr.allocate(0x2, 200, 0)
+    assert mshr.admission_delay(now=10) == 90
+    # 0x1's fill (cycle 100) is still in flight: it must keep merging.
+    assert mshr.lookup(0x1, now=50) == 100
+    assert mshr.merges == 1
+
+
+def test_admission_throttling_entry_expires_lazily():
+    mshr = MSHR(2)
+    mshr.allocate(0x1, 100, 0)
+    mshr.allocate(0x2, 200, 0)
+    mshr.admission_delay(now=10)
+    # Once its fill time passes, the entry retires as documented.
+    assert mshr.lookup(0x1, now=150) is None
+    assert mshr.admission_delay(now=150) == 0
+
+
+def test_prefetch_allocation_updates_peak_occupancy():
+    """Regression: prefetch fills count toward the bandwidth proxy."""
+    mshr = MSHR(8)
+    mshr.allocate(0x1, 100, 0)
+    mshr.allocate_prefetch(0x2, 120, 0)
+    mshr.allocate_prefetch(0x3, 130, 0)
+    assert mshr.peak_occupancy == 3

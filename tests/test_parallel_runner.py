@@ -1,0 +1,213 @@
+"""Tests for the parallel, memoised experiment runner
+(:mod:`repro.experiments.parallel`)."""
+
+import pytest
+
+from repro.experiments import parallel
+from repro.experiments.figures import (fig1_rob_stalls, fig4_translation_mpki,
+                                       fig14_performance)
+from repro.experiments.parallel import (ParallelRunner, ResultCache, RunKey,
+                                        RunSummary, config_digest)
+from repro.experiments.runner import run_benchmark
+from repro.params import EnhancementConfig, default_config
+
+TINY_N, TINY_W = 2500, 600
+
+
+@pytest.fixture(autouse=True)
+def _isolate_ambient_runner():
+    """Leave no test-configured global runner behind."""
+    yield
+    parallel.set_runner(None)
+
+
+def keys_for(benchmarks, config=None, seed=1):
+    return [RunKey.make(b, config, TINY_N, TINY_W, seed=seed)
+            for b in benchmarks]
+
+
+# ----------------------------------------------------------------------
+# RunKey identity
+# ----------------------------------------------------------------------
+def test_runkey_equality_and_digest_follow_config():
+    a = RunKey.make("pr", None, TINY_N, TINY_W)
+    b = RunKey.make("pr", default_config(), TINY_N, TINY_W)
+    assert a == b and hash(a) == hash(b) and a.digest == b.digest
+
+    full = default_config().replace(enhancements=EnhancementConfig.full())
+    c = RunKey.make("pr", full, TINY_N, TINY_W)
+    assert c != a and c.digest != a.digest
+    assert config_digest(full) != config_digest(default_config())
+
+    d = RunKey.make("pr", None, TINY_N, TINY_W, seed=2)
+    assert d != a and d.digest != a.digest
+
+
+# ----------------------------------------------------------------------
+# RunSummary fidelity
+# ----------------------------------------------------------------------
+def test_summary_mirrors_run_result():
+    run = run_benchmark("pr", instructions=TINY_N, warmup=TINY_W)
+    cycles, metrics = run.cycles, run.summary()
+    fractions = run.hierarchy.response_distribution.fractions("replay")
+    s = RunSummary.from_run(run)
+    assert s.cycles == cycles
+    assert s.ipc == pytest.approx(run.ipc)
+    assert s.summary() == metrics
+    assert s.stlb_mpki == metrics["stlb_mpki"]
+    assert s.cache_mpki("llc", "replay") == metrics["llc_replay_mpki"]
+    assert s.leaf_mpki("l2c") == metrics["l2c_ptl1_mpki"]
+    assert s.response_fractions("replay") == fractions
+    assert sum(s.response_fractions("translation").values()) == \
+        pytest.approx(1.0)
+
+
+def test_summary_round_trips_through_json_dict():
+    import json
+    run = run_benchmark("tc", instructions=TINY_N, warmup=TINY_W)
+    s = RunSummary.from_run(run)
+    restored = RunSummary.from_dict(json.loads(json.dumps(s.to_dict())))
+    assert restored.to_dict() == s.to_dict()
+
+
+# ----------------------------------------------------------------------
+# Determinism: parallel == serial, bit for bit (satellite requirement)
+# ----------------------------------------------------------------------
+def test_parallel_matches_serial_bit_identical(tmp_path):
+    """jobs=4 over 3 benchmarks x 2 configs must produce bit-identical
+    RunSummary dicts to serial execution, and a second invocation must
+    be served entirely from the ResultCache."""
+    benchmarks = ("pr", "tc", "mcf")
+    configs = (None,
+               default_config().replace(
+                   enhancements=EnhancementConfig.full()))
+    keys = [k for cfg in configs for k in keys_for(benchmarks, cfg)]
+
+    serial = ParallelRunner(jobs=1)
+    serial_out = serial.run_batch(keys)
+    assert serial.metrics.executed == 6
+
+    par = ParallelRunner(jobs=4, cache=ResultCache(root=tmp_path))
+    par_out = par.run_batch(keys)
+    assert par.metrics.executed == 6
+    assert par.metrics.cache_hits == 0
+    for key in keys:
+        assert par_out[key].to_dict() == serial_out[key].to_dict(), key
+
+    again = par.run_batch(keys)
+    assert par.metrics.executed == 6        # nothing re-simulated
+    assert par.metrics.cache_hits == 6      # all six memoised
+    for key in keys:
+        assert again[key].to_dict() == serial_out[key].to_dict(), key
+
+
+def test_duplicate_keys_collapse_to_one_simulation():
+    runner = ParallelRunner(jobs=1)
+    key = RunKey.make("pr", None, TINY_N, TINY_W)
+    out = runner.run_batch([key, RunKey.make("pr", None, TINY_N, TINY_W)])
+    assert runner.metrics.executed == 1
+    assert len(out) == 1
+
+
+# ----------------------------------------------------------------------
+# ResultCache behaviour
+# ----------------------------------------------------------------------
+def test_cache_roundtrip_and_versioning(tmp_path):
+    key = RunKey.make("pr", None, TINY_N, TINY_W)
+    summary = RunSummary.from_run(
+        run_benchmark("pr", instructions=TINY_N, warmup=TINY_W))
+    cache = ResultCache(root=tmp_path, fingerprint="aaaa")
+    assert cache.get(key) is None
+    cache.put(key, summary)
+    assert cache.get(key).to_dict() == summary.to_dict()
+    # A different code fingerprint must not see the old results.
+    assert ResultCache(root=tmp_path, fingerprint="bbbb").get(key) is None
+    # Pruning removes stale fingerprint directories, keeps the current.
+    stale = ResultCache(root=tmp_path, fingerprint="bbbb")
+    stale.put(key, summary)
+    assert cache.prune_stale() == 1
+    assert cache.get(key) is not None
+    assert stale.get(key) is None
+
+
+def test_corrupt_cache_entry_is_a_miss(tmp_path):
+    cache = ResultCache(root=tmp_path, fingerprint="aaaa")
+    key = RunKey.make("pr", None, TINY_N, TINY_W)
+    cache.dir.mkdir(parents=True)
+    cache.path_for(key).write_text("{not json")
+    assert cache.get(key) is None
+
+
+# ----------------------------------------------------------------------
+# Failure handling and progress reporting
+# ----------------------------------------------------------------------
+def test_transient_failure_is_retried_once(monkeypatch):
+    real = parallel._execute_key
+    calls = {"n": 0}
+
+    def flaky(key):
+        calls["n"] += 1
+        if calls["n"] == 1:
+            raise RuntimeError("transient")
+        return real(key)
+
+    monkeypatch.setattr(parallel, "_execute_key", flaky)
+    runner = ParallelRunner(jobs=1)
+    out = runner.run_batch(keys_for(["pr"]))
+    assert len(out) == 1
+    assert runner.metrics.retries == 1
+    assert runner.metrics.failures == 0
+
+
+def test_persistent_failure_raises_after_retry():
+    runner = ParallelRunner(jobs=1)
+    with pytest.raises(ValueError):
+        runner.run_batch(keys_for(["no-such-benchmark"]))
+    assert runner.metrics.retries == 1
+    assert runner.metrics.failures == 1
+
+
+def test_progress_callback_sees_cache_and_run_events(tmp_path):
+    events = []
+    cache = ResultCache(root=tmp_path)
+    runner = ParallelRunner(jobs=1, cache=cache, progress=events.append)
+    runner.run_batch(keys_for(["pr", "tc"]))
+    runner.run_batch(keys_for(["pr", "tc"]))
+    sources = [e.source for e in events]
+    assert sources == ["run", "run", "cache", "cache"]
+    assert [e.done for e in events] == [1, 2, 1, 2]
+    assert all(e.total == 2 for e in events)
+    assert all(e.wall_time > 0 for e in events if e.source == "run")
+
+
+# ----------------------------------------------------------------------
+# Figure harness integration (acceptance criterion): regenerating
+# several figures back to back performs each unique simulation once.
+# ----------------------------------------------------------------------
+def test_figures_back_to_back_simulate_each_unique_run_once(tmp_path):
+    two = ["pr", "xalancbmk"]
+    runner = parallel.configure(jobs=4, use_cache=True, cache_dir=tmp_path)
+    fig1_rob_stalls(benchmarks=two, instructions=TINY_N, warmup=TINY_W)
+    fig4_translation_mpki(benchmarks=two, policies=["lru", "ship"],
+                          instructions=TINY_N, warmup=TINY_W)
+    fig14_performance(benchmarks=two, instructions=TINY_N, warmup=TINY_W)
+    # 16 (benchmark, config) pairs are requested across the three
+    # figures but only 12 are unique: fig4's "ship" column IS the
+    # default baseline (cache hit with fig1's runs), and fig14's "base"
+    # column recurs again.  Each unique simulation runs exactly once.
+    assert runner.metrics.jobs_done == 16
+    assert runner.metrics.executed == 12
+    assert runner.metrics.cache_hits == 4
+    # Regenerating a figure again simulates nothing new.
+    fig14_performance(benchmarks=two, instructions=TINY_N, warmup=TINY_W)
+    assert runner.metrics.executed == 12
+    assert runner.metrics.cache_hits == 14
+
+
+def test_run_one_routes_through_ambient_runner(tmp_path):
+    runner = parallel.configure(jobs=1, use_cache=True, cache_dir=tmp_path)
+    first = parallel.run_one("pr", instructions=TINY_N, warmup=TINY_W)
+    second = parallel.run_one("pr", instructions=TINY_N, warmup=TINY_W)
+    assert runner.metrics.executed == 1
+    assert runner.metrics.cache_hits == 1
+    assert first.to_dict() == second.to_dict()
