@@ -1,6 +1,7 @@
 # Convenience targets for the reproduction repo.
 
-.PHONY: install test bench figures figures-fast calibrate all
+.PHONY: install test bench figures figures-fast figures-check fuzz \
+	calibrate all
 
 install:
 	pip install -e . --no-build-isolation
@@ -19,6 +20,17 @@ figures:
 figures-fast:
 	PYTHONPATH=src python -m repro figure fig1 fig4 fig14 \
 		--jobs 4 --instructions 20000 --warmup 4000 --verbose
+
+# Same smoke suite with the runtime invariant checkers and differential
+# oracle attached to every run (--check implies --no-cache).
+figures-check:
+	PYTHONPATH=src python -m repro figure fig1 fig4 fig14 \
+		--jobs 4 --instructions 20000 --warmup 4000 --check
+
+# 200 deterministic fuzz streams through the checked hierarchy
+# (seed range 0..199; failures print ready-to-paste regression tests).
+fuzz:
+	PYTHONPATH=src python -m repro.validate.fuzz 0 200
 
 calibrate:
 	python tools/calibrate.py

@@ -73,7 +73,15 @@ _ENHANCEMENT_PRESETS = {
 }
 
 
+def _enable_checking() -> None:
+    # Via the environment so parallel worker processes inherit it.
+    import os
+    os.environ["REPRO_CHECK"] = "1"
+
+
 def _cmd_run(args) -> int:
+    if args.check:
+        _enable_checking()
     cfg = default_config(args.scale).replace(
         enhancements=_ENHANCEMENT_PRESETS[args.enhancements])
     if args.l2c_prefetcher != "none":
@@ -90,6 +98,10 @@ def _cmd_run(args) -> int:
         if key in ("ipc", "cycles"):
             continue
         print(f"{key:<15}: {value:.3f}")
+    checker = result.hierarchy.checker
+    if checker is not None:
+        print(f"validation     : OK ({checker.events} events checked, "
+              f"0 violations)")
     return 0
 
 
@@ -102,6 +114,11 @@ def _progress(event) -> None:
 def _cmd_figure(args) -> int:
     from repro.experiments import parallel
 
+    if args.check:
+        # Memoised results would skip simulation (and thus validation),
+        # so --check forces every run to execute.
+        _enable_checking()
+        args.no_cache = True
     runner = parallel.configure(jobs=args.jobs,
                                 use_cache=not args.no_cache,
                                 progress=_progress if args.verbose else None)
@@ -115,6 +132,9 @@ def _cmd_figure(args) -> int:
     print(f"runs: {m.executed} executed, {m.cache_hits} from cache, "
           f"{m.retries} retried, {m.total_wall_time:.1f}s simulated",
           file=sys.stderr)
+    if args.check:
+        print("validation: all runs passed invariant + oracle checks",
+              file=sys.stderr)
     return 0
 
 
@@ -141,6 +161,10 @@ def main(argv=None) -> int:
                        default=DEFAULT_INSTRUCTIONS)
     p_run.add_argument("--warmup", type=int, default=DEFAULT_WARMUP)
     p_run.add_argument("--scale", type=int, default=DEFAULT_SCALE)
+    p_run.add_argument("--check", action="store_true",
+                       help="run with runtime invariant checkers and the "
+                            "differential oracle attached (see "
+                            "docs/validation.md)")
     p_run.set_defaults(func=_cmd_run)
 
     p_fig = sub.add_parser("figure", help="regenerate paper figures")
@@ -157,6 +181,9 @@ def main(argv=None) -> int:
                             "(~/.cache/repro-runs)")
     p_fig.add_argument("--verbose", action="store_true",
                        help="per-run progress on stderr")
+    p_fig.add_argument("--check", action="store_true",
+                       help="validate every run (implies --no-cache: "
+                            "memoised results would skip the checkers)")
     p_fig.set_defaults(func=_cmd_figure)
 
     p_list = sub.add_parser("list", help="list benchmarks and figures")

@@ -162,6 +162,15 @@ class Cache:
         merged = self.mshr.lookup(line, req.cycle)
         if merged is not None:
             req.served_by = self.name
+            if line not in self._lookup[set_idx]:
+                # The line was evicted while its fill was still in flight
+                # (the victim loop does not know about MSHRs).  The
+                # pending fill still delivers the data, so it re-installs
+                # the block -- dropping it would strand the response.
+                self._fill(req, set_idx, merged)
+                if req.access_type is AccessType.WRITEBACK:
+                    self._sets[set_idx][self._lookup[set_idx][line]].dirty \
+                        = True
             return max(ready, merged)
 
         if req.access_type is AccessType.PREFETCH:
@@ -171,9 +180,15 @@ class Cache:
                     >= self.mshr.entries + self._prefetch_queue):
                 self.prefetches_dropped += 1
                 req.served_by = self.name
+                req.dropped = True
                 return ready
             req.cycle = ready
             fill_cycle = self.next_level.access(req)
+            if req.dropped:
+                # A lower level dropped the prefetch: no data will ever
+                # return, so installing here would manufacture a line out
+                # of nothing (and break inclusion under an inclusive LLC).
+                return ready
             self.mshr.allocate_prefetch(line, fill_cycle, ready)
             self._fill(req, set_idx, fill_cycle)
             return fill_cycle
@@ -236,30 +251,37 @@ class Cache:
         if block.is_prefetch:
             self.stats.prefetch_fills += 1
 
-    def invalidate(self, line_addr: int) -> bool:
+    def invalidate(self, line_addr: int) -> Optional[CacheBlock]:
         """Drop ``line_addr`` if resident (inclusion back-invalidation).
 
-        Dirty victims are silently dropped: the inclusive parent already
-        holds (or is evicting) the line, which models writeback-on-
-        invalidate without a second traversal."""
+        Returns the dropped block (still carrying its dirty bit) so the
+        inclusive parent can fold a dirty upper-level copy into its own
+        eviction writeback, or None when the line was not resident."""
         set_idx = self.set_index(line_addr)
         way = self._lookup[set_idx].pop(line_addr, None)
         if way is None:
-            return False
-        self._sets[set_idx][way].valid = False
-        return True
+            return None
+        block = self._sets[set_idx][way]
+        block.valid = False
+        return block
 
     def _evict(self, set_idx: int, victim: CacheBlock, cycle: int) -> None:
         del self._lookup[set_idx][victim.line_addr]
+        # Back-invalidation: a dirty upper-level copy holds data the LLC
+        # never saw; dropping it silently would lose the only dirty copy,
+        # so it upgrades this eviction to a writeback.
+        upper_dirty = False
         for upper in self.back_invalidate_targets:
-            if upper.invalidate(victim.line_addr):
+            dropped = upper.invalidate(victim.line_addr)
+            if dropped:
                 self.back_invalidations += 1
+                upper_dirty = upper_dirty or getattr(dropped, "dirty", False)
         if self.recall_translation is not None:
             if victim.is_leaf_translation:
                 self.recall_translation.on_evict(set_idx, victim.line_addr)
             elif victim.is_replay:
                 self.recall_replay.on_evict(set_idx, victim.line_addr)
-        if victim.dirty:
+        if victim.dirty or upper_dirty:
             self.writebacks_issued += 1
             wb = MemoryRequest(address=victim.line_addr << 6, cycle=cycle,
                                access_type=AccessType.WRITEBACK)
@@ -296,6 +318,7 @@ class Cache:
         self.back_invalidations = 0
         self.mshr.merges = 0
         self.mshr.allocations = 0
+        self.mshr.expirations = 0
         self.mshr.peak_occupancy = 0
         self.mshr.admission_stall_cycles = 0
         if self.recall_translation is not None:

@@ -66,6 +66,8 @@ class OOOCore:
         self.dispatch_width = core.dispatch_width
         self.retire_width = core.retire_width
         self.nonmem_latency = core.nonmem_latency
+        from repro import validate
+        self.checker = validate.maybe_attach_core(self)
 
     # ------------------------------------------------------------------
     def run(self, trace, warmup: int = 0,
@@ -84,6 +86,7 @@ class OOOCore:
 
         stalls = StallAccounting()
         hierarchy = self.hierarchy
+        checker = self.checker
         frontend = hierarchy.frontend
         fetch_hidden = frontend.hidden_latency if frontend else 0
         prev_fetch_line = -1
@@ -173,6 +176,8 @@ class OOOCore:
             else:
                 retire_slots += 1
             retire_times.append(rt)
+            if checker is not None:
+                checker.on_retire(rt, len(retire_times))
 
         instructions = total - warmup if warmup < total else 0
         cycles = max(1, retire_cycle - roi_start_cycle)

@@ -147,4 +147,7 @@ def run_benchmark(name: str, config: Optional[SimConfig] = None,
     hierarchy = MemoryHierarchy(cfg)
     core = OOOCore(cfg, hierarchy)
     result = core.run(trace, warmup=warmup)
+    if hierarchy.checker is not None:
+        # End-of-run exhaustive sweep (strict mode raises on violation).
+        hierarchy.checker.final_check()
     return RunResult(benchmark=name, config=cfg, core=result)

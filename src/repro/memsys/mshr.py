@@ -30,6 +30,9 @@ class MSHR:
         self._inflight: Dict[int, int] = {}
         self.merges = 0
         self.allocations = 0
+        #: Entries retired because their fill time passed (conservation:
+        #: allocations - expirations == live entries).
+        self.expirations = 0
         #: Peak simultaneous occupancy observed (bandwidth proxy).
         self.peak_occupancy = 0
         #: Total cycles of admission delay injected (congestion proxy).
@@ -39,6 +42,7 @@ class MSHR:
         done = [line for line, t in self._inflight.items() if t <= now]
         for line in done:
             del self._inflight[line]
+        self.expirations += len(done)
 
     def lookup(self, line_addr: int, now: int) -> Optional[int]:
         """Return the fill cycle if ``line_addr`` is still in flight."""
@@ -55,21 +59,26 @@ class MSHR:
         earliest outstanding fill to complete.  The entry is *not* deleted:
         its fill may still be in flight, and later requests to that line
         must keep merging with it (it expires lazily once its fill time
-        passes, as documented above)."""
+        passes, as documented above).
+
+        When prefetch entries have pushed the table past ``entries``,
+        waiting for the single earliest fill is not enough: the wait must
+        cover as many completions as it takes for a slot to be genuinely
+        free.  None of those entries are deleted here -- their fills may
+        still be in flight and must keep merging."""
         self._expire(now)
-        if len(self._inflight) < self.entries:
+        over = len(self._inflight) - self.entries
+        if over < 0:
             return 0
-        earliest = min(self._inflight.values())
-        delay = max(0, earliest - now)
+        # The (over+1)-th earliest fill completing frees the first slot.
+        fills = sorted(self._inflight.values())
+        delay = max(0, fills[over] - now)
         self.admission_stall_cycles += delay
         return delay
 
     def allocate(self, line_addr: int, fill_cycle: int, now: int) -> int:
         """Record an outstanding fill (admission already granted)."""
-        self._inflight[line_addr] = fill_cycle
-        self.allocations += 1
-        if len(self._inflight) > self.peak_occupancy:
-            self.peak_occupancy = len(self._inflight)
+        self._record(line_addr, fill_cycle, now)
         return fill_cycle
 
     def allocate_prefetch(self, line_addr: int, fill_cycle: int,
@@ -80,11 +89,28 @@ class MSHR:
         a later demand with an in-flight prefetch is exactly the mechanism
         ATP relies on, so the fill must be visible to :meth:`lookup`.
         """
+        self._record(line_addr, fill_cycle, now)
+        return fill_cycle
+
+    def _record(self, line_addr: int, fill_cycle: int, now: int) -> None:
+        """Insert one fill.  Entries are NOT eagerly expired here --
+        requests may arrive with out-of-order cycles and must keep merging
+        with fills that are live at *their* time -- so a stale entry being
+        overwritten retires here, and the peak counts only fills actually
+        in flight at ``now`` (stale leftovers are bookkeeping, not
+        occupied slots)."""
+        if line_addr in self._inflight:
+            self.expirations += 1
         self._inflight[line_addr] = fill_cycle
         self.allocations += 1
+        # Live occupancy never exceeds the raw table size, so the O(n)
+        # live count only runs when the size beats the recorded peak.
         if len(self._inflight) > self.peak_occupancy:
-            self.peak_occupancy = len(self._inflight)
-        return fill_cycle
+            occ = self.occupancy(now)
+            if fill_cycle <= now:  # degenerate same-cycle fill held a slot
+                occ += 1
+            if occ > self.peak_occupancy:
+                self.peak_occupancy = occ
 
     def occupancy(self, now: int) -> int:
         return sum(1 for t in self._inflight.values() if t > now)

@@ -56,6 +56,9 @@ class MemoryRequest:
     replay_line_addr: Optional[int] = None
     #: ATP/TEMPO prefetch fills are demoted to highest eviction priority.
     evict_priority: bool = False
+    #: Set by a level that drops a prefetch (flooded prefetch queue): no
+    #: data ever returns, so upstream levels must not install the line.
+    dropped: bool = field(default=False, compare=False)
     #: Filled by the hierarchy: name of the level that served the request.
     served_by: str = field(default="", compare=False)
 

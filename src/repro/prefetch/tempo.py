@@ -30,6 +30,10 @@ class TEMPOPrefetcher:
                                  done_cycle: int) -> None:
         if req.replay_line_addr is None:
             return
+        # Already-resident replay lines need no fetch and must not count
+        # as triggers (same suppression rule as ATP).
+        if self.llc.contains(req.replay_line_addr):
+            return
         self.triggered += 1
         # The replay line fetch starts once the PTE data reaches the
         # controller; it descends from the LLC (missing there) to DRAM and

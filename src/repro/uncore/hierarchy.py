@@ -163,6 +163,10 @@ class MemoryHierarchy:
         self.loads = 0
         self.stores = 0
 
+        #: Runtime invariant checkers (None unless --check/REPRO_CHECK=1).
+        from repro import validate
+        self.checker = validate.maybe_attach(self)
+
     # ------------------------------------------------------------------
     def load(self, va: int, cycle: int, ip: int = 0) -> LoadResult:
         """A demand load: translate, then fetch the data line."""

@@ -1,0 +1,58 @@
+"""Runtime validation subsystem: invariant checkers, a differential
+functional oracle, and a deterministic fuzz driver.
+
+Checking is off by default and costs nothing when off -- the hierarchy and
+core call :func:`maybe_attach` / :func:`maybe_attach_core`, which return
+``None`` unless checking was requested, and instrumentation works by
+shadowing bound methods on individual instances (never by patching
+classes), so unchecked runs execute the exact original code paths.
+
+Enable with the ``--check`` CLI flag, the ``REPRO_CHECK=1`` environment
+variable (inherited by parallel worker processes), or programmatically via
+:func:`enable_checking`.  See ``docs/validation.md``.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+from repro.validate.invariants import CheckContext, HierarchyChecker, \
+    ROBChecker, ValidationError
+
+__all__ = [
+    "CheckContext", "HierarchyChecker", "ROBChecker", "ValidationError",
+    "checking_enabled", "enable_checking", "maybe_attach",
+    "maybe_attach_core",
+]
+
+_FORCED = False
+
+
+def enable_checking(on: bool = True) -> None:
+    """Force checking on (or off) for hierarchies built after this call."""
+    global _FORCED
+    _FORCED = on
+
+
+def checking_enabled() -> bool:
+    return _FORCED or os.environ.get("REPRO_CHECK", "") not in ("", "0")
+
+
+def maybe_attach(hierarchy) -> Optional[HierarchyChecker]:
+    """Attach the full checker stack to ``hierarchy`` iff checking is
+    enabled.  Called from ``MemoryHierarchy.__init__``."""
+    if not checking_enabled():
+        return None
+    return HierarchyChecker(hierarchy)
+
+
+def maybe_attach_core(core) -> Optional[ROBChecker]:
+    """Attach a ROB checker to ``core`` iff its hierarchy carries a
+    checker (i.e. checking was enabled when the hierarchy was built)."""
+    checker = getattr(core.hierarchy, "checker", None)
+    if checker is None:
+        return None
+    rob = ROBChecker(core.rob_entries, checker.ctx)
+    checker.rob_checkers.append(rob)
+    return rob

@@ -1,0 +1,162 @@
+"""Differential oracle: a timing-free functional reference model run in
+lockstep with the timed hierarchy.
+
+The timed :class:`~repro.cache.cache.Cache` fills eagerly (a missing line
+enters the tag array at miss time, with its fill cycle attached), so for a
+*timing-independent* replacement policy -- true LRU with no prefetcher and
+no fill bypassing -- the hit/miss outcome and final residency of every set
+are fully determined by the access sequence alone.  The oracle replays
+that sequence through an independent set-associative true-LRU model and
+cross-checks, per access, hit vs miss, and at the end of the run, per-line
+residency and total hit/miss counts.
+
+Timing-dependent traffic disqualifies the comparison: the first PREFETCH
+request (drop decisions depend on queue occupancy) or an installed bypass
+predicate *taints* the oracle, which then stops comparing rather than
+reporting false violations.  The exact-page-walker half of the oracle
+(translations must equal a direct page-table lookup) lives in
+:class:`repro.validate.invariants.MMUChecker` and is never tainted.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import List, Optional
+
+from repro.memsys.request import AccessType, MemoryRequest
+from repro.validate.invariants import CheckContext
+
+#: Categories whose hits/misses the shadow model mirrors.
+_MODELLED = ("translation", "replay", "non_replay", "writeback", "ifetch")
+
+
+class FunctionalCache:
+    """Set-associative, true-LRU, no-timing reference cache.
+
+    Mirrors the documented functional semantics of the timed cache:
+    writeback hits set the dirty bit without promoting, demand and
+    translation hits promote to MRU, every miss installs at MRU and
+    evicts the LRU line of a full set.
+    """
+
+    def __init__(self, num_sets: int, num_ways: int):
+        self.num_sets = num_sets
+        self.num_ways = num_ways
+        #: Per set: line_addr -> dirty, ordered LRU-first.
+        self.sets: List[OrderedDict] = [OrderedDict()
+                                        for _ in range(num_sets)]
+        self.hits = 0
+        self.misses = 0
+
+    def set_index(self, line_addr: int) -> int:
+        return line_addr % self.num_sets
+
+    def contains(self, line_addr: int) -> bool:
+        return line_addr in self.sets[self.set_index(line_addr)]
+
+    def access(self, req: MemoryRequest) -> bool:
+        """Apply one request; returns True on a hit."""
+        line = req.line_addr
+        entries = self.sets[self.set_index(line)]
+        if line in entries:
+            self.hits += 1
+            if req.access_type is AccessType.WRITEBACK:
+                entries[line] = True  # dirty, no LRU promotion
+            else:
+                dirty = entries.pop(line)
+                entries[line] = dirty or req.access_type is AccessType.STORE
+            return True
+        self.misses += 1
+        if len(entries) >= self.num_ways:
+            entries.popitem(last=False)  # true-LRU victim
+        entries[line] = req.access_type in (AccessType.STORE,
+                                            AccessType.WRITEBACK)
+        return False
+
+    def invalidate(self, line_addr: int) -> None:
+        self.sets[self.set_index(line_addr)].pop(line_addr, None)
+
+    def residency(self, set_idx: int) -> set:
+        return set(self.sets[set_idx])
+
+
+class CacheOracle:
+    """Runs a :class:`FunctionalCache` in lockstep with one timed cache."""
+
+    def __init__(self, cache, ctx: CheckContext):
+        self.cache = cache
+        self.ctx = ctx
+        self.shadow = FunctionalCache(cache.num_sets, cache.num_ways)
+        self.compared = 0
+        self.taint_reason: Optional[str] = None
+
+    # ------------------------------------------------------------------
+    def attach(self) -> "CacheOracle":
+        cache = self.cache
+        orig_access = cache.access
+        orig_invalidate = cache.invalidate
+        orig_reset = cache.reset_stats
+
+        def oracle_access(req: MemoryRequest) -> int:
+            if self.taint_reason is None:
+                self._check_disqualifiers(req)
+            if self.taint_reason is not None:
+                return orig_access(req)
+            set_idx = cache.set_index(req.line_addr)
+            real_hit = req.line_addr in cache._lookup[set_idx]
+            done = orig_access(req)
+            shadow_hit = self.shadow.access(req)
+            self.compared += 1
+            if shadow_hit != real_hit:
+                self.ctx.fail(
+                    f"{cache.name}/oracle",
+                    f"line {req.line_addr:#x} ({req.category()}): timed "
+                    f"cache {'hit' if real_hit else 'missed'}, reference "
+                    f"model {'hit' if shadow_hit else 'missed'}")
+            return done
+
+        def oracle_invalidate(line_addr: int):
+            self.shadow.invalidate(line_addr)
+            return orig_invalidate(line_addr)
+
+        def oracle_reset() -> None:
+            orig_reset()
+            self.shadow.hits = 0
+            self.shadow.misses = 0
+
+        cache.access = oracle_access
+        cache.invalidate = oracle_invalidate
+        cache.reset_stats = oracle_reset
+        return self
+
+    def _check_disqualifiers(self, req: MemoryRequest) -> None:
+        if req.access_type is AccessType.PREFETCH:
+            self.taint_reason = "prefetch traffic (timing-dependent drops)"
+        elif self.cache.bypass_predicate is not None:
+            self.taint_reason = "fill-bypass predicate installed"
+        elif self.cache.policy.name != "lru":
+            self.taint_reason = f"policy {self.cache.policy.name!r} swapped in"
+
+    # ------------------------------------------------------------------
+    def final_check(self) -> None:
+        """Cross-check counts and per-line residency at end of run."""
+        if self.taint_reason is not None:
+            return
+        cache = self.cache
+        stats = cache.stats
+        real_hits = sum(stats.hits[c] for c in _MODELLED)
+        real_misses = sum(stats.misses[c] for c in _MODELLED)
+        self.ctx.require(
+            (self.shadow.hits, self.shadow.misses)
+            == (real_hits, real_misses),
+            f"{cache.name}/oracle",
+            f"hit/miss totals diverge: timed ({real_hits}, {real_misses}) "
+            f"vs reference ({self.shadow.hits}, {self.shadow.misses})")
+        for set_idx in range(cache.num_sets):
+            real = set(cache._lookup[set_idx])
+            ref = self.shadow.residency(set_idx)
+            self.ctx.require(
+                real == ref, f"{cache.name}/oracle",
+                f"set {set_idx} residency diverges: timed-only "
+                f"{sorted(map(hex, real - ref))}, reference-only "
+                f"{sorted(map(hex, ref - real))}")

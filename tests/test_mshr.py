@@ -107,3 +107,59 @@ def test_prefetch_allocation_updates_peak_occupancy():
     mshr.allocate_prefetch(0x2, 120, 0)
     mshr.allocate_prefetch(0x3, 130, 0)
     assert mshr.peak_occupancy == 3
+
+
+def test_expiration_counter_balances_allocations():
+    """Conservation law the runtime checker relies on:
+    allocations - expirations == live entries, at every point."""
+    mshr = MSHR(2)
+    mshr.allocate(0x1, 100, 0)
+    mshr.allocate(0x2, 200, 0)
+    assert mshr.allocations - mshr.expirations == len(mshr._inflight)
+    mshr.admission_delay(now=150)  # expires 0x1 (fill 100 <= 150)
+    assert mshr.expirations == 1
+    assert mshr.allocations - mshr.expirations == len(mshr._inflight)
+
+
+def test_reallocation_of_stale_entry_counts_as_expiration():
+    """A line can miss again after its previous fill completed but before
+    anything expired the stale entry: the overwrite retires it."""
+    mshr = MSHR(4)
+    mshr.allocate(0x1, 100, 0)
+    assert mshr.lookup(0x1, now=150) is None  # stale, never expired
+    mshr.allocate(0x1, 300, 150)              # same line misses again
+    assert mshr.allocations == 2
+    assert mshr.expirations == 1
+    assert mshr.allocations - mshr.expirations == len(mshr._inflight)
+
+
+def test_peak_occupancy_ignores_stale_entries():
+    """Regression: the peak used to be the raw table size, so lazily
+    retained entries whose fills had long completed inflated the
+    bandwidth proxy past the table's physical capacity."""
+    mshr = MSHR(4)
+    for i in range(4):
+        mshr.allocate(i, 100 + i, 0)
+    assert mshr.peak_occupancy == 4
+    # Much later: all four fills completed long ago but were never
+    # expired.  The new fill is the only one in flight.
+    mshr.allocate(0x50, 1100, now=1000)
+    assert mshr.peak_occupancy == 4  # not 5
+
+
+def test_admission_delay_covers_multiple_completions():
+    """Regression: with prefetch entries pushing the table past the
+    demand capacity, waiting for only the earliest fill still left the
+    table over-full; the wait must cover enough completions to free a
+    genuine slot."""
+    mshr = MSHR(2)
+    mshr.allocate(0x1, 100, 0)
+    mshr.allocate(0x2, 200, 0)
+    mshr.allocate_prefetch(0x3, 300, 0)
+    mshr.allocate_prefetch(0x4, 400, 0)
+    # 4 entries, 2 demand slots: a slot frees only once the 3rd-earliest
+    # fill (300) completes, not the earliest (100).
+    assert mshr.admission_delay(now=10) == 290
+    # None of the throttling entries were deleted: all still merge.
+    assert mshr.lookup(0x1, now=50) == 100
+    assert mshr.lookup(0x4, now=50) == 400

@@ -1,0 +1,75 @@
+"""Golden end-to-end runs: one fixed-seed synthetic workload per
+replacement policy, asserting *exact* counter values.
+
+These pins catch silent behavioural drift anywhere in the stack --
+trace generation, translation, MSHR timing, replacement decisions --
+that the tolerance-band figure tests would absorb.  If a change is
+*supposed* to alter simulated behaviour, regenerate the constants with
+the recipe in docs/validation.md and account for the shift in the PR.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.experiments.runner import run_benchmark
+from repro.params import EnhancementConfig, default_config
+
+#: policy -> (cycles, LLC hits, LLC misses, STLB misses) for
+#: run_benchmark("pr", instructions=8000, warmup=2000, scale=16, seed=1).
+GOLDEN = {
+    "lru": (12612, 570, 1478, 717),
+    "drrip": (12607, 568, 1480, 717),
+    "ship": (12338, 570, 1478, 717),
+    "hawkeye": (12360, 562, 1486, 717),
+    "t_drrip": (12380, 459, 1479, 717),
+    "t_ship": (12383, 570, 1478, 717),
+    "t_hawkeye": (12360, 563, 1485, 717),
+}
+
+
+def config_for(policy):
+    cfg = default_config(16)
+    if policy == "t_drrip":
+        # T-DRRIP is the L2C-side enhancement (LLC keeps its default).
+        return cfg.replace(enhancements=EnhancementConfig(t_drrip=True))
+    if policy in ("t_ship", "t_hawkeye"):
+        return cfg.replace(
+            llc=dataclasses.replace(cfg.llc, replacement=policy[2:]),
+            enhancements=EnhancementConfig(t_llc=True))
+    return cfg.replace(llc=dataclasses.replace(cfg.llc, replacement=policy))
+
+
+@pytest.mark.parametrize("policy", sorted(GOLDEN))
+def test_policy_golden_counters(policy):
+    result = run_benchmark("pr", config=config_for(policy),
+                           instructions=8_000, warmup=2_000,
+                           scale=16, seed=1)
+    llc = result.hierarchy.llc.stats
+    got = (result.cycles, sum(llc.hits.values()), sum(llc.misses.values()),
+           result.hierarchy.mmu.stlb.misses)
+    assert got == GOLDEN[policy], (
+        f"{policy}: counters drifted from golden values "
+        f"(got {got}, expected {GOLDEN[policy]}); if the behaviour change "
+        f"is intentional, regenerate per docs/validation.md")
+
+
+@pytest.mark.parametrize("policy", sorted(GOLDEN))
+def test_policy_selection_wiring(policy):
+    """The config knob must land the intended policy at the intended
+    level (T-DRRIP at the L2C; everything else at the LLC)."""
+    from repro.uncore.hierarchy import MemoryHierarchy
+    h = MemoryHierarchy(config_for(policy))
+    if policy == "t_drrip":
+        assert h.l2c.policy.name == "t_drrip"
+    else:
+        assert h.llc.policy.name == policy
+
+
+def test_golden_run_is_checker_clean(monkeypatch):
+    """The golden workload itself passes the full validation stack."""
+    monkeypatch.setenv("REPRO_CHECK", "1")
+    result = run_benchmark("pr", config=config_for("t_ship"),
+                           instructions=8_000, warmup=2_000,
+                           scale=16, seed=1)
+    assert result.hierarchy.checker.violations == []

@@ -1,0 +1,176 @@
+"""Tests for repro.validate.invariants: the checkers must be silent on
+healthy runs, loud on seeded corruption, and absent when disabled."""
+
+import pytest
+
+from repro import validate
+from repro.experiments.runner import run_benchmark
+from repro.params import EnhancementConfig, default_config
+from repro.uncore.hierarchy import MemoryHierarchy
+from repro.validate.invariants import (CheckContext, HierarchyChecker,
+                                       ROBChecker, ValidationError)
+from repro.vm.address import make_va
+
+
+@pytest.fixture
+def checked(monkeypatch):
+    """A small hierarchy with the full checker stack attached."""
+    monkeypatch.setenv("REPRO_CHECK", "1")
+    cfg = default_config(16).replace(
+        enhancements=EnhancementConfig.full())
+    hierarchy = MemoryHierarchy(cfg)
+    assert hierarchy.checker is not None
+    return hierarchy
+
+
+def drive(hierarchy, n=64):
+    cycle = 0
+    for i in range(n):
+        res = hierarchy.load(make_va([1, 0, 0, i % 4, i % 32]), cycle)
+        cycle = res.data_done + 1
+
+
+# ----------------------------------------------------------------------
+def test_disabled_by_default(monkeypatch):
+    monkeypatch.delenv("REPRO_CHECK", raising=False)
+    hierarchy = MemoryHierarchy(default_config(16))
+    assert hierarchy.checker is None
+    # Zero-cost-when-off contract: the bound methods are untouched.
+    assert "access" not in hierarchy.l1d.__dict__
+    assert "translate" not in hierarchy.mmu.__dict__
+
+
+def test_enable_checking_forces_attachment(monkeypatch):
+    monkeypatch.delenv("REPRO_CHECK", raising=False)
+    validate.enable_checking()
+    try:
+        assert validate.checking_enabled()
+        hierarchy = MemoryHierarchy(default_config(16))
+        assert hierarchy.checker is not None
+    finally:
+        validate.enable_checking(False)
+
+
+def test_clean_run_counts_events_and_stays_silent(checked):
+    drive(checked)
+    checked.checker.final_check()
+    assert checked.checker.events > 0
+    assert checked.checker.violations == []
+
+
+def test_run_benchmark_final_check(monkeypatch):
+    monkeypatch.setenv("REPRO_CHECK", "1")
+    result = run_benchmark("pr", instructions=4_000, warmup=1_000, scale=16)
+    checker = result.hierarchy.checker
+    assert checker is not None
+    assert checker.events > 0
+    assert checker.violations == []
+
+
+# -- seeded corruption: every checker family must catch its fault ------
+def test_detects_stats_corruption(checked):
+    drive(checked, 8)
+    checked.l1d.stats.hits["non_replay"] += 1
+    with pytest.raises(ValidationError, match="hits"):
+        drive(checked, 1)
+
+
+def test_detects_duplicate_way_mapping(checked):
+    drive(checked, 32)
+    l1d = checked.l1d
+    lookup = next(l for l in l1d._lookup if len(l) >= 2)
+    lines = list(lookup)
+    lookup[lines[0]] = lookup[lines[1]]  # two lines now share a way
+    with pytest.raises(ValidationError):
+        checked.checker.final_check()
+
+
+def test_detects_rrpv_out_of_bounds(checked):
+    drive(checked, 32)
+    llc = checked.llc
+    max_rrpv = llc.policy.max_rrpv
+    block = next(b for s in llc._sets for b in s if b.valid)
+    block.rrpv = max_rrpv + 5
+    with pytest.raises(ValidationError, match="RRPV"):
+        checked.checker.final_check()
+
+
+def test_detects_mshr_conservation_break(checked):
+    drive(checked, 8)
+    checked.l2c.mshr.allocations += 3  # phantom allocations
+    with pytest.raises(ValidationError, match="conservation"):
+        drive(checked, 1)
+
+
+def test_detects_mshr_leak(checked):
+    drive(checked, 8)
+    mshr = checked.l1d.mshr
+    bound = 2 * (mshr.entries + checked.l1d._prefetch_queue)
+    far_future = 10**9
+    for i in range(bound + 1):
+        mshr._inflight[0x900000 + i] = far_future
+    mshr.allocations += bound + 1  # keep conservation intact: pure leak
+    with pytest.raises(ValidationError, match="leaking"):
+        drive(checked, 1)
+
+
+def test_detects_inclusion_violation(monkeypatch):
+    monkeypatch.setenv("REPRO_CHECK", "1")
+    cfg = default_config(16).replace(llc_inclusion="inclusive")
+    hierarchy = MemoryHierarchy(cfg)
+    drive(hierarchy, 32)
+    # Drop a line from the LLC behind the back-invalidation machinery's
+    # back: its L1D/L2C copies now violate inclusion.
+    victim = next(line for lookup in hierarchy.l2c._lookup
+                  for line in lookup if hierarchy.llc.contains(line))
+    hierarchy.llc._lookup[hierarchy.llc.set_index(victim)].pop(victim)
+    with pytest.raises(ValidationError, match="inclusive"):
+        hierarchy.checker.final_check()
+
+
+def test_detects_translation_mismatch(checked):
+    mmu = checked.mmu
+    va = make_va([1, 0, 0, 0, 7])
+    mmu.translate(va, 0)  # maps the page
+    # Corrupt the cached frame in the DTLB: the differential check against
+    # the page table must catch the stale/wrong translation.
+    for frames in mmu.dtlb._frames:
+        for key in frames:
+            frames[key] += 1
+    with pytest.raises(ValidationError, match="page"):
+        mmu.translate(va, 100)
+
+
+def test_rob_checker_occupancy_and_order():
+    ctx = CheckContext()
+    rob = ROBChecker(rob_entries=4, ctx=ctx)
+    for cycle in (5, 5, 7):
+        rob.on_retire(cycle, occupancy=2)
+    with pytest.raises(ValidationError, match="occupancy"):
+        rob.on_retire(8, occupancy=5)
+    with pytest.raises(ValidationError, match="out-of-order"):
+        rob.on_retire(3, occupancy=1)
+
+
+def test_record_mode_collects_instead_of_raising(checked):
+    hierarchy = MemoryHierarchy(default_config(16))
+    checker = hierarchy.checker or HierarchyChecker(hierarchy, strict=False)
+    checker.ctx.strict = False
+    drive(hierarchy, 8)
+    hierarchy.l1d.stats.hits["non_replay"] += 1
+    drive(hierarchy, 4)  # keeps running, recording violations
+    assert len(checker.violations) > 0
+
+
+def test_shared_llc_not_double_attached(monkeypatch):
+    monkeypatch.setenv("REPRO_CHECK", "1")
+    cfg = default_config(16)
+    first = MemoryHierarchy(cfg)
+    second = MemoryHierarchy(cfg, page_table=first.page_table,
+                             shared_llc=first.llc, shared_dram=first.dram)
+    checked_names = [c.cache.name for c in second.checker.cache_checkers]
+    assert "LLC" not in checked_names  # first hierarchy owns its checks
+    drive(first, 16)
+    drive(second, 16)
+    first.checker.final_check()
+    second.checker.final_check()
