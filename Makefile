@@ -1,7 +1,7 @@
 # Convenience targets for the reproduction repo.
 
-.PHONY: install test bench figures figures-fast figures-check fuzz \
-	calibrate all
+.PHONY: install test bench figures figures-fast figures-check \
+	figures-observed fuzz calibrate all
 
 install:
 	pip install -e . --no-build-isolation
@@ -26,6 +26,24 @@ figures-fast:
 figures-check:
 	PYTHONPATH=src python -m repro figure fig1 fig4 fig14 \
 		--jobs 4 --instructions 20000 --warmup 4000 --check
+
+# One checked figure with the observability subsystem attached: a batch
+# export + heartbeat stream from the figure run, a run export from a
+# single observed simulation, both schema-validated by `repro stats`.
+# Artifacts land in obs-artifacts/ (CI uploads them).
+figures-observed:
+	mkdir -p obs-artifacts
+	PYTHONPATH=src python -m repro figure fig14 \
+		--jobs 4 --instructions 20000 --warmup 4000 --check \
+		--metrics obs-artifacts/fig14-batch.json \
+		--heartbeat obs-artifacts/fig14-heartbeat.ndjson
+	PYTHONPATH=src python -m repro run pr --enhancements full \
+		--instructions 20000 --warmup 4000 \
+		--metrics obs-artifacts/pr-full-run.json
+	PYTHONPATH=src python -m repro stats --validate \
+		obs-artifacts/fig14-batch.json obs-artifacts/pr-full-run.json
+	PYTHONPATH=src python -m repro stats obs-artifacts/pr-full-run.json \
+		--csv obs-artifacts/pr-full-intervals.csv
 
 # 200 deterministic fuzz streams through the checked hierarchy
 # (seed range 0..199; failures print ready-to-paste regression tests).

@@ -18,7 +18,7 @@ from repro.vm.address import make_va
 
 
 def replay_timeline(enable_atp: bool) -> None:
-    enh = EnhancementConfig(t_drrip=True, t_llc=True, new_signatures=True,
+    enh = EnhancementConfig(t_drrip=True, t_ship=True, newsign=True,
                             atp=enable_atp)
     cfg = default_config().replace(enhancements=enh)
     hierarchy = MemoryHierarchy(cfg)

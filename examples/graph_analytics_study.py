@@ -11,7 +11,7 @@ Run with::
     python examples/graph_analytics_study.py
 """
 
-from repro import StallCategory, run_benchmark
+from repro import api
 from repro.stats.report import format_table
 
 GRAPH_KERNELS = ["tc", "mis", "bf", "radii", "cc", "pr"]
@@ -21,7 +21,7 @@ def main() -> None:
     instructions, warmup = 30_000, 8_000
     rows = []
     for name in GRAPH_KERNELS:
-        run = run_benchmark(name, instructions=instructions, warmup=warmup)
+        run = api.run(name, instructions=instructions, warmup=warmup)
         dist = run.hierarchy.response_distribution.fractions("translation")
         total_stalls = run.core.stalls.total_stall_cycles()
         tr_stalls = run.translation_replay_stalls()

@@ -42,8 +42,8 @@ def main() -> None:
     for name in BENCHMARKS:
         ship_misses, opt_floor = analyze(name)
         tship_misses, _ = analyze(
-            name, enhancements=EnhancementConfig(t_drrip=True, t_llc=True,
-                                                 new_signatures=True))
+            name, enhancements=EnhancementConfig(t_drrip=True, t_ship=True,
+                                                 newsign=True))
         rows.append([name, ship_misses, tship_misses, opt_floor])
     print(format_table(
         "LLC translation misses: policies vs the Belady-OPT floor",

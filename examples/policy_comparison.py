@@ -10,8 +10,8 @@ Run with::
     python examples/policy_comparison.py
 """
 
-from repro import default_config, run_benchmark
-from repro.params import EnhancementConfig
+from repro import api
+from repro.api import EnhancementConfig
 from repro.stats.report import format_table
 
 BENCHMARKS = ["canneal", "mcf", "cc", "pr"]
@@ -19,9 +19,9 @@ POLICIES = ["lru", "srrip", "drrip", "ship", "hawkeye"]
 
 
 def llc_policy_run(name, policy, **kw):
-    cfg = default_config()
+    cfg = api.build_config()
     cfg.llc.replacement = policy
-    return run_benchmark(name, config=cfg, **kw)
+    return api.run(name, config=cfg, **kw)
 
 
 def main() -> None:
@@ -40,16 +40,15 @@ def main() -> None:
 
     variants = {
         "SHiP": EnhancementConfig.none(),
-        "NewSign": EnhancementConfig(new_signatures=True),
-        "T-SHiP": EnhancementConfig(t_drrip=True, t_llc=True,
-                                    new_signatures=True),
+        "NewSign": EnhancementConfig(newsign=True),
+        "T-SHiP": EnhancementConfig(t_drrip=True, t_ship=True,
+                                    newsign=True),
     }
     rows = []
     for name in BENCHMARKS:
         row = [name]
         for enh in variants.values():
-            cfg = default_config().replace(enhancements=enh)
-            run = run_benchmark(name, config=cfg, **kw)
+            run = api.run(name, enhancements=enh, **kw)
             row.append(run.leaf_mpki("llc"))
         rows.append(row)
     print(format_table(

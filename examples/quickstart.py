@@ -12,8 +12,8 @@ workload in the paper's Table II.
 
 import sys
 
-from repro import (EnhancementConfig, StallCategory, default_config,
-                   run_benchmark)
+from repro import api
+from repro.api import StallCategory
 
 
 def main() -> None:
@@ -23,12 +23,9 @@ def main() -> None:
     print(f"Simulating '{name}' ({instructions:,} instructions after "
           f"{warmup:,} warmup) at reduced scale...\n")
 
-    baseline = run_benchmark(name, instructions=instructions, warmup=warmup)
-
-    enhanced_cfg = default_config().replace(
-        enhancements=EnhancementConfig.full())
-    enhanced = run_benchmark(name, config=enhanced_cfg,
-                             instructions=instructions, warmup=warmup)
+    baseline = api.run(name, instructions=instructions, warmup=warmup)
+    enhanced = api.run(name, enhancements="full",
+                       instructions=instructions, warmup=warmup)
 
     def describe(label, run):
         print(f"{label}:")

@@ -15,16 +15,7 @@ from __future__ import annotations
 import sys
 import time
 
-from repro.experiments import figures as F
-from repro.experiments import mixes as M
-from repro.experiments import sweeps as S
-from repro.experiments.ablations import (atp_trigger_placement,
-                                         single_mechanism_ablation)
-from repro.experiments.accuracy import prefetch_accuracy
-from repro.experiments.atp_scope import atp_scope
-from repro.experiments.comparison import prior_work_comparison
-from repro.experiments.extensions import huge_page_study
-from repro.experiments.sweeps import psc_sensitivity
+from repro.experiments import registry
 
 #: Moderate sizes: large enough to leave the compulsory-miss regime,
 #: small enough to finish in minutes.
@@ -32,119 +23,99 @@ KW = dict(instructions=40_000, warmup=10_000)
 KW_BIG = dict(instructions=100_000, warmup=20_000)
 SWEEP_BENCH = ["xalancbmk", "canneal", "mcf", "cc", "pr"]
 
-#: (section header, paper claim, callable) per experiment.
+#: (figure name, section header, paper claim, kwargs) per experiment.
+#: Harnesses resolve through the figure registry -- the same source the
+#: CLI and ``benchmarks/`` use -- and :func:`main` asserts the list
+#: covers every registered figure, so this driver cannot drift.
 EXPERIMENTS = [
-    ("Fig 1 — head-of-ROB stalls",
+    ("fig1", "Fig 1 — head-of-ROB stalls",
      "Replay loads stall the head of the ROB far longer (avg 191 / max "
      "226 cycles) than the walks themselves (avg 33 / max 54); "
-     "non-replay loads average 47 cycles.",
-     lambda: F.fig1_rob_stalls(**KW)),
-    ("Fig 2 — ideal-cache opportunity",
+     "non-replay loads average 47 cycles.", KW),
+    ("fig2", "Fig 2 — ideal-cache opportunity",
      "Ideal LLC for translations+replays: +30.7%; adding ideal L2C: "
      "+37.6%. Translations alone at L2C: +4.7%; replays alone: +30.2%.",
-     lambda: F.fig2_ideal(modes=["LLC(T)", "LLC(R)", "LLC(TR)",
-                                 "L2C+LLC(TR)"], **KW)),
-    ("Fig 3 — response levels",
+     dict(modes=["LLC(T)", "LLC(R)", "LLC(TR)", "L2C+LLC(TR)"], **KW)),
+    ("fig3", "Fig 3 — response levels",
      "Leaf translations: 23% L1D, 55.6% L2C, 15.1% LLC, 6.3% DRAM; "
-     "more than 80% of replay loads miss the LLC.",
-     lambda: F.fig3_response_distribution(**KW)),
-    ("Fig 4 — translation MPKI by policy",
+     "more than 80% of replay loads miss the LLC.", KW),
+    ("fig4", "Fig 4 — translation MPKI by policy",
      "vs LRU: SRRIP -14.7%, DRRIP -27.5%, SHiP -33.3%, Hawkeye +44.1%.",
-     lambda: F.fig4_translation_mpki(**KW)),
-    ("Fig 5 — translation recall distance",
+     KW),
+    ("fig5", "Fig 5 — translation recall distance",
      "~30% of evicted translation blocks would be recalled within 50 "
-     "unique set accesses.",
-     lambda: F.fig5_recall_translations(**KW)),
-    ("Fig 6 — replay MPKI by policy",
-     "Replacement policy has no effect on replay MPKI.",
-     lambda: F.fig6_replay_mpki(**KW)),
-    ("Fig 7 — replay recall distance",
-     "More than 60% of replay blocks have recall distance > 50.",
-     lambda: F.fig7_recall_replays(**KW)),
-    ("Fig 8 — prefetchers vs replay MPKI",
+     "unique set accesses.", KW),
+    ("fig6", "Fig 6 — replay MPKI by policy",
+     "Replacement policy has no effect on replay MPKI.", KW),
+    ("fig7", "Fig 7 — replay recall distance",
+     "More than 60% of replay blocks have recall distance > 50.", KW),
+    ("fig8", "Fig 8 — prefetchers vs replay MPKI",
      "IPCP/SPP/Bingo barely move replay MPKI (<1% average); ISB helps "
-     "some benchmarks.",
-     lambda: F.fig8_prefetcher_replay_mpki(instructions=25_000,
-                                           warmup=8_000)),
-    ("Fig 10 — replay-at-RRPV0 misconfiguration",
+     "some benchmarks.", dict(instructions=25_000, warmup=8_000)),
+    ("fig10", "Fig 10 — replay-at-RRPV0 misconfiguration",
      "Inserting replays at RRPV=0 alongside translations degrades "
-     "performance.",
-     lambda: F.fig10_replay_rrpv0_degradation(**KW)),
-    ("Fig 12 — translation MPKI with enhancements",
+     "performance.", KW),
+    ("fig12", "Fig 12 — translation MPKI with enhancements",
      "New signatures cut LLC translation MPKI sharply; T-SHiP brings it "
-     "near zero.",
-     lambda: F.fig12_newsign_mpki(**KW_BIG)),
-    ("Fig 14 — headline performance",
+     "near zero.", KW_BIG),
+    ("fig14", "Fig 14 — headline performance",
      "T-DRRIP +0.5% -> +T-SHiP +2.9% -> +ATP +4.8% -> +TEMPO +5.1% "
-     "average; best case +10.6%.",
-     lambda: F.fig14_performance(**KW)),
-    ("Fig 15 — with data prefetchers",
+     "average; best case +10.6%.", KW),
+    ("fig15", "Fig 15 — with data prefetchers",
      "On IPCP/Bingo/SPP/ISB baselines the enhancements gain 11.2%, "
      "7.5%, 6.4%, 7.2%.",
-     lambda: F.fig15_with_prefetchers(benchmarks=SWEEP_BENCH,
-                                      instructions=25_000, warmup=8_000)),
-    ("Fig 16 — ROB-stall reduction",
+     dict(benchmarks=SWEEP_BENCH, instructions=25_000, warmup=8_000)),
+    ("fig16", "Fig 16 — ROB-stall reduction",
      "STLB-miss stalls -28.76%, replay stalls -18.5% (46.7% combined "
-     "ROB-stall reduction).",
-     lambda: F.fig16_stall_reduction(**KW)),
-    ("Fig 17 — 2-way SMT",
+     "ROB-stall reduction).", KW),
+    ("fig17", "Fig 17 — 2-way SMT",
      "Average harmonic speedup 6.3%; pr-cc reaches 12.6% while "
      "xalancbmk-xalancbmk gains only 0.5%.",
-     lambda: M.fig17_smt(instructions=20_000, warmup=5_000)),
-    ("Fig 18 — STLB recall distance",
+     dict(instructions=20_000, warmup=5_000)),
+    ("fig18", "Fig 18 — STLB recall distance",
      "More than 40% of STLB entries are dead (recall distance > 50).",
-     lambda: F.fig18_stlb_recall(**KW)),
-    ("Fig 19 — STLB sensitivity",
+     KW),
+    ("fig19", "Fig 19 — STLB sensitivity",
      "Gains persist across STLB sizes; they shrink as the STLB grows.",
-     lambda: S.fig19_stlb_sensitivity(benchmarks=SWEEP_BENCH,
-                                      points=(1024, 2048, 4096),
-                                      instructions=25_000, warmup=8_000)),
-    ("Fig 20 — L2C sensitivity",
+     dict(benchmarks=SWEEP_BENCH, points=(1024, 2048, 4096),
+          instructions=25_000, warmup=8_000)),
+    ("fig20", "Fig 20 — L2C sensitivity",
      "Gains hold from 256KB to 1MB L2C.",
-     lambda: S.fig20_l2c_sensitivity(benchmarks=SWEEP_BENCH,
-                                     instructions=25_000, warmup=8_000)),
-    ("Fig 21 — LLC sensitivity",
+     dict(benchmarks=SWEEP_BENCH, instructions=25_000, warmup=8_000)),
+    ("fig21", "Fig 21 — LLC sensitivity",
      "6.3% at 1MB LLC falling to 4.2% at 8MB.",
-     lambda: S.fig21_llc_sensitivity(benchmarks=SWEEP_BENCH,
-                                     points=(1 << 20, 2 << 20, 8 << 20),
-                                     instructions=25_000, warmup=8_000)),
-    ("Table II — benchmark characterization",
+     dict(benchmarks=SWEEP_BENCH, points=(1 << 20, 2 << 20, 8 << 20),
+          instructions=25_000, warmup=8_000)),
+    ("table2", "Table II — benchmark characterization",
      "Nine benchmarks spanning STLB MPKI 4.78 (xalancbmk) to 82.29 "
-     "(pr); replay MPKI tracks STLB MPKI.",
-     lambda: F.table2_characterization(**KW)),
-    ("Section V multi-core",
+     "(pr); replay MPKI tracks STLB MPKI.", KW),
+    ("multicore", "Section V multi-core",
      "8-core multiprogrammed mixes improve by more than 4% on average.",
-     lambda: M.multicore_study(instructions=20_000, warmup=5_000)),
-    ("Section V-B — prior works",
+     dict(instructions=20_000, warmup=5_000)),
+    ("comparison", "Section V-B — prior works",
      "The proposal beats CbPred/DpPred by 3.1% on average; CSALT adds "
-     "only ~1% on a strong baseline.",
-     lambda: prior_work_comparison(**KW)),
-    ("Ablation — single mechanisms (beyond the paper)",
-     "(No paper counterpart.) Each mechanism in isolation.",
-     lambda: single_mechanism_ablation(**KW)),
-    ("Ablation — ATP trigger placement (beyond the paper)",
-     "(No paper counterpart.) Where replay prefetches fire.",
-     lambda: atp_trigger_placement(**KW)),
-    ("Extension — huge pages (beyond the paper)",
+     "only ~1% on a strong baseline.", KW),
+    ("ablation", "Ablation — single mechanisms (beyond the paper)",
+     "(No paper counterpart.) Each mechanism in isolation.", KW),
+    ("atp_placement",
+     "Ablation — ATP trigger placement (beyond the paper)",
+     "(No paper counterpart.) Where replay prefetches fire.", KW),
+    ("hugepages", "Extension — huge pages (beyond the paper)",
      "(No paper counterpart.) THP as the orthogonal alternative.",
-     lambda: huge_page_study(benchmarks=SWEEP_BENCH,
-                             instructions=25_000, warmup=8_000)),
-    ("Prefetch accuracy",
+     dict(benchmarks=SWEEP_BENCH, instructions=25_000, warmup=8_000)),
+    ("accuracy", "Prefetch accuracy",
      "Section V: 'Our ATP prefetcher is 100% accurate as it is not "
      "speculative.'",
-     lambda: prefetch_accuracy(benchmarks=SWEEP_BENCH,
-                               instructions=25_000, warmup=8_000)),
-    ("PSC sensitivity (beyond the paper)",
+     dict(benchmarks=SWEEP_BENCH, instructions=25_000, warmup=8_000)),
+    ("psc", "PSC sensitivity (beyond the paper)",
      "(No paper counterpart.) Page-walk latency vs paging-structure-"
      "cache capacity.",
-     lambda: psc_sensitivity(benchmarks=SWEEP_BENCH,
-                             instructions=25_000, warmup=8_000)),
-    ("ATP scope (Fig 13 quantified)",
+     dict(benchmarks=SWEEP_BENCH, instructions=25_000, warmup=8_000)),
+    ("atp_scope", "ATP scope (Fig 13 quantified)",
      "ATP hides the translation-response climb + load replay + request "
      "descent; the prefetched block is on its way before the replay "
      "demand reaches L2C/LLC.",
-     lambda: atp_scope(benchmarks=SWEEP_BENCH,
-                       instructions=25_000, warmup=8_000)),
+     dict(benchmarks=SWEEP_BENCH, instructions=25_000, warmup=8_000)),
 ]
 
 HEADER = """\
@@ -164,12 +135,14 @@ benchmark in `benchmarks/`.
 
 def main() -> int:
     out_path = sys.argv[1] if len(sys.argv) > 1 else "EXPERIMENTS.md"
+    missing = set(registry.names()) - {name for name, *_ in EXPERIMENTS}
+    assert not missing, f"EXPERIMENTS drifted from the registry: {missing}"
     sections = [HEADER]
     t_start = time.time()
-    for title, claim, fn in EXPERIMENTS:
+    for name, title, claim, kwargs in EXPERIMENTS:
         t0 = time.time()
         print(f"[{time.time() - t_start:7.1f}s] {title} ...", flush=True)
-        result = fn()
+        result = registry.get(name)(**kwargs)
         elapsed = time.time() - t0
         sections.append(f"## {title}\n\n"
                         f"**Paper:** {claim}\n\n"

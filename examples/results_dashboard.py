@@ -6,14 +6,14 @@ Run with::
     python examples/results_dashboard.py
 """
 
-from repro.experiments.figures import fig14_performance, fig16_stall_reduction
+from repro import api
 from repro.stats.report import bar_chart
 
 
 def main() -> None:
     kw = dict(instructions=30_000, warmup=8_000)
 
-    fig14 = fig14_performance(**kw)
+    fig14 = api.figure("fig14", **kw)
     labels = [row[0] for row in fig14.rows]
     final = [row[-1] for row in fig14.rows]  # +TEMPO column
     print(bar_chart("Fig 14 endpoint: full-stack speedup over baseline "
@@ -21,7 +21,7 @@ def main() -> None:
                     labels, final, baseline=1.0))
     print()
 
-    fig16 = fig16_stall_reduction(**kw)
+    fig16 = api.figure("fig16", **kw)
     labels = [row[0] for row in fig16.rows]
     combined = [row[3] for row in fig16.rows]
     print(bar_chart("Fig 16: reduction in translation+replay ROB stalls "

@@ -2,14 +2,21 @@
 
 Subcommands::
 
-    python -m repro run pr --enhancements full       # one simulation
-    python -m repro figure fig14                     # regenerate a figure
-    python -m repro figure fig1 fig4 fig14 --jobs 8  # parallel + memoised
-    python -m repro list                             # what's available
+    python -m repro run pr --enhancements full        # one simulation
+    python -m repro run pr --metrics out.json         # ... observed
+    python -m repro figure fig14                      # regenerate a figure
+    python -m repro figure fig1 fig4 fig14 --jobs 8   # parallel + memoised
+    python -m repro stats out.json                    # render an export
+    python -m repro stats a.json b.json               # diff two runs
+    python -m repro list                              # what's available
 
-``figure`` fans independent runs out over ``--jobs`` worker processes
-and memoises results under ``~/.cache/repro-runs`` (``--no-cache`` to
-disable; the cache auto-invalidates when the simulator code changes).
+Figures come from the decorator registry
+(:mod:`repro.experiments.registry`); ``figure`` fans independent runs
+out over ``--jobs`` worker processes and memoises results under
+``~/.cache/repro-runs`` (``--no-cache`` to disable; the cache
+auto-invalidates when the simulator code changes).  ``--metrics``
+exports machine-readable ``repro.obs/v1`` documents (see
+``docs/observability.md``).
 """
 
 from __future__ import annotations
@@ -17,60 +24,9 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro.core.rob import StallCategory
-from repro.experiments import figures, mixes, sweeps
-from repro.experiments.ablations import (atp_trigger_placement,
-                                         single_mechanism_ablation)
-from repro.experiments.accuracy import prefetch_accuracy
-from repro.experiments.atp_scope import atp_scope as _atp_scope_lazy
-from repro.experiments.comparison import prior_work_comparison
-from repro.experiments.extensions import huge_page_study
-from repro.experiments.runner import (DEFAULT_INSTRUCTIONS, DEFAULT_WARMUP,
-                                      run_benchmark)
-from repro.params import DEFAULT_SCALE, EnhancementConfig, default_config
+from repro import api
+from repro.experiments import registry
 from repro.workloads.registry import benchmark_names
-
-#: Figure registry for the ``figure`` subcommand.
-FIGURES = {
-    "fig1": figures.fig1_rob_stalls,
-    "fig2": figures.fig2_ideal,
-    "fig3": figures.fig3_response_distribution,
-    "fig4": figures.fig4_translation_mpki,
-    "fig5": figures.fig5_recall_translations,
-    "fig6": figures.fig6_replay_mpki,
-    "fig7": figures.fig7_recall_replays,
-    "fig8": figures.fig8_prefetcher_replay_mpki,
-    "fig10": figures.fig10_replay_rrpv0_degradation,
-    "fig12": figures.fig12_newsign_mpki,
-    "fig14": figures.fig14_performance,
-    "fig15": figures.fig15_with_prefetchers,
-    "fig16": figures.fig16_stall_reduction,
-    "fig17": mixes.fig17_smt,
-    "fig18": figures.fig18_stlb_recall,
-    "fig19": sweeps.fig19_stlb_sensitivity,
-    "fig20": sweeps.fig20_l2c_sensitivity,
-    "fig21": sweeps.fig21_llc_sensitivity,
-    "table2": figures.table2_characterization,
-    "multicore": mixes.multicore_study,
-    # Beyond the paper:
-    "comparison": prior_work_comparison,
-    "ablation": single_mechanism_ablation,
-    "atp_placement": atp_trigger_placement,
-    "accuracy": prefetch_accuracy,
-    "hugepages": huge_page_study,
-    "psc": sweeps.psc_sensitivity,
-    "atp_scope": _atp_scope_lazy,
-}
-
-_ENHANCEMENT_PRESETS = {
-    "none": EnhancementConfig.none(),
-    "t_drrip": EnhancementConfig(t_drrip=True),
-    "t_ship": EnhancementConfig(t_drrip=True, t_llc=True,
-                                new_signatures=True),
-    "atp": EnhancementConfig(t_drrip=True, t_llc=True, new_signatures=True,
-                             atp=True),
-    "full": EnhancementConfig.full(),
-}
 
 
 def _enable_checking() -> None:
@@ -82,13 +38,14 @@ def _enable_checking() -> None:
 def _cmd_run(args) -> int:
     if args.check:
         _enable_checking()
-    cfg = default_config(args.scale).replace(
-        enhancements=_ENHANCEMENT_PRESETS[args.enhancements])
+    cfg = api.build_config(args.scale, enhancements=args.enhancements)
     if args.l2c_prefetcher != "none":
         cfg = cfg.replace(l2c_prefetcher=args.l2c_prefetcher)
-    result = run_benchmark(args.benchmark, config=cfg,
-                           instructions=args.instructions,
-                           warmup=args.warmup, scale=args.scale)
+    result = api.run(args.benchmark, config=cfg,
+                     instructions=args.instructions, warmup=args.warmup,
+                     scale=args.scale, seed=args.seed,
+                     metrics=args.metrics,
+                     sample_interval=args.sample_interval)
     print(f"benchmark      : {result.benchmark}")
     print(f"enhancements   : {args.enhancements}")
     print(f"instructions   : {result.instructions}")
@@ -102,6 +59,9 @@ def _cmd_run(args) -> int:
     if checker is not None:
         print(f"validation     : OK ({checker.events} events checked, "
               f"0 violations)")
+    if args.metrics:
+        print(f"metrics        : {args.metrics} "
+              f"({len(result.intervals)} intervals, schema-validated)")
     return 0
 
 
@@ -112,22 +72,32 @@ def _progress(event) -> None:
 
 
 def _cmd_figure(args) -> int:
-    from repro.experiments import parallel
+    from repro.obs import (Heartbeat, batch_document, build_batch_manifest,
+                           export_json, validate_strict)
 
     if args.check:
         # Memoised results would skip simulation (and thus validation),
         # so --check forces every run to execute.
         _enable_checking()
         args.no_cache = True
-    runner = parallel.configure(jobs=args.jobs,
-                                use_cache=not args.no_cache,
-                                progress=_progress if args.verbose else None)
+    heartbeat = Heartbeat(args.heartbeat) \
+        if (args.metrics or args.heartbeat) else None
+
+    def on_progress(event) -> None:
+        if heartbeat is not None:
+            heartbeat.emit(event)
+        if args.verbose:
+            _progress(event)
+
+    runner = api.configure_parallel(
+        jobs=args.jobs, use_cache=not args.no_cache,
+        progress=on_progress if (args.verbose or heartbeat) else None)
     for name in args.names:
-        fn = FIGURES[name]
+        spec = registry.get(name)
         kwargs = {"instructions": args.instructions, "warmup": args.warmup}
-        if args.benchmarks and name not in ("fig17", "multicore"):
+        if args.benchmarks and spec.takes_benchmarks:
             kwargs["benchmarks"] = args.benchmarks
-        print(fn(**kwargs))
+        print(spec(**kwargs))
     m = runner.metrics
     print(f"runs: {m.executed} executed, {m.cache_hits} from cache, "
           f"{m.retries} retried, {m.total_wall_time:.1f}s simulated",
@@ -135,13 +105,30 @@ def _cmd_figure(args) -> int:
     if args.check:
         print("validation: all runs passed invariant + oracle checks",
               file=sys.stderr)
+    if heartbeat is not None:
+        heartbeat.close(runner_metrics=m)
+        if args.metrics:
+            doc = validate_strict(batch_document(
+                build_batch_manifest(args.names, runner_metrics=m),
+                heartbeat.events))
+            export_json(args.metrics, doc)
+            print(f"metrics: {args.metrics} ({len(heartbeat.events)} "
+                  f"events, schema-validated)", file=sys.stderr)
     return 0
+
+
+def _cmd_stats(args) -> int:
+    from repro.obs.stats_cli import cmd_stats
+    return cmd_stats(args)
 
 
 def _cmd_list(_args) -> int:
     print("benchmarks :", " ".join(benchmark_names()))
-    print("figures    :", " ".join(FIGURES))
-    print("enhancement presets:", " ".join(_ENHANCEMENT_PRESETS))
+    paper = [s.name for s in registry.specs() if s.paper]
+    extra = [s.name for s in registry.specs() if not s.paper]
+    print("figures    :", " ".join(paper))
+    print("studies    :", " ".join(extra))
+    print("enhancement presets:", " ".join(api.ENHANCEMENT_PRESET_NAMES))
     return 0
 
 
@@ -154,13 +141,22 @@ def main(argv=None) -> int:
     p_run = sub.add_parser("run", help="simulate one benchmark")
     p_run.add_argument("benchmark", choices=benchmark_names())
     p_run.add_argument("--enhancements", default="none",
-                       choices=sorted(_ENHANCEMENT_PRESETS))
+                       choices=sorted(api.ENHANCEMENT_PRESET_NAMES))
     p_run.add_argument("--l2c-prefetcher", default="none",
                        choices=["none", "spp", "bingo", "isb", "next_line"])
     p_run.add_argument("--instructions", type=int,
-                       default=DEFAULT_INSTRUCTIONS)
-    p_run.add_argument("--warmup", type=int, default=DEFAULT_WARMUP)
-    p_run.add_argument("--scale", type=int, default=DEFAULT_SCALE)
+                       default=api.DEFAULT_INSTRUCTIONS)
+    p_run.add_argument("--warmup", type=int, default=api.DEFAULT_WARMUP)
+    p_run.add_argument("--scale", type=int, default=api.DEFAULT_SCALE)
+    p_run.add_argument("--seed", type=int, default=1)
+    p_run.add_argument("--metrics", metavar="PATH", default=None,
+                       help="export manifest + interval time-series as "
+                            "repro.obs/v1 JSON (see docs/observability.md)")
+    p_run.add_argument("--sample-interval", type=int, default=None,
+                       metavar="N",
+                       help="sample the hierarchy every N retired "
+                            "instructions (default with --metrics: "
+                            f"{api.DEFAULT_SAMPLE_INTERVAL})")
     p_run.add_argument("--check", action="store_true",
                        help="run with runtime invariant checkers and the "
                             "differential oracle attached (see "
@@ -168,12 +164,12 @@ def main(argv=None) -> int:
     p_run.set_defaults(func=_cmd_run)
 
     p_fig = sub.add_parser("figure", help="regenerate paper figures")
-    p_fig.add_argument("names", nargs="+", choices=sorted(FIGURES),
+    p_fig.add_argument("names", nargs="+", choices=registry.names(),
                        metavar="name")
     p_fig.add_argument("--benchmarks", nargs="*", default=None)
     p_fig.add_argument("--instructions", type=int,
-                       default=DEFAULT_INSTRUCTIONS)
-    p_fig.add_argument("--warmup", type=int, default=DEFAULT_WARMUP)
+                       default=api.DEFAULT_INSTRUCTIONS)
+    p_fig.add_argument("--warmup", type=int, default=api.DEFAULT_WARMUP)
     p_fig.add_argument("--jobs", type=int, default=1,
                        help="worker processes for independent runs")
     p_fig.add_argument("--no-cache", action="store_true",
@@ -181,16 +177,39 @@ def main(argv=None) -> int:
                             "(~/.cache/repro-runs)")
     p_fig.add_argument("--verbose", action="store_true",
                        help="per-run progress on stderr")
+    p_fig.add_argument("--metrics", metavar="PATH", default=None,
+                       help="export the batch manifest + per-run "
+                            "heartbeat events as repro.obs/v1 JSON")
+    p_fig.add_argument("--heartbeat", metavar="PATH", default=None,
+                       help="stream one JSON line per completed run "
+                            "(tail -f friendly)")
     p_fig.add_argument("--check", action="store_true",
                        help="validate every run (implies --no-cache: "
                             "memoised results would skip the checkers)")
     p_fig.set_defaults(func=_cmd_figure)
 
+    p_stats = sub.add_parser(
+        "stats", help="summarise / validate / diff metrics exports")
+    p_stats.add_argument("paths", nargs="+",
+                         help="one export renders it; two run exports "
+                              "diff their summaries")
+    p_stats.add_argument("--validate", action="store_true",
+                         help="check documents against the repro.obs/v1 "
+                              "schema and exit non-zero on problems")
+    p_stats.add_argument("--csv", metavar="PATH", default=None,
+                         help="also write a run export's interval "
+                              "time-series as CSV")
+    p_stats.set_defaults(func=_cmd_stats)
+
     p_list = sub.add_parser("list", help="list benchmarks and figures")
     p_list.set_defaults(func=_cmd_list)
 
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe; not an error.
+        return 0
 
 
 if __name__ == "__main__":

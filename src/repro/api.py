@@ -1,0 +1,187 @@
+"""Stable public facade for the reproduction.
+
+Everything a caller needs lives here; the deep module paths
+(``repro.experiments.runner``, ``repro.experiments.figures``, ...) remain
+importable but are implementation detail and may move between releases.
+The surface is intentionally small:
+
+* :func:`run` -- simulate one benchmark, optionally observed
+  (``metrics=...`` exports a ``repro.obs/v1`` document);
+* :func:`figure` / :func:`list_figures` -- regenerate any registered
+  figure/table by name (see :mod:`repro.experiments.registry`);
+* :func:`build_config` / :func:`enhancement_preset` -- config builders;
+* :class:`RunResult` / :class:`RunSummary` -- what runs return (live
+  object vs. picklable snapshot);
+* :func:`configure_parallel` -- fan figure batches out over worker
+  processes with on-disk memoisation.
+
+Quickstart::
+
+    from repro import api
+
+    base = api.run("pr")
+    enhanced = api.run("pr", enhancements="full")
+    print(enhanced.speedup_over(base))
+
+    observed = api.run("pr", enhancements="full", metrics="out.json")
+    print(len(observed.intervals), "intervals")
+
+    print(api.figure("fig14"))
+
+``tests/test_api_surface.py`` pins this module's exports; extend
+``__all__`` deliberately, never remove from it within a major version.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple, Union
+
+from repro.core.rob import StallCategory
+from repro.experiments import registry
+from repro.experiments.figures import FigureResult
+from repro.experiments.parallel import (ParallelRunner, ResultCache, RunKey,
+                                        RunSummary)
+from repro.experiments.parallel import configure as _configure_parallel
+from repro.experiments.runner import (DEFAULT_INSTRUCTIONS, DEFAULT_WARMUP,
+                                      RunResult, run_benchmark)
+from repro.obs import DEFAULT_SAMPLE_INTERVAL, Profiler
+from repro.params import (DEFAULT_SCALE, CacheConfig, EnhancementConfig,
+                          IdealConfig, SimConfig, TLBConfig,
+                          canonical_policy, default_config, paper_config)
+from repro.workloads.registry import benchmark_names
+
+__all__ = [
+    # entry points
+    "run", "figure", "list_figures", "list_benchmarks",
+    "configure_parallel",
+    # results
+    "RunResult", "RunSummary", "FigureResult", "RunKey",
+    "ParallelRunner", "ResultCache", "StallCategory",
+    # config builders
+    "build_config", "enhancement_preset", "default_config", "paper_config",
+    "canonical_policy", "SimConfig", "CacheConfig", "TLBConfig",
+    "EnhancementConfig", "IdealConfig",
+    # constants
+    "DEFAULT_INSTRUCTIONS", "DEFAULT_WARMUP", "DEFAULT_SCALE",
+    "DEFAULT_SAMPLE_INTERVAL", "ENHANCEMENT_PRESET_NAMES", "Profiler",
+]
+
+#: Named enhancement stacks, in the paper's cumulative order.
+_PRESET_FLAGS: Dict[str, Dict[str, bool]] = {
+    "none": {},
+    "t_drrip": dict(t_drrip=True),
+    "t_ship": dict(t_drrip=True, t_ship=True, newsign=True),
+    "atp": dict(t_drrip=True, t_ship=True, newsign=True, atp=True),
+    "full": dict(t_drrip=True, t_ship=True, newsign=True, atp=True,
+                 tempo=True),
+}
+
+ENHANCEMENT_PRESET_NAMES: Tuple[str, ...] = tuple(_PRESET_FLAGS)
+
+
+def enhancement_preset(name: str) -> EnhancementConfig:
+    """A fresh :class:`EnhancementConfig` for a named preset
+    (``none``/``t_drrip``/``t_ship``/``atp``/``full``)."""
+    try:
+        flags = _PRESET_FLAGS[name]
+    except KeyError:
+        raise ValueError(f"unknown enhancement preset {name!r}; known: "
+                         f"{' '.join(ENHANCEMENT_PRESET_NAMES)}") from None
+    return EnhancementConfig(**flags)
+
+
+def _resolve_enhancements(
+        enhancements: Union[str, EnhancementConfig, None]
+) -> Optional[EnhancementConfig]:
+    if enhancements is None or isinstance(enhancements, EnhancementConfig):
+        return enhancements
+    return enhancement_preset(enhancements)
+
+
+def build_config(scale: int = DEFAULT_SCALE, *,
+                 enhancements: Union[str, EnhancementConfig, None] = None,
+                 **overrides) -> SimConfig:
+    """The scale-reduced default config with named tweaks applied.
+
+    ``enhancements`` accepts a preset name or an
+    :class:`EnhancementConfig`; every other keyword is a
+    :class:`SimConfig` field (``l2c_prefetcher="spp"``,
+    ``llc_inclusion="inclusive"``, ...).  Unknown fields raise.
+    """
+    cfg = default_config(scale)
+    enh = _resolve_enhancements(enhancements)
+    if enh is not None:
+        cfg = cfg.replace(enhancements=enh)
+    if overrides:
+        cfg = cfg.replace(**overrides)
+    return cfg
+
+
+def run(benchmark: str, *,
+        config: Optional[SimConfig] = None,
+        enhancements: Union[str, EnhancementConfig, None] = None,
+        instructions: int = DEFAULT_INSTRUCTIONS,
+        warmup: int = DEFAULT_WARMUP,
+        scale: int = DEFAULT_SCALE,
+        seed: int = 1,
+        metrics=None,
+        sample_interval: Optional[int] = None) -> RunResult:
+    """Simulate one benchmark; the facade over
+    :func:`repro.experiments.runner.run_benchmark`.
+
+    ``enhancements`` (a preset name or :class:`EnhancementConfig`) is a
+    shortcut for building ``config``; passing both raises.
+
+    Observability: ``sample_interval=N`` attaches the interval sampler
+    (``result.intervals``); ``metrics=PATH`` additionally profiles the
+    run and writes the schema-validated JSON export there, defaulting the
+    interval to :data:`DEFAULT_SAMPLE_INTERVAL`.  Both off (the default)
+    costs nothing.
+    """
+    enh = _resolve_enhancements(enhancements)
+    if enh is not None:
+        if config is not None:
+            raise ValueError("pass either config= or enhancements=, "
+                             "not both")
+        config = build_config(scale, enhancements=enh)
+    if metrics is not None and sample_interval is None:
+        sample_interval = DEFAULT_SAMPLE_INTERVAL
+    profiler = Profiler() if metrics is not None else None
+    result = run_benchmark(benchmark, config=config,
+                           instructions=instructions, warmup=warmup,
+                           scale=scale, seed=seed,
+                           sample_interval=sample_interval,
+                           profiler=profiler)
+    if metrics is not None:
+        result.export_metrics(metrics)
+    return result
+
+
+def figure(name: str, **kwargs) -> FigureResult:
+    """Regenerate one registered figure/table (see :func:`list_figures`).
+
+    Keyword arguments pass through to the harness
+    (``instructions=...``, ``warmup=...``, and -- where supported --
+    ``benchmarks=[...]``).
+    """
+    return registry.get(name)(**kwargs)
+
+
+def list_figures() -> Tuple[str, ...]:
+    """Every registered figure/table name, in display order."""
+    return registry.names()
+
+
+def list_benchmarks() -> Tuple[str, ...]:
+    """Every synthetic workload name (Table II of the paper)."""
+    return tuple(benchmark_names())
+
+
+def configure_parallel(jobs: int = 1, use_cache: bool = False,
+                       cache_dir=None, progress=None,
+                       timeout: float = 600.0) -> ParallelRunner:
+    """Install the ambient parallel runner the figure harnesses route
+    through (the CLI's ``--jobs`` / ``--no-cache`` land here)."""
+    return _configure_parallel(jobs=jobs, use_cache=use_cache,
+                               cache_dir=cache_dir, progress=progress,
+                               timeout=timeout)

@@ -328,6 +328,19 @@ class Cache:
             self.prefetcher.issued = 0
 
     # ------------------------------------------------------------------
+    def rrpv_histogram(self) -> List[int]:
+        """Counts of valid blocks by RRPV value (index = RRPV).
+
+        Policies without RRPV state (LRU, Random) leave every block at
+        RRPV 0, so the histogram degenerates to one bucket."""
+        max_rrpv = getattr(self.policy, "max_rrpv", 0)
+        counts = [0] * (max_rrpv + 1)
+        for blocks in self._sets:
+            for block in blocks:
+                if block.valid:
+                    counts[min(block.rrpv, max_rrpv)] += 1
+        return counts
+
     def occupancy_by_category(self) -> Dict[str, int]:
         """Count of resident blocks per fill category (for analysis)."""
         counts = {"translation": 0, "replay": 0, "other": 0}

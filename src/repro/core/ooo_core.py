@@ -87,6 +87,7 @@ class OOOCore:
         stalls = StallAccounting()
         hierarchy = self.hierarchy
         checker = self.checker
+        sampler = hierarchy.sampler
         frontend = hierarchy.frontend
         fetch_hidden = frontend.hidden_latency if frontend else 0
         prev_fetch_line = -1
@@ -98,12 +99,16 @@ class OOOCore:
         retire_times: Deque[int] = deque()
         roi_start_cycle = 0
         counting = warmup == 0
+        if counting and sampler is not None:
+            sampler.begin(stalls, roi_start_cycle)
 
         for i in range(total):
             if not counting and i == warmup:
                 counting = True
                 roi_start_cycle = retire_cycle
                 hierarchy.reset_stats()
+                if sampler is not None:
+                    sampler.begin(stalls, roi_start_cycle)
             # -- dispatch ------------------------------------------------
             dc = dispatch_cycle
             if len(retire_times) >= self.rob_entries:
@@ -178,8 +183,12 @@ class OOOCore:
             retire_times.append(rt)
             if checker is not None:
                 checker.on_retire(rt, len(retire_times))
+            if sampler is not None and counting:
+                sampler.on_retire(rt, len(retire_times))
 
         instructions = total - warmup if warmup < total else 0
         cycles = max(1, retire_cycle - roi_start_cycle)
+        if sampler is not None:
+            sampler.finalize(retire_cycle)
         return CoreResult(instructions=instructions, cycles=cycles,
                           stalls=stalls, hierarchy=hierarchy)

@@ -19,18 +19,20 @@ from repro.experiments.runner import DEFAULT_INSTRUCTIONS, DEFAULT_WARMUP
 from repro.params import DEFAULT_SCALE, EnhancementConfig, default_config
 from repro.stats.report import geometric_mean
 from repro.workloads.registry import benchmark_names
+from repro.experiments.registry import figure
 
 #: Single-mechanism variants (plus the full stack for reference).
 ABLATION_VARIANTS: Dict[str, EnhancementConfig] = {
     "t_drrip_only": EnhancementConfig(t_drrip=True),
-    "t_llc_only": EnhancementConfig(t_llc=True, new_signatures=True),
-    "newsign_only": EnhancementConfig(new_signatures=True),
+    "t_ship_only": EnhancementConfig(t_ship=True, newsign=True),
+    "newsign_only": EnhancementConfig(newsign=True),
     "atp_only": EnhancementConfig(atp=True),
     "tempo_only": EnhancementConfig(tempo=True),
     "full": EnhancementConfig.full(),
 }
 
 
+@figure("ablation", paper=False)
 def single_mechanism_ablation(benchmarks: Optional[Sequence[str]] = None,
                               instructions: int = DEFAULT_INSTRUCTIONS,
                               warmup: int = DEFAULT_WARMUP,
@@ -65,6 +67,7 @@ def single_mechanism_ablation(benchmarks: Optional[Sequence[str]] = None,
                         ["benchmark"] + list(ABLATION_VARIANTS), rows, data)
 
 
+@figure("atp_placement", paper=False)
 def atp_trigger_placement(benchmarks: Optional[Sequence[str]] = None,
                           instructions: int = DEFAULT_INSTRUCTIONS,
                           warmup: int = DEFAULT_WARMUP,

@@ -18,6 +18,7 @@ from repro.experiments.parallel import RunKey
 from repro.experiments.runner import DEFAULT_INSTRUCTIONS, DEFAULT_WARMUP
 from repro.params import DEFAULT_SCALE, EnhancementConfig, default_config
 from repro.workloads.registry import benchmark_names
+from repro.experiments.registry import figure
 
 
 def _useful_and_filled(run, levels: Sequence[str]):
@@ -26,6 +27,7 @@ def _useful_and_filled(run, levels: Sequence[str]):
     return useful, filled
 
 
+@figure("accuracy", paper=False)
 def prefetch_accuracy(benchmarks: Optional[Sequence[str]] = None,
                       instructions: int = DEFAULT_INSTRUCTIONS,
                       warmup: int = DEFAULT_WARMUP,
@@ -41,7 +43,7 @@ def prefetch_accuracy(benchmarks: Optional[Sequence[str]] = None,
         "bingo": (dict(l2c_prefetcher="bingo"), ("l2c",)),
         "isb": (dict(l2c_prefetcher="isb"), ("l2c",)),
         "atp": (dict(enhancements=EnhancementConfig(
-            t_drrip=True, t_llc=True, new_signatures=True, atp=True)),
+            t_drrip=True, t_ship=True, newsign=True, atp=True)),
             ("l2c", "llc")),
     }
     specs = {}

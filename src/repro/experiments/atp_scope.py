@@ -22,6 +22,7 @@ from repro.experiments.runner import DEFAULT_INSTRUCTIONS, DEFAULT_WARMUP
 from repro.params import DEFAULT_SCALE, EnhancementConfig, default_config
 from repro.uncore.hierarchy import MemoryHierarchy
 from repro.workloads.registry import benchmark_names, make_trace
+from repro.experiments.registry import figure
 
 
 class _ReplayLatencyProbe:
@@ -67,16 +68,17 @@ def _measure(name: str, enh: EnhancementConfig, instructions: int,
         return probe.mean_latency, dict(probe.served), hierarchy
 
 
+@figure("atp_scope", paper=False)
 def atp_scope(benchmarks: Optional[Sequence[str]] = None,
               instructions: int = DEFAULT_INSTRUCTIONS,
               warmup: int = DEFAULT_WARMUP,
               scale: int = DEFAULT_SCALE) -> FigureResult:
     """Realized ATP head start per benchmark (cycles per replay load)."""
     names = list(benchmarks) if benchmarks else benchmark_names()
-    t_stack = EnhancementConfig(t_drrip=True, t_llc=True,
-                                new_signatures=True)
-    with_atp = EnhancementConfig(t_drrip=True, t_llc=True,
-                                 new_signatures=True, atp=True)
+    t_stack = EnhancementConfig(t_drrip=True, t_ship=True,
+                                newsign=True)
+    with_atp = EnhancementConfig(t_drrip=True, t_ship=True,
+                                 newsign=True, atp=True)
     rows: List[List] = []
     data: Dict = {}
     for name in names:

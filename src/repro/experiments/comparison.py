@@ -18,12 +18,14 @@ from repro.experiments.runner import (DEFAULT_INSTRUCTIONS, DEFAULT_WARMUP,
 from repro.params import DEFAULT_SCALE, EnhancementConfig, default_config
 from repro.stats.report import geometric_mean
 from repro.workloads.registry import benchmark_names
+from repro.experiments.registry import figure
 
 #: Configurations compared in Section V-B, all normalized to the shared
 #: DRRIP+SHiP baseline.
 COMPARISON_VARIANTS = ("cbpred", "csalt", "proposed")
 
 
+@figure("comparison", paper=False)
 def prior_work_comparison(benchmarks: Optional[Sequence[str]] = None,
                           instructions: int = DEFAULT_INSTRUCTIONS,
                           warmup: int = DEFAULT_WARMUP,

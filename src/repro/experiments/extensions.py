@@ -20,6 +20,7 @@ from repro.experiments.runner import DEFAULT_INSTRUCTIONS, DEFAULT_WARMUP
 from repro.params import DEFAULT_SCALE, EnhancementConfig, default_config
 from repro.stats.report import geometric_mean
 from repro.workloads.registry import benchmark_names
+from repro.experiments.registry import figure
 
 
 def adaptive_tdrrip_study(benchmarks: Optional[Sequence[str]] = None,
@@ -64,6 +65,7 @@ def adaptive_tdrrip_study(benchmarks: Optional[Sequence[str]] = None,
                         ["benchmark", "static", "adaptive"], rows, data)
 
 
+@figure("hugepages", paper=False)
 def huge_page_study(benchmarks: Optional[Sequence[str]] = None,
                     instructions: int = DEFAULT_INSTRUCTIONS,
                     warmup: int = DEFAULT_WARMUP,

@@ -21,6 +21,7 @@ from repro.params import (DEFAULT_SCALE, EnhancementConfig, IdealConfig,
 from repro.stats.recall import RECALL_BUCKETS
 from repro.stats.report import format_table, geometric_mean
 from repro.workloads.registry import TABLE2_REFERENCE, benchmark_names
+from repro.experiments.registry import figure
 
 
 @dataclass
@@ -91,6 +92,7 @@ def _run_grid(specs: Dict) -> Dict:
 # ----------------------------------------------------------------------
 # Fig 1: head-of-ROB stall cycles per category.
 # ----------------------------------------------------------------------
+@figure("fig1")
 def fig1_rob_stalls(benchmarks: Optional[Sequence[str]] = None,
                     instructions: int = DEFAULT_INSTRUCTIONS,
                     warmup: int = DEFAULT_WARMUP,
@@ -143,6 +145,7 @@ _IDEAL_MODES = {
 }
 
 
+@figure("fig2")
 def fig2_ideal(benchmarks: Optional[Sequence[str]] = None,
                instructions: int = DEFAULT_INSTRUCTIONS,
                warmup: int = DEFAULT_WARMUP,
@@ -183,6 +186,7 @@ def fig2_ideal(benchmarks: Optional[Sequence[str]] = None,
 # ----------------------------------------------------------------------
 # Fig 3: which level serves leaf translations and replays.
 # ----------------------------------------------------------------------
+@figure("fig3")
 def fig3_response_distribution(benchmarks: Optional[Sequence[str]] = None,
                                instructions: int = DEFAULT_INSTRUCTIONS,
                                warmup: int = DEFAULT_WARMUP,
@@ -256,6 +260,7 @@ def _policy_mpki_figure(figure: str, title: str, metric: str,
                         rows, data)
 
 
+@figure("fig4")
 def fig4_translation_mpki(benchmarks: Optional[Sequence[str]] = None,
                           instructions: int = DEFAULT_INSTRUCTIONS,
                           warmup: int = DEFAULT_WARMUP,
@@ -268,6 +273,7 @@ def fig4_translation_mpki(benchmarks: Optional[Sequence[str]] = None,
         "ptl1", benchmarks, instructions, warmup, scale, policies)
 
 
+@figure("fig6")
 def fig6_replay_mpki(benchmarks: Optional[Sequence[str]] = None,
                      instructions: int = DEFAULT_INSTRUCTIONS,
                      warmup: int = DEFAULT_WARMUP,
@@ -307,6 +313,7 @@ def _recall_figure(figure: str, title: str, kind: str,
                         rows, data)
 
 
+@figure("fig5")
 def fig5_recall_translations(benchmarks: Optional[Sequence[str]] = None,
                              instructions: int = DEFAULT_INSTRUCTIONS,
                              warmup: int = DEFAULT_WARMUP,
@@ -318,6 +325,7 @@ def fig5_recall_translations(benchmarks: Optional[Sequence[str]] = None,
                           scale)
 
 
+@figure("fig7")
 def fig7_recall_replays(benchmarks: Optional[Sequence[str]] = None,
                         instructions: int = DEFAULT_INSTRUCTIONS,
                         warmup: int = DEFAULT_WARMUP,
@@ -328,6 +336,7 @@ def fig7_recall_replays(benchmarks: Optional[Sequence[str]] = None,
                           "replay", benchmarks, instructions, warmup, scale)
 
 
+@figure("fig18")
 def fig18_stlb_recall(benchmarks: Optional[Sequence[str]] = None,
                       instructions: int = DEFAULT_INSTRUCTIONS,
                       warmup: int = DEFAULT_WARMUP,
@@ -340,6 +349,7 @@ def fig18_stlb_recall(benchmarks: Optional[Sequence[str]] = None,
 # ----------------------------------------------------------------------
 # Fig 8: prefetchers cannot cover replay loads.
 # ----------------------------------------------------------------------
+@figure("fig8")
 def fig8_prefetcher_replay_mpki(benchmarks: Optional[Sequence[str]] = None,
                                 instructions: int = DEFAULT_INSTRUCTIONS,
                                 warmup: int = DEFAULT_WARMUP,
@@ -380,6 +390,7 @@ def fig8_prefetcher_replay_mpki(benchmarks: Optional[Sequence[str]] = None,
 # ----------------------------------------------------------------------
 # Fig 10: the replay-at-RRPV0 misconfiguration degrades performance.
 # ----------------------------------------------------------------------
+@figure("fig10")
 def fig10_replay_rrpv0_degradation(benchmarks: Optional[Sequence[str]] = None,
                                    instructions: int = DEFAULT_INSTRUCTIONS,
                                    warmup: int = DEFAULT_WARMUP,
@@ -389,8 +400,8 @@ def fig10_replay_rrpv0_degradation(benchmarks: Optional[Sequence[str]] = None,
     (normalized to baseline; the paper shows degradation)."""
     names = _benchmarks(benchmarks)
     cfg = default_config(scale).replace(
-        enhancements=EnhancementConfig(t_drrip=True, t_llc=True,
-                                       new_signatures=True,
+        enhancements=EnhancementConfig(t_drrip=True, t_ship=True,
+                                       newsign=True,
                                        replay_rrpv0=True))
     specs = {}
     for name in names:
@@ -417,6 +428,7 @@ def fig10_replay_rrpv0_degradation(benchmarks: Optional[Sequence[str]] = None,
 # ----------------------------------------------------------------------
 # Fig 12: LLC translation MPKI with the enhancements.
 # ----------------------------------------------------------------------
+@figure("fig12")
 def fig12_newsign_mpki(benchmarks: Optional[Sequence[str]] = None,
                        instructions: int = DEFAULT_INSTRUCTIONS,
                        warmup: int = DEFAULT_WARMUP,
@@ -426,9 +438,9 @@ def fig12_newsign_mpki(benchmarks: Optional[Sequence[str]] = None,
     names = _benchmarks(benchmarks)
     variants = {
         "ship": EnhancementConfig.none(),
-        "newsign": EnhancementConfig(new_signatures=True),
-        "t_ship": EnhancementConfig(t_drrip=True, t_llc=True,
-                                    new_signatures=True),
+        "newsign": EnhancementConfig(newsign=True),
+        "t_ship": EnhancementConfig(t_drrip=True, t_ship=True,
+                                    newsign=True),
     }
     specs = {}
     for name in names:
@@ -460,14 +472,15 @@ def fig12_newsign_mpki(benchmarks: Optional[Sequence[str]] = None,
 # ----------------------------------------------------------------------
 FIG14_VARIANTS = {
     "T-DRRIP": EnhancementConfig(t_drrip=True),
-    "+T-SHiP": EnhancementConfig(t_drrip=True, t_llc=True,
-                                 new_signatures=True),
-    "+ATP": EnhancementConfig(t_drrip=True, t_llc=True, new_signatures=True,
+    "+T-SHiP": EnhancementConfig(t_drrip=True, t_ship=True,
+                                 newsign=True),
+    "+ATP": EnhancementConfig(t_drrip=True, t_ship=True, newsign=True,
                               atp=True),
     "+TEMPO": EnhancementConfig.full(),
 }
 
 
+@figure("fig14")
 def fig14_performance(benchmarks: Optional[Sequence[str]] = None,
                       instructions: int = DEFAULT_INSTRUCTIONS,
                       warmup: int = DEFAULT_WARMUP,
@@ -508,6 +521,7 @@ def fig14_performance(benchmarks: Optional[Sequence[str]] = None,
 # ----------------------------------------------------------------------
 # Fig 15: enhancements on top of data prefetchers.
 # ----------------------------------------------------------------------
+@figure("fig15")
 def fig15_with_prefetchers(benchmarks: Optional[Sequence[str]] = None,
                            instructions: int = DEFAULT_INSTRUCTIONS,
                            warmup: int = DEFAULT_WARMUP,
@@ -557,6 +571,7 @@ def fig15_with_prefetchers(benchmarks: Optional[Sequence[str]] = None,
 # ----------------------------------------------------------------------
 # Fig 16: reduction in ROB stall cycles.
 # ----------------------------------------------------------------------
+@figure("fig16")
 def fig16_stall_reduction(benchmarks: Optional[Sequence[str]] = None,
                           instructions: int = DEFAULT_INSTRUCTIONS,
                           warmup: int = DEFAULT_WARMUP,
@@ -609,6 +624,7 @@ def fig16_stall_reduction(benchmarks: Optional[Sequence[str]] = None,
 # ----------------------------------------------------------------------
 # Table II: benchmark characterization.
 # ----------------------------------------------------------------------
+@figure("table2")
 def table2_characterization(benchmarks: Optional[Sequence[str]] = None,
                             instructions: int = DEFAULT_INSTRUCTIONS,
                             warmup: int = DEFAULT_WARMUP,

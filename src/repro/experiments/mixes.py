@@ -19,6 +19,7 @@ from repro.params import (DEFAULT_SCALE, EnhancementConfig, SimConfig,
 from repro.stats.report import geometric_mean, harmonic_mean
 from repro.uncore.hierarchy import MemoryHierarchy
 from repro.workloads.registry import make_trace
+from repro.experiments.registry import figure
 
 #: The paper's example SMT pairings, covering category combinations.
 SMT_MIXES: Tuple[Tuple[str, str], ...] = (
@@ -43,6 +44,7 @@ def _run_smt(mix: Tuple[str, str], config: SimConfig, instructions: int,
     return smt.run(traces, warmup=warmup)
 
 
+@figure("fig17", takes_benchmarks=False)
 def fig17_smt(mixes: Sequence[Tuple[str, str]] = SMT_MIXES,
               instructions: int = DEFAULT_INSTRUCTIONS,
               warmup: int = DEFAULT_WARMUP,
@@ -103,6 +105,7 @@ def multicore_speedup(mix: Sequence[str], num_cores: Optional[int] = None,
             "harmonic": harmonic_mean(per_core)}
 
 
+@figure("multicore", takes_benchmarks=False)
 def multicore_study(mixes: Sequence[Sequence[str]] = MULTICORE_MIXES,
                     instructions: int = DEFAULT_INSTRUCTIONS,
                     warmup: int = DEFAULT_WARMUP,

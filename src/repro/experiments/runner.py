@@ -30,6 +30,13 @@ class RunResult:
     benchmark: str
     config: SimConfig = field(repr=False)
     core: CoreResult = field(repr=False)
+    #: Run geometry (recorded for the observability manifest).
+    seed: int = 1
+    warmup: int = DEFAULT_WARMUP
+    scale: int = DEFAULT_SCALE
+    #: Attached only on observed runs (``sample_interval=...``).
+    sampler: Optional[object] = field(repr=False, default=None)
+    profiler: Optional[object] = field(repr=False, default=None)
 
     # -- headline metrics ------------------------------------------------
     @property
@@ -93,6 +100,32 @@ class RunResult:
             "stall_non_replay": self.stall_cycles(StallCategory.NON_REPLAY),
         }
 
+    # -- observability ---------------------------------------------------
+    @property
+    def intervals(self) -> list:
+        """Interval time-series (empty unless the run was observed)."""
+        return self.sampler.intervals if self.sampler is not None else []
+
+    def metrics_document(self) -> Dict:
+        """The run's ``repro.obs/v1`` export (manifest + intervals +
+        summary).  Valid for unobserved runs too -- the time-series is
+        just empty."""
+        from repro.obs import build_manifest, run_document
+        manifest = build_manifest(
+            self.benchmark, self.config, instructions=self.instructions,
+            warmup=self.warmup, scale=self.scale, seed=self.seed,
+            sample_interval=self.sampler.interval if self.sampler else None,
+            hierarchy=self.hierarchy, result=self.core,
+            profiler=self.profiler)
+        return run_document(manifest, self.intervals, self.summary())
+
+    def export_metrics(self, path) -> Dict:
+        """Write the run's metrics export as JSON; returns the document."""
+        from repro.obs import export_json, validate_strict
+        doc = validate_strict(self.metrics_document())
+        export_json(path, doc)
+        return doc
+
 
 @dataclass
 class MultiSeedResult:
@@ -137,17 +170,46 @@ def run_benchmark_multi(name: str, seeds,
     return MultiSeedResult(benchmark=name, runs=runs)
 
 
+def _phase(profiler, name: str):
+    """``profiler.phase(name)`` or a no-op scope when unobserved."""
+    if profiler is None:
+        from contextlib import nullcontext
+        return nullcontext()
+    return profiler.phase(name)
+
+
 def run_benchmark(name: str, config: Optional[SimConfig] = None,
                   instructions: int = DEFAULT_INSTRUCTIONS,
                   warmup: int = DEFAULT_WARMUP,
-                  scale: int = DEFAULT_SCALE, seed: int = 1) -> RunResult:
-    """Simulate one benchmark under one configuration."""
+                  scale: int = DEFAULT_SCALE, seed: int = 1,
+                  sample_interval: Optional[int] = None,
+                  profiler=None) -> RunResult:
+    """Simulate one benchmark under one configuration.
+
+    ``sample_interval`` attaches an interval metrics sampler (see
+    :mod:`repro.obs`): every N retired ROI instructions the hierarchy is
+    snapshotted into ``result.intervals``.  ``profiler`` (a
+    :class:`repro.obs.Profiler`) attributes wall-clock time to the
+    trace/build/simulate phases.  Both default to off and then cost
+    nothing -- the same is-None-guard pattern :mod:`repro.validate` uses.
+    """
     cfg = config or default_config(scale)
-    trace = make_trace(name, instructions + warmup, scale=scale, seed=seed)
-    hierarchy = MemoryHierarchy(cfg)
-    core = OOOCore(cfg, hierarchy)
-    result = core.run(trace, warmup=warmup)
+    with _phase(profiler, "trace"):
+        trace = make_trace(name, instructions + warmup, scale=scale,
+                           seed=seed)
+    with _phase(profiler, "build"):
+        hierarchy = MemoryHierarchy(cfg)
+        core = OOOCore(cfg, hierarchy)
+    sampler = None
+    if sample_interval is not None:
+        from repro.obs import IntervalSampler
+        sampler = IntervalSampler(hierarchy, sample_interval)
+        hierarchy.sampler = sampler
+    with _phase(profiler, "simulate"):
+        result = core.run(trace, warmup=warmup)
     if hierarchy.checker is not None:
         # End-of-run exhaustive sweep (strict mode raises on violation).
         hierarchy.checker.final_check()
-    return RunResult(benchmark=name, config=cfg, core=result)
+    return RunResult(benchmark=name, config=cfg, core=result, seed=seed,
+                     warmup=warmup, scale=scale, sampler=sampler,
+                     profiler=profiler)

@@ -17,6 +17,7 @@ from repro.experiments.runner import DEFAULT_INSTRUCTIONS, DEFAULT_WARMUP
 from repro.params import DEFAULT_SCALE, EnhancementConfig, default_config
 from repro.stats.report import geometric_mean
 from repro.workloads.registry import benchmark_names
+from repro.experiments.registry import figure
 
 #: Paper sweep points (at paper scale; divided by ``scale`` at run time).
 STLB_SWEEP_ENTRIES = (512, 1024, 2048, 4096)
@@ -80,6 +81,7 @@ def _sweep(figure: str, title: str, structure: str, points: Sequence[int],
                         rows, data)
 
 
+@figure("psc", paper=False)
 def psc_sensitivity(benchmarks: Optional[Sequence[str]] = None,
                     instructions: int = DEFAULT_INSTRUCTIONS,
                     warmup: int = DEFAULT_WARMUP,
@@ -123,6 +125,7 @@ def psc_sensitivity(benchmarks: Optional[Sequence[str]] = None,
                         ["benchmark"] + list(variants), rows, data)
 
 
+@figure("fig19")
 def fig19_stlb_sensitivity(benchmarks: Optional[Sequence[str]] = None,
                            instructions: int = DEFAULT_INSTRUCTIONS,
                            warmup: int = DEFAULT_WARMUP,
@@ -134,6 +137,7 @@ def fig19_stlb_sensitivity(benchmarks: Optional[Sequence[str]] = None,
                   "stlb", points, benchmarks, instructions, warmup, scale)
 
 
+@figure("fig20")
 def fig20_l2c_sensitivity(benchmarks: Optional[Sequence[str]] = None,
                           instructions: int = DEFAULT_INSTRUCTIONS,
                           warmup: int = DEFAULT_WARMUP,
@@ -145,6 +149,7 @@ def fig20_l2c_sensitivity(benchmarks: Optional[Sequence[str]] = None,
                   "l2c", points, benchmarks, instructions, warmup, scale)
 
 
+@figure("fig21")
 def fig21_llc_sensitivity(benchmarks: Optional[Sequence[str]] = None,
                           instructions: int = DEFAULT_INSTRUCTIONS,
                           warmup: int = DEFAULT_WARMUP,

@@ -1,0 +1,37 @@
+"""Observability subsystem: interval metrics, run manifests, profiling.
+
+Three pieces, wired through the runner/CLI and exported behind
+``repro.api``:
+
+* :class:`~repro.obs.sampler.IntervalSampler` -- snapshots per-level
+  cache-stat deltas, MSHR/ROB occupancy, RRPV distributions, TLB/PSC hit
+  rates and stall attribution every N retired instructions;
+* :mod:`~repro.obs.manifest` -- structured run manifests (config hash,
+  workload, enhancement flags, wall/simulated time via
+  :class:`~repro.obs.manifest.Profiler` hooks);
+* :mod:`~repro.obs.export` -- JSON/CSV exporters plus a dependency-free
+  schema validator, and :class:`~repro.obs.progress.Heartbeat`, the
+  progress channel for long figure batches.
+
+Cost when off is one ``is None`` test per retired instruction -- the same
+pattern :mod:`repro.validate` uses.  Enable per run with
+``--metrics PATH`` / ``--sample-interval N`` (CLI) or
+``repro.api.run(..., metrics=...)``.  See ``docs/observability.md``.
+"""
+
+from repro.obs.export import (CSV_COLUMNS, ExportSchemaError,
+                              batch_document, export_csv, export_json,
+                              load, run_document, validate,
+                              validate_strict)
+from repro.obs.manifest import (SCHEMA, Profiler, build_batch_manifest,
+                                build_manifest, config_digest)
+from repro.obs.progress import Heartbeat
+from repro.obs.sampler import DEFAULT_SAMPLE_INTERVAL, IntervalSampler
+
+__all__ = [
+    "CSV_COLUMNS", "DEFAULT_SAMPLE_INTERVAL", "ExportSchemaError",
+    "Heartbeat", "IntervalSampler", "Profiler", "SCHEMA",
+    "batch_document", "build_batch_manifest", "build_manifest",
+    "config_digest", "export_csv", "export_json", "load",
+    "run_document", "validate", "validate_strict",
+]

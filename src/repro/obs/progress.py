@@ -1,0 +1,60 @@
+"""Progress / heartbeat channel for long figure batches.
+
+A :class:`Heartbeat` subscribes to the parallel runner's per-job progress
+events, keeps the full event list in memory (for the batch export), and
+optionally streams each event as one JSON line to a file -- so an external
+watcher (CI, a dashboard, ``tail -f``) can see a multi-minute batch making
+progress without parsing stderr.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Dict, List, Optional
+
+
+class Heartbeat:
+    """Collects (and optionally streams) batch progress events."""
+
+    def __init__(self, path=None):
+        self.events: List[Dict] = []
+        self._started = time.time()
+        self._file = open(path, "w") if path is not None else None
+
+    def emit(self, event) -> None:
+        """Record one :class:`~repro.experiments.parallel.ProgressEvent`."""
+        record = {
+            "t": round(time.time() - self._started, 3),
+            "done": event.done,
+            "total": event.total,
+            "benchmark": event.key.benchmark,
+            "config": event.key.config_hash[:12],
+            "seed": event.key.seed,
+            "source": event.source,
+            "wall_time": event.wall_time,
+        }
+        self.events.append(record)
+        if self._file is not None:
+            self._file.write(json.dumps(record) + "\n")
+            self._file.flush()
+
+    def close(self, runner_metrics=None) -> None:
+        """Write a terminating summary line and release the stream."""
+        if self._file is not None:
+            summary = {"t": round(time.time() - self._started, 3),
+                       "done": len(self.events), "final": True}
+            if runner_metrics is not None:
+                summary["executed"] = runner_metrics.executed
+                summary["cache_hits"] = runner_metrics.cache_hits
+                summary["failures"] = runner_metrics.failures
+            self._file.write(json.dumps(summary) + "\n")
+            self._file.close()
+            self._file = None
+
+    def __enter__(self) -> "Heartbeat":
+        return self
+
+    def __exit__(self, *exc) -> Optional[bool]:
+        self.close()
+        return None

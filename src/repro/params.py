@@ -11,6 +11,7 @@ preserves the reuse-distance relationships the paper's mechanisms exploit.
 from __future__ import annotations
 
 import dataclasses
+import warnings
 from dataclasses import dataclass, field
 from typing import Optional
 
@@ -29,6 +30,55 @@ VA_BITS = 57
 DEFAULT_SCALE = 16
 
 
+# ----------------------------------------------------------------------
+# Public-name normalisation
+# ----------------------------------------------------------------------
+#: Deprecated replacement-policy spellings -> canonical registry names.
+#: Canonical names are lowercase snake_case (``t_drrip``, ``newsign_ship``);
+#: hyphenated / capitalised paper spellings and historical shorthands are
+#: accepted with a one-time DeprecationWarning.
+_POLICY_ALIASES = {
+    "rand": "random",
+    "tdrrip": "t_drrip",
+    "tship": "t_ship",
+    "thawkeye": "t_hawkeye",
+    "new_sign_ship": "newsign_ship",
+}
+
+#: Deprecated :class:`EnhancementConfig` flag names -> canonical names.
+_FLAG_ALIASES = {
+    "t_llc": "t_ship",
+    "new_signatures": "newsign",
+}
+
+_warned_names: set = set()
+
+
+def _warn_once(old: str, new: str, kind: str) -> None:
+    if old in _warned_names:
+        return
+    _warned_names.add(old)
+    warnings.warn(
+        f"{kind} name {old!r} is deprecated; use {new!r}",
+        DeprecationWarning, stacklevel=3)
+
+
+def canonical_policy(name: str) -> str:
+    """Map a replacement-policy string to its canonical registry name.
+
+    Canonical names pass through untouched.  Deprecated spellings --
+    uppercase, hyphenated (``T-DRRIP``) or legacy shorthands (``rand``)
+    -- are mapped to the canonical name with a one-time
+    DeprecationWarning.  Unknown names pass through unchanged so the
+    registry can report them with its own error.
+    """
+    folded = name.strip().lower().replace("-", "_")
+    canon = _POLICY_ALIASES.get(folded, folded)
+    if canon != name:
+        _warn_once(name, canon, "replacement policy")
+    return canon
+
+
 @dataclass
 class CacheConfig:
     """Geometry and timing of one cache level."""
@@ -41,6 +91,7 @@ class CacheConfig:
     replacement: str = "lru"
 
     def __post_init__(self):
+        self.replacement = canonical_policy(self.replacement)
         if self.ways <= 0 or self.size_bytes <= 0 or self.latency < 0:
             raise ValueError(f"invalid cache geometry for {self.name}")
         if self.size_bytes % (LINE_SIZE * self.ways):
@@ -133,26 +184,61 @@ class CoreConfig:
     replay_issue_latency: int = 24
 
 
-@dataclass
+@dataclass(init=False)
 class EnhancementConfig:
     """Which of the paper's mechanisms are enabled.
 
-    ``t_drrip``       -- T-DRRIP at L2C (translations at RRPV=0, replays at 3).
-    ``t_llc``         -- T-SHiP / T-Hawkeye at the LLC (translations at RRPV=0).
-    ``new_signatures``-- translation/replay-aware SHiP/Hawkeye signatures.
-    ``atp``           -- address-translation-hit triggered replay prefetcher.
-    ``tempo``         -- TEMPO-style DRAM-side replay prefetch on LLC
-                         translation miss.
-    ``replay_rrpv0``  -- the *misconfiguration* of Fig 10: replays also
-                         inserted at RRPV=0.
+    ``t_drrip``      -- T-DRRIP at L2C (translations at RRPV=0, replays at 3).
+    ``t_ship``       -- T-SHiP at the LLC (translations at RRPV=0); selects
+                        T-Hawkeye instead when the LLC base policy is Hawkeye.
+    ``newsign``      -- translation/replay-aware SHiP/Hawkeye signatures
+                        (the paper's "NewSign" scheme).
+    ``atp``          -- address-translation-hit triggered replay prefetcher.
+    ``tempo``        -- TEMPO-style DRAM-side replay prefetch on LLC
+                        translation miss.
+    ``replay_rrpv0`` -- the *misconfiguration* of Fig 10: replays also
+                        inserted at RRPV=0.
+
+    The pre-1.1 flag names ``t_llc`` and ``new_signatures`` are accepted
+    as keyword arguments and readable as attributes, with a one-time
+    DeprecationWarning.
     """
 
     t_drrip: bool = False
-    t_llc: bool = False
-    new_signatures: bool = False
+    t_ship: bool = False
+    newsign: bool = False
     atp: bool = False
     tempo: bool = False
     replay_rrpv0: bool = False
+
+    def __init__(self, t_drrip: bool = False, t_ship: bool = False,
+                 newsign: bool = False, atp: bool = False,
+                 tempo: bool = False, replay_rrpv0: bool = False,
+                 **deprecated: bool):
+        values = {"t_drrip": t_drrip, "t_ship": t_ship, "newsign": newsign,
+                  "atp": atp, "tempo": tempo, "replay_rrpv0": replay_rrpv0}
+        for old, value in deprecated.items():
+            try:
+                new = _FLAG_ALIASES[old]
+            except KeyError:
+                raise TypeError(
+                    f"EnhancementConfig got an unexpected flag {old!r}"
+                ) from None
+            _warn_once(old, new, "enhancement flag")
+            values[new] = value
+        for name, value in values.items():
+            setattr(self, name, value)
+
+    # -- deprecated attribute spellings (read-only shims) ----------------
+    @property
+    def t_llc(self) -> bool:
+        _warn_once("t_llc", "t_ship", "enhancement flag")
+        return self.t_ship
+
+    @property
+    def new_signatures(self) -> bool:
+        _warn_once("new_signatures", "newsign", "enhancement flag")
+        return self.newsign
 
     @classmethod
     def none(cls) -> "EnhancementConfig":
@@ -161,7 +247,7 @@ class EnhancementConfig:
     @classmethod
     def full(cls) -> "EnhancementConfig":
         """All of the paper's proposed mechanisms (the Fig 14 endpoint)."""
-        return cls(t_drrip=True, t_llc=True, new_signatures=True,
+        return cls(t_drrip=True, t_ship=True, newsign=True,
                    atp=True, tempo=True)
 
 

@@ -64,11 +64,11 @@ class MemoryHierarchy:
             self.llc = shared_llc
         else:
             llc_policy_name = config.llc.replacement
-            if enh.t_llc:
+            if enh.t_ship:
                 llc_policy_name = {"ship": "t_ship",
                                    "hawkeye": "t_hawkeye"}.get(
                     llc_policy_name, llc_policy_name)
-            elif enh.new_signatures and llc_policy_name == "ship":
+            elif enh.newsign and llc_policy_name == "ship":
                 llc_policy_name = "newsign_ship"
             llc_kwargs = {}
             if llc_policy_name in ("t_ship",) and enh.replay_rrpv0:
@@ -166,6 +166,11 @@ class MemoryHierarchy:
         #: Runtime invariant checkers (None unless --check/REPRO_CHECK=1).
         from repro import validate
         self.checker = validate.maybe_attach(self)
+
+        #: Interval metrics sampler (None unless the run is observed --
+        #: same is-None-guard cost model as the checker above).  Attached
+        #: by :func:`repro.experiments.runner.run_benchmark`.
+        self.sampler = None
 
     # ------------------------------------------------------------------
     def load(self, va: int, cycle: int, ip: int = 0) -> LoadResult:

@@ -61,7 +61,7 @@ def build_config(variant: str) -> SimConfig:
             llc=dataclasses.replace(cfg.llc, replacement="lru"))
     if variant == "tstack":
         return cfg.replace(enhancements=EnhancementConfig(
-            t_drrip=True, t_llc=True, new_signatures=True))
+            t_drrip=True, t_ship=True, newsign=True))
     full = cfg.replace(enhancements=EnhancementConfig.full())
     if variant == "full" or variant == "smt":
         return full

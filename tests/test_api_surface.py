@@ -1,0 +1,78 @@
+"""Pins the public ``repro.api`` surface.
+
+Every name in ``api.__all__`` must resolve; removing or breaking a
+re-export is a compatibility break and should fail here first.
+"""
+
+import pytest
+
+from repro import api
+
+
+def test_every_exported_name_resolves():
+    for name in api.__all__:
+        assert getattr(api, name, None) is not None, name
+
+
+def test_all_is_sorted_sets_no_duplicates():
+    assert len(api.__all__) == len(set(api.__all__))
+
+
+def test_expected_entry_points_present():
+    expected = {"run", "figure", "list_figures", "list_benchmarks",
+                "build_config", "enhancement_preset", "configure_parallel",
+                "RunResult", "RunSummary", "EnhancementConfig",
+                "StallCategory"}
+    assert expected <= set(api.__all__)
+
+
+def test_enhancement_presets():
+    assert api.ENHANCEMENT_PRESET_NAMES == ("none", "t_drrip", "t_ship",
+                                            "atp", "full")
+    none = api.enhancement_preset("none")
+    assert not any([none.t_drrip, none.t_ship, none.newsign, none.atp,
+                    none.tempo])
+    full = api.enhancement_preset("full")
+    assert all([full.t_drrip, full.t_ship, full.newsign, full.atp,
+                full.tempo])
+    # Fresh object per call: mutating one must not leak into the next.
+    full.tempo = False
+    assert api.enhancement_preset("full").tempo is True
+
+
+def test_unknown_preset_rejected():
+    with pytest.raises(ValueError, match="unknown enhancement preset"):
+        api.enhancement_preset("everything")
+
+
+def test_build_config_applies_enhancements_and_overrides():
+    cfg = api.build_config(enhancements="t_drrip",
+                           llc_inclusion="inclusive")
+    assert cfg.enhancements.t_drrip and not cfg.enhancements.t_ship
+    assert cfg.llc_inclusion == "inclusive"
+    with pytest.raises(TypeError):
+        api.build_config(no_such_field=True)
+
+
+def test_run_rejects_config_and_enhancements_together():
+    with pytest.raises(ValueError, match="not both"):
+        api.run("pr", config=api.build_config(), enhancements="full")
+
+
+def test_list_figures_and_benchmarks():
+    figures = api.list_figures()
+    assert isinstance(figures, tuple)
+    assert "fig14" in figures and "table2" in figures
+    assert "pr" in api.list_benchmarks()
+
+
+def test_figure_unknown_name():
+    with pytest.raises(KeyError, match="unknown figure"):
+        api.figure("fig99")
+
+
+def test_run_returns_runresult():
+    result = api.run("tc", instructions=2_000, warmup=500)
+    assert isinstance(result, api.RunResult)
+    assert result.ipc > 0
+    assert result.sampler is None  # observability off by default

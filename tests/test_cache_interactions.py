@@ -68,8 +68,8 @@ def test_ideal_mode_with_atp_does_not_double_serve():
     combination must still be self-consistent (no crash, sane timing)."""
     cfg = default_config().replace(
         ideal=IdealConfig(llc_translations=True),
-        enhancements=EnhancementConfig(t_drrip=True, t_llc=True,
-                                       new_signatures=True, atp=True))
+        enhancements=EnhancementConfig(t_drrip=True, t_ship=True,
+                                       newsign=True, atp=True))
     h = MemoryHierarchy(cfg)
     for i in range(50):
         res = h.load(make_va([1, 2, 3, 4, i % 32], 0x10), cycle=i * 500)

@@ -2,7 +2,8 @@
 
 import pytest
 
-from repro.__main__ import FIGURES, main
+from repro.__main__ import main
+from repro.experiments import registry
 
 
 def test_list_command(capsys):
@@ -39,9 +40,71 @@ def test_figure_registry_covers_all_data_figures():
                 "fig8", "fig10", "fig12", "fig14", "fig15", "fig16",
                 "fig17", "fig18", "fig19", "fig20", "fig21", "table2",
                 "multicore"}
-    assert expected <= set(FIGURES)
+    assert expected <= set(registry.names())
 
 
 def test_invalid_benchmark_rejected():
     with pytest.raises(SystemExit):
         main(["run", "gcc"])
+
+
+# ----------------------------------------------------------------------
+# Observability: run --metrics, stats subcommand
+# ----------------------------------------------------------------------
+
+@pytest.fixture(scope="module")
+def metrics_export(tmp_path_factory):
+    path = tmp_path_factory.mktemp("cli-obs") / "tc.json"
+    rc = main(["run", "tc", "--instructions", "6000", "--warmup", "1000",
+               "--metrics", str(path), "--sample-interval", "500"])
+    assert rc == 0
+    return path
+
+
+def test_run_metrics_writes_export(metrics_export):
+    assert metrics_export.exists()
+
+
+def test_stats_renders_run_export(metrics_export, capsys):
+    assert main(["stats", str(metrics_export)]) == 0
+    out = capsys.readouterr().out
+    assert "benchmark      : tc" in out
+    assert "interval time-series" in out
+    assert "end-of-run summary" in out
+
+
+def test_stats_validate_ok(metrics_export, capsys):
+    assert main(["stats", "--validate", str(metrics_export)]) == 0
+    assert "OK (run export" in capsys.readouterr().out
+
+
+def test_stats_validate_rejects_corrupt(tmp_path, capsys):
+    bad = tmp_path / "bad.json"
+    bad.write_text('{"schema": "repro.obs/v1", "kind": "run"}')
+    assert main(["stats", "--validate", str(bad)]) == 1
+    assert "INVALID" in capsys.readouterr().err
+
+
+def test_stats_missing_file(capsys):
+    assert main(["stats", "/no/such/export.json"]) == 2
+
+
+def test_stats_csv(metrics_export, tmp_path, capsys):
+    out_csv = tmp_path / "series.csv"
+    assert main(["stats", str(metrics_export), "--csv",
+                 str(out_csv)]) == 0
+    header = out_csv.read_text().splitlines()[0]
+    assert header.startswith("index,")
+
+
+def test_stats_diff_two_runs(metrics_export, tmp_path, capsys):
+    other = tmp_path / "tc2.json"
+    rc = main(["run", "tc", "--instructions", "6000", "--warmup", "1000",
+               "--enhancements", "full", "--metrics", str(other),
+               "--sample-interval", "500"])
+    assert rc == 0
+    capsys.readouterr()
+    assert main(["stats", str(metrics_export), str(other)]) == 0
+    out = capsys.readouterr().out
+    assert "summary diff" in out
+    assert "ipc" in out

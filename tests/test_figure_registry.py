@@ -1,0 +1,84 @@
+"""Tests for the decorator-based figure registry."""
+
+import pathlib
+import re
+
+import pytest
+
+from repro.experiments import registry
+
+BENCH_DIR = pathlib.Path(__file__).resolve().parent.parent / "benchmarks"
+
+
+def test_names_natural_sort():
+    names = registry.names()
+    assert names.index("fig2") < names.index("fig10")
+    assert names.index("fig21") < names.index("table2")
+    assert names.index("table2") < names.index("ablation")
+
+
+def test_specs_resolve_and_have_titles():
+    for spec in registry.specs():
+        assert callable(spec.fn)
+        assert spec.title, spec.name
+        assert spec.source.startswith("repro.experiments."), spec.name
+
+
+def test_get_unknown_name_lists_known():
+    with pytest.raises(KeyError, match="fig14"):
+        registry.get("nope")
+
+
+def test_duplicate_registration_raises():
+    @registry.figure("_dup_probe")
+    def probe():
+        """Probe."""
+
+    try:
+        with pytest.raises(ValueError, match="registered twice"):
+            @registry.figure("_dup_probe")
+            def probe2():
+                """Probe again."""
+    finally:
+        del registry._REGISTRY["_dup_probe"]
+
+
+def test_paper_vs_study_split():
+    assert registry.get("fig14").paper is True
+    assert registry.get("table2").paper is True
+    assert registry.get("accuracy").paper is False
+    assert registry.get("psc").paper is False
+
+
+def test_takes_benchmarks_flag():
+    # The SMT/multicore harnesses take workload mixes, not benchmark lists.
+    assert registry.get("fig17").takes_benchmarks is False
+    assert registry.get("multicore").takes_benchmarks is False
+    assert registry.get("fig14").takes_benchmarks is True
+
+
+def test_benchmark_suite_cannot_drift():
+    """Every ``benchmarks/test_figNN_*.py`` must have a registered figure
+    and vice versa -- the registry is the single source of truth."""
+    suite = set()
+    for path in BENCH_DIR.glob("test_fig*.py"):
+        match = re.match(r"test_fig0*(\d+)_", path.name)
+        assert match, path.name
+        suite.add(f"fig{int(match.group(1))}")
+    registered = {n for n in registry.names() if re.fullmatch(r"fig\d+", n)}
+    assert suite == registered
+
+
+def test_title_defaults_to_docstring_first_line():
+    @registry.figure("_title_probe")
+    def probe():
+        """First line is the title.
+
+        Not this one.
+        """
+
+    try:
+        assert registry.get("_title_probe").title == \
+            "First line is the title."
+    finally:
+        del registry._REGISTRY["_title_probe"]

@@ -18,7 +18,7 @@ from repro.workloads.trace import KIND_LOAD, KIND_NONMEM, KIND_STORE, Trace
 
 ENHANCEMENTS = [
     EnhancementConfig.none(),
-    EnhancementConfig(t_drrip=True, t_llc=True, new_signatures=True),
+    EnhancementConfig(t_drrip=True, t_ship=True, newsign=True),
     EnhancementConfig.full(),
 ]
 

@@ -62,21 +62,21 @@ def test_response_distribution_tracks_replays():
 
 
 def test_t_policies_swapped_in():
-    h = build(EnhancementConfig(t_drrip=True, t_llc=True,
-                                new_signatures=True))
+    h = build(EnhancementConfig(t_drrip=True, t_ship=True,
+                                newsign=True))
     assert h.l2c.policy.name == "t_drrip"
     assert h.llc.policy.name == "t_ship"
 
 
 def test_newsign_only_variant():
-    h = build(EnhancementConfig(new_signatures=True))
+    h = build(EnhancementConfig(newsign=True))
     assert h.llc.policy.name == "newsign_ship"
     assert h.l2c.policy.name == "drrip"
 
 
 def test_t_hawkeye_when_llc_is_hawkeye():
     cfg = default_config().replace(
-        enhancements=EnhancementConfig(t_llc=True))
+        enhancements=EnhancementConfig(t_ship=True))
     cfg.llc.replacement = "hawkeye"
     h = MemoryHierarchy(cfg)
     assert h.llc.policy.name == "t_hawkeye"
@@ -132,8 +132,8 @@ def test_shared_llc_between_hierarchies():
 
 
 def test_leaf_translation_hit_rate():
-    h = build(EnhancementConfig(t_drrip=True, t_llc=True,
-                                new_signatures=True))
+    h = build(EnhancementConfig(t_drrip=True, t_ship=True,
+                                newsign=True))
     base = make_va([3, 3, 3, 0, 0])
     for i in range(200):
         h.load(base + (i % 50) * 4096, cycle=i * 300)

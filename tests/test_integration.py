@@ -64,7 +64,7 @@ def test_translation_recall_is_short(baseline_pr):
 def test_tship_reduces_translation_mpki(baseline_pr):
     """Fig 12: T-SHiP cuts the leaf-translation MPKI at the LLC."""
     cfg = default_config().replace(enhancements=EnhancementConfig(
-        t_drrip=True, t_llc=True, new_signatures=True))
+        t_drrip=True, t_ship=True, newsign=True))
     enhanced = run_benchmark("pr", config=cfg, **MID)
     assert enhanced.leaf_mpki("llc") < baseline_pr.leaf_mpki("llc")
 
@@ -121,9 +121,9 @@ def test_fig10_misconfiguration_is_worse_than_proposal():
     """Inserting replays at RRPV=0 must underperform the proper T-config
     (the point of Fig 10)."""
     proper_cfg = default_config().replace(enhancements=EnhancementConfig(
-        t_drrip=True, t_llc=True, new_signatures=True))
+        t_drrip=True, t_ship=True, newsign=True))
     wrong_cfg = default_config().replace(enhancements=EnhancementConfig(
-        t_drrip=True, t_llc=True, new_signatures=True, replay_rrpv0=True))
+        t_drrip=True, t_ship=True, newsign=True, replay_rrpv0=True))
     proper = run_benchmark("pr", config=proper_cfg, **MID)
     wrong = run_benchmark("pr", config=wrong_cfg, **MID)
     assert wrong.cycles >= proper.cycles

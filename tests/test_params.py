@@ -4,7 +4,8 @@ import pytest
 
 from repro.params import (CacheConfig, DEFAULT_SCALE, EnhancementConfig,
                           IdealConfig, LINE_SIZE, PTES_PER_LINE, SimConfig,
-                          TLBConfig, default_config, paper_config)
+                          TLBConfig, canonical_policy, default_config,
+                          paper_config)
 
 
 def test_paper_config_matches_table1():
@@ -68,7 +69,7 @@ def test_replace_returns_new_config():
 def test_enhancement_presets():
     assert not any(vars(EnhancementConfig.none()).values())
     full = EnhancementConfig.full()
-    assert full.t_drrip and full.t_llc and full.new_signatures
+    assert full.t_drrip and full.t_ship and full.newsign
     assert full.atp and full.tempo
     assert not full.replay_rrpv0  # the misconfiguration is never default
 
@@ -80,3 +81,89 @@ def test_ideal_any_enabled():
 
 def test_ptes_per_line():
     assert PTES_PER_LINE == 8
+
+
+# ----------------------------------------------------------------------
+# Name normalisation and deprecation shims
+# ----------------------------------------------------------------------
+
+@pytest.fixture
+def fresh_warnings():
+    """Reset the warn-once registry so each test sees its warning."""
+    import repro.params as params
+    saved = set(params._warned_names)
+    params._warned_names.clear()
+    yield
+    params._warned_names.clear()
+    params._warned_names.update(saved)
+
+
+def test_canonical_policy_passthrough(fresh_warnings):
+    import warnings
+
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        for name in ("lru", "srrip", "drrip", "ship", "hawkeye",
+                     "t_drrip", "t_ship", "newsign_ship"):
+            assert canonical_policy(name) == name
+
+
+@pytest.mark.parametrize("old, new", [
+    ("T-DRRIP", "t_drrip"),
+    ("t-ship", "t_ship"),
+    ("rand", "random"),
+    ("tdrrip", "t_drrip"),
+    ("thawkeye", "t_hawkeye"),
+    ("new_sign_ship", "newsign_ship"),
+    ("  LRU ", "lru"),
+])
+def test_canonical_policy_maps_deprecated_spellings(fresh_warnings,
+                                                    old, new):
+    with pytest.warns(DeprecationWarning):
+        assert canonical_policy(old) == new
+
+
+def test_canonical_policy_warns_once(fresh_warnings):
+    import warnings
+
+    with pytest.warns(DeprecationWarning):
+        canonical_policy("T-DRRIP")
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        assert canonical_policy("T-DRRIP") == "t_drrip"
+
+
+def test_canonical_policy_unknown_passes_through(fresh_warnings):
+    # The replacement registry reports unknown names with its own error.
+    assert canonical_policy("plru") == "plru"
+
+
+def test_enhancement_deprecated_kwargs(fresh_warnings):
+    with pytest.warns(DeprecationWarning, match="t_llc"):
+        enh = EnhancementConfig(t_llc=True)
+    assert enh.t_ship is True
+    with pytest.warns(DeprecationWarning, match="new_signatures"):
+        enh = EnhancementConfig(new_signatures=True)
+    assert enh.newsign is True
+
+
+def test_enhancement_deprecated_attribute_shims(fresh_warnings):
+    enh = EnhancementConfig(t_ship=True, newsign=False)
+    with pytest.warns(DeprecationWarning):
+        assert enh.t_llc is True
+    with pytest.warns(DeprecationWarning):
+        assert enh.new_signatures is False
+
+
+def test_enhancement_unknown_flag_rejected():
+    with pytest.raises(TypeError, match="frobnicate"):
+        EnhancementConfig(frobnicate=True)
+
+
+def test_make_policy_accepts_deprecated_spelling(fresh_warnings):
+    from repro.cache.replacement import make_policy
+
+    with pytest.warns(DeprecationWarning):
+        policy = make_policy("T-DRRIP", num_sets=16, num_ways=4)
+    assert policy.name == make_policy("t_drrip", num_sets=16,
+                                      num_ways=4).name

@@ -36,7 +36,7 @@ def config_for(policy):
     if policy in ("t_ship", "t_hawkeye"):
         return cfg.replace(
             llc=dataclasses.replace(cfg.llc, replacement=policy[2:]),
-            enhancements=EnhancementConfig(t_llc=True))
+            enhancements=EnhancementConfig(t_ship=True))
     return cfg.replace(llc=dataclasses.replace(cfg.llc, replacement=policy))
 
 
