@@ -29,8 +29,10 @@ figures-check:
 
 # One checked figure with the observability subsystem attached: a batch
 # export + heartbeat stream from the figure run, a run export from a
-# single observed simulation, both schema-validated by `repro stats`.
-# Artifacts land in obs-artifacts/ (CI uploads them).
+# single observed simulation, both schema-validated by `repro stats`,
+# plus a traced baseline/enhanced pair -- span traces schema-validated
+# by `repro trace summary`, converted to Perfetto JSON, and diffed for
+# cycle attribution.  Artifacts land in obs-artifacts/ (CI uploads them).
 figures-observed:
 	mkdir -p obs-artifacts
 	PYTHONPATH=src python -m repro figure fig14 \
@@ -39,11 +41,23 @@ figures-observed:
 		--heartbeat obs-artifacts/fig14-heartbeat.ndjson
 	PYTHONPATH=src python -m repro run pr --enhancements full \
 		--instructions 20000 --warmup 4000 \
-		--metrics obs-artifacts/pr-full-run.json
+		--metrics obs-artifacts/pr-full-run.json \
+		--trace obs-artifacts/pr-full-trace.json
 	PYTHONPATH=src python -m repro stats --validate \
 		obs-artifacts/fig14-batch.json obs-artifacts/pr-full-run.json
 	PYTHONPATH=src python -m repro stats obs-artifacts/pr-full-run.json \
 		--csv obs-artifacts/pr-full-intervals.csv
+	PYTHONPATH=src python -m repro run pr \
+		--instructions 20000 --warmup 4000 \
+		--trace obs-artifacts/pr-base-trace.json
+	PYTHONPATH=src python -m repro trace summary \
+		obs-artifacts/pr-full-trace.json
+	PYTHONPATH=src python -m repro trace render \
+		obs-artifacts/pr-full-trace.json --limit 5 \
+		--perfetto obs-artifacts/pr-full-perfetto.json
+	PYTHONPATH=src python -m repro trace diff \
+		obs-artifacts/pr-base-trace.json \
+		obs-artifacts/pr-full-trace.json
 
 # 200 deterministic fuzz streams through the checked hierarchy
 # (seed range 0..199; failures print ready-to-paste regression tests).

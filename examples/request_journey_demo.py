@@ -1,19 +1,31 @@
 #!/usr/bin/env python3
-"""Anatomy of an STLB miss: trace one load's journey, event by event.
+"""Anatomy of an STLB miss: trace one load's journey, span by span.
 
-Uses the JourneyTracer to show exactly what the paper's Fig 1 costs are
-made of: five dependent PTE reads walking the radix page table, then the
-replay data access missing the whole hierarchy.
+Uses the request span tracer to show exactly what the paper's Fig 1
+costs are made of: five dependent PTE reads walking the radix page
+table (each probing L1D -> L2C -> LLC -> DRAM), then the replay data
+access missing the whole hierarchy -- rendered as a nested span tree.
 
 Run with::
 
     python examples/request_journey_demo.py
 """
 
-from repro.debug.tracer import JourneyTracer
+from repro.obs.trace import SpanTracer, attach, detach, render_trace
 from repro.params import default_config
 from repro.uncore.hierarchy import MemoryHierarchy
 from repro.vm.address import make_va
+
+
+def traced_load(hierarchy, va: int, cycle: int):
+    tracer = SpanTracer()
+    attach(hierarchy, tracer)
+    try:
+        res = hierarchy.load(va, cycle=cycle, ip=0x401000)
+    finally:
+        detach(hierarchy)
+    doc = {"spans": [s.to_dict() for s in tracer.iter_spans()]}
+    return res, doc
 
 
 def main() -> None:
@@ -21,18 +33,16 @@ def main() -> None:
     va = make_va([3, 1, 4, 1, 5], 0x9A8)
 
     print("Cold load (nothing cached, five-level walk + replay):\n")
-    with JourneyTracer(hierarchy) as tracer:
-        res = hierarchy.load(va, cycle=0, ip=0x401000)
-    print(tracer.render())
+    res, doc = traced_load(hierarchy, va, cycle=0)
+    print(render_trace(doc))
     print()
     print(f"translation done at cycle {res.translation_done}, "
           f"data at {res.data_done} "
           f"(replay: {res.is_replay}, served by {res.data_served_by})\n")
 
     print("Same page, warm TLBs (one L1D hit, no walk):\n")
-    with JourneyTracer(hierarchy) as tracer:
-        res = hierarchy.load(va + 8, cycle=10_000, ip=0x401000)
-    print(tracer.render())
+    res, doc = traced_load(hierarchy, va + 8, cycle=10_000)
+    print(render_trace(doc))
     print()
     print(f"data done {res.data_done - 10_000} cycles after issue "
           f"(replay: {res.is_replay})")

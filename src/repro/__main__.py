@@ -4,10 +4,14 @@ Subcommands::
 
     python -m repro run pr --enhancements full        # one simulation
     python -m repro run pr --metrics out.json         # ... observed
+    python -m repro run pr --trace t.json             # ... span-traced
     python -m repro figure fig14                      # regenerate a figure
     python -m repro figure fig1 fig4 fig14 --jobs 8   # parallel + memoised
     python -m repro stats out.json                    # render an export
     python -m repro stats a.json b.json               # diff two runs
+    python -m repro trace summary t.json              # trace breakdowns
+    python -m repro trace render t.json --perfetto p.json
+    python -m repro trace diff base.json enh.json     # cycle attribution
     python -m repro list                              # what's available
 
 Figures come from the decorator registry
@@ -45,7 +49,8 @@ def _cmd_run(args) -> int:
                      instructions=args.instructions, warmup=args.warmup,
                      scale=args.scale, seed=args.seed,
                      metrics=args.metrics,
-                     sample_interval=args.sample_interval)
+                     sample_interval=args.sample_interval,
+                     trace=args.trace, trace_sample=args.trace_sample)
     print(f"benchmark      : {result.benchmark}")
     print(f"enhancements   : {args.enhancements}")
     print(f"instructions   : {result.instructions}")
@@ -62,7 +67,17 @@ def _cmd_run(args) -> int:
     if args.metrics:
         print(f"metrics        : {args.metrics} "
               f"({len(result.intervals)} intervals, schema-validated)")
+    if args.trace:
+        t = result.tracer
+        print(f"trace          : {args.trace} "
+              f"({t.sampled_requests} requests / {t.span_count} spans, "
+              f"1/{t.sample_every} sampling, schema-validated)")
     return 0
+
+
+def _cmd_trace(args) -> int:
+    from repro.obs.trace.cli import cmd_trace
+    return cmd_trace(args)
 
 
 def _progress(event) -> None:
@@ -157,6 +172,14 @@ def main(argv=None) -> int:
                        help="sample the hierarchy every N retired "
                             "instructions (default with --metrics: "
                             f"{api.DEFAULT_SAMPLE_INTERVAL})")
+    p_run.add_argument("--trace", metavar="PATH", default=None,
+                       help="export the request span trace as "
+                            "repro.obs/trace-v1 JSON (see "
+                            "docs/observability.md)")
+    p_run.add_argument("--trace-sample", type=int, default=None,
+                       metavar="N",
+                       help="trace 1 in N requests (default with "
+                            "--trace: 1, i.e. every request)")
     p_run.add_argument("--check", action="store_true",
                        help="run with runtime invariant checkers and the "
                             "differential oracle attached (see "
@@ -200,6 +223,28 @@ def main(argv=None) -> int:
                          help="also write a run export's interval "
                               "time-series as CSV")
     p_stats.set_defaults(func=_cmd_stats)
+
+    p_trace = sub.add_parser(
+        "trace", help="render / summarise / diff span-trace exports")
+    trace_sub = p_trace.add_subparsers(dest="trace_cmd", required=True)
+    t_render = trace_sub.add_parser(
+        "render", help="print the span tree of a trace export")
+    t_render.add_argument("path")
+    t_render.add_argument("--limit", type=int, default=None, metavar="N",
+                          help="only the first N requests")
+    t_render.add_argument("--perfetto", metavar="PATH", default=None,
+                          help="also convert to Chrome Trace Event "
+                               "Format JSON (loadable in Perfetto)")
+    t_render.set_defaults(func=_cmd_trace)
+    t_summary = trace_sub.add_parser(
+        "summary", help="latency breakdowns, hotspots, walk matrix")
+    t_summary.add_argument("path")
+    t_summary.set_defaults(func=_cmd_trace)
+    t_diff = trace_sub.add_parser(
+        "diff", help="attribute the cycle delta between two traced runs")
+    t_diff.add_argument("baseline")
+    t_diff.add_argument("enhanced")
+    t_diff.set_defaults(func=_cmd_trace)
 
     p_list = sub.add_parser("list", help="list benchmarks and figures")
     p_list.set_defaults(func=_cmd_list)

@@ -6,7 +6,10 @@ importable but are implementation detail and may move between releases.
 The surface is intentionally small:
 
 * :func:`run` -- simulate one benchmark, optionally observed
-  (``metrics=...`` exports a ``repro.obs/v1`` document);
+  (``metrics=...`` exports a ``repro.obs/v1`` document) and/or traced
+  (``trace=...`` exports a ``repro.obs/trace-v1`` span trace);
+* :func:`trace` / :func:`trace_diff` -- request-level causal tracing:
+  run-and-export, and cycle-delta attribution between two traced runs;
 * :func:`figure` / :func:`list_figures` -- regenerate any registered
   figure/table by name (see :mod:`repro.experiments.registry`);
 * :func:`build_config` / :func:`enhancement_preset` -- config builders;
@@ -53,7 +56,7 @@ from repro.workloads.registry import benchmark_names
 __all__ = [
     # entry points
     "run", "figure", "list_figures", "list_benchmarks",
-    "configure_parallel",
+    "configure_parallel", "trace", "trace_diff",
     # results
     "RunResult", "RunSummary", "FigureResult", "RunKey",
     "ParallelRunner", "ResultCache", "StallCategory",
@@ -125,7 +128,9 @@ def run(benchmark: str, *,
         scale: int = DEFAULT_SCALE,
         seed: int = 1,
         metrics=None,
-        sample_interval: Optional[int] = None) -> RunResult:
+        sample_interval: Optional[int] = None,
+        trace=None,
+        trace_sample: Optional[int] = None) -> RunResult:
     """Simulate one benchmark; the facade over
     :func:`repro.experiments.runner.run_benchmark`.
 
@@ -135,8 +140,11 @@ def run(benchmark: str, *,
     Observability: ``sample_interval=N`` attaches the interval sampler
     (``result.intervals``); ``metrics=PATH`` additionally profiles the
     run and writes the schema-validated JSON export there, defaulting the
-    interval to :data:`DEFAULT_SAMPLE_INTERVAL`.  Both off (the default)
-    costs nothing.
+    interval to :data:`DEFAULT_SAMPLE_INTERVAL`.  Tracing:
+    ``trace_sample=N`` attaches the 1-in-N request span tracer
+    (``result.tracer``); ``trace=PATH`` writes the schema-validated
+    ``repro.obs/trace-v1`` export there, defaulting the sampling to
+    every request.  All off (the default) costs nothing.
     """
     enh = _resolve_enhancements(enhancements)
     if enh is not None:
@@ -146,15 +154,52 @@ def run(benchmark: str, *,
         config = build_config(scale, enhancements=enh)
     if metrics is not None and sample_interval is None:
         sample_interval = DEFAULT_SAMPLE_INTERVAL
+    if trace is not None and trace_sample is None:
+        trace_sample = 1
     profiler = Profiler() if metrics is not None else None
     result = run_benchmark(benchmark, config=config,
                            instructions=instructions, warmup=warmup,
                            scale=scale, seed=seed,
                            sample_interval=sample_interval,
-                           profiler=profiler)
+                           profiler=profiler, trace_sample=trace_sample)
     if metrics is not None:
         result.export_metrics(metrics)
+    if trace is not None:
+        result.export_trace(trace)
     return result
+
+
+def trace(benchmark: str, *, path=None, sample: int = 1,
+          **run_kwargs) -> Dict:
+    """Trace one run and return its validated ``repro.obs/trace-v1``
+    document (written to ``path`` too, when given).
+
+    Remaining keywords pass through to :func:`run`
+    (``enhancements=...``, ``instructions=...``, ``seed=...``, ...).
+    """
+    from repro.obs.trace import validate_trace_strict
+    result = run(benchmark, trace_sample=sample, **run_kwargs)
+    doc = validate_trace_strict(result.trace_document())
+    if path is not None:
+        from repro.obs.trace import export_trace
+        export_trace(path, doc)
+    return doc
+
+
+def trace_diff(baseline, enhanced, top: int = 10) -> Dict:
+    """Attribute the cycle delta between two traced runs of the same
+    workload (see :mod:`repro.obs.trace.diff`).
+
+    ``baseline``/``enhanced`` are trace documents (dicts, e.g. from
+    :func:`trace`) or paths to ``repro.obs/trace-v1`` exports.
+    """
+    from repro.obs.trace import load_trace
+    from repro.obs.trace import trace_diff as _trace_diff
+    if not isinstance(baseline, dict):
+        baseline = load_trace(baseline)
+    if not isinstance(enhanced, dict):
+        enhanced = load_trace(enhanced)
+    return _trace_diff(baseline, enhanced, top=top)
 
 
 def figure(name: str, **kwargs) -> FigureResult:

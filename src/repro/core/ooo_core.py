@@ -88,6 +88,7 @@ class OOOCore:
         hierarchy = self.hierarchy
         checker = self.checker
         sampler = hierarchy.sampler
+        tracer = hierarchy.tracer
         frontend = hierarchy.frontend
         fetch_hidden = frontend.hidden_latency if frontend else 0
         prev_fetch_line = -1
@@ -101,6 +102,8 @@ class OOOCore:
         counting = warmup == 0
         if counting and sampler is not None:
             sampler.begin(stalls, roi_start_cycle)
+        if counting and tracer is not None:
+            tracer.enable()
 
         for i in range(total):
             if not counting and i == warmup:
@@ -109,6 +112,8 @@ class OOOCore:
                 hierarchy.reset_stats()
                 if sampler is not None:
                     sampler.begin(stalls, roi_start_cycle)
+                if tracer is not None:
+                    tracer.enable()
             # -- dispatch ------------------------------------------------
             dc = dispatch_cycle
             if len(retire_times) >= self.rob_entries:
@@ -170,6 +175,10 @@ class OOOCore:
                         stalls.record_load_stall(
                             stall, is_replay,
                             translation_pending=translation_done - earliest)
+                        if tracer is not None:
+                            tracer.attach_load_stall(
+                                earliest, completion, is_replay,
+                                translation_done, ip=int(ips[i]))
                     else:
                         stalls.record_other_stall(stall)
                 rt = completion

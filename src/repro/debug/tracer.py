@@ -1,18 +1,41 @@
-"""Request-journey tracing.
+"""Request-journey tracing (deprecated shim over :mod:`repro.obs.trace`).
 
-Wraps the access methods of selected hierarchy components and records
-every (component, line, category, arrival, completion) event, so a
-specific load's path -- walk levels, cache levels, DRAM -- can be
-inspected and rendered as a timeline.  Used by tests to verify timing
-composition and by humans to debug surprising latencies.
+:class:`JourneyTracer` predates the span tracer: it wrapped the access
+methods of selected hierarchy components and recorded flat
+(component, line, category, arrival, completion) events.  The span
+tracer subsumes it -- same per-level probe records, plus walk/stall
+structure, causality links, sampling and schema'd export -- so this
+module is now a thin compatibility facade: entering a
+:class:`JourneyTracer` attaches a :class:`~repro.obs.trace.SpanTracer`
+and exiting converts the component-probe spans back into
+:class:`JourneyEvent` rows.  The query/render surface is unchanged.
+
+New code should use :mod:`repro.obs.trace` directly (``attach`` +
+``SpanTracer``, or ``repro.api.trace``); see ``docs/observability.md``.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional
+from typing import Dict, List, Optional
 
-from repro.memsys.request import MemoryRequest
+from repro.obs.trace import SpanTracer, attach, detach
+
+#: Component-probe span names that map onto journey events.
+_CACHE_NAMES = ("L1D", "L2C", "LLC")
+
+_warned = False
+
+
+def _warn_deprecated() -> None:
+    global _warned
+    if not _warned:
+        _warned = True
+        warnings.warn(
+            "JourneyTracer is deprecated; use repro.obs.trace "
+            "(SpanTracer + attach, or repro.api.trace) instead",
+            DeprecationWarning, stacklevel=3)
 
 
 @dataclass
@@ -32,7 +55,7 @@ class JourneyEvent:
 
 
 class JourneyTracer:
-    """Records request events across hierarchy components.
+    """Records request events across hierarchy components (deprecated).
 
     Use as a context manager::
 
@@ -42,46 +65,29 @@ class JourneyTracer:
     """
 
     def __init__(self, hierarchy, include_dram: bool = True):
+        _warn_deprecated()
         self.hierarchy = hierarchy
         self.include_dram = include_dram
         self.events: List[JourneyEvent] = []
-        self._originals: List = []
+        self._tracer: Optional[SpanTracer] = None
 
     # -- wiring -----------------------------------------------------------
-    def _wrap(self, obj, name: str) -> None:
-        original = obj.access
-        # Remember whether `access` was an instance attribute (e.g. an
-        # AccessRecorder wrapper) or the plain class method, so detaching
-        # restores the exact previous state.
-        had_instance_attr = "access" in obj.__dict__
-
-        def traced_access(req: MemoryRequest):
-            arrival = req.cycle
-            done = original(req)
-            self.events.append(JourneyEvent(
-                component=name, line_addr=req.line_addr,
-                category=req.category(), arrival=arrival, completion=done,
-                served_by=req.served_by))
-            return done
-
-        self._originals.append((obj, original, had_instance_attr))
-        obj.access = traced_access
-
     def __enter__(self) -> "JourneyTracer":
-        h = self.hierarchy
-        for cache in (h.l1d, h.l2c, h.llc):
-            self._wrap(cache, cache.name)
-        if self.include_dram:
-            self._wrap(h.dram, "DRAM")
+        self._tracer = SpanTracer(sample_every=1)
+        attach(self.hierarchy, self._tracer)
         return self
 
     def __exit__(self, *exc) -> None:
-        for obj, original, had_instance_attr in self._originals:
-            if had_instance_attr:
-                obj.access = original
-            else:
-                del obj.__dict__["access"]
-        self._originals.clear()
+        tracer, self._tracer = self._tracer, None
+        detach(self.hierarchy)
+        names = _CACHE_NAMES + (("DRAM",) if self.include_dram else ())
+        for span in tracer.iter_spans():
+            if span.name not in names:
+                continue
+            self.events.append(JourneyEvent(
+                component=span.name, line_addr=span.args.get("line", 0),
+                category=span.cat, arrival=span.start, completion=span.end,
+                served_by=span.args.get("served_by", "")))
 
     # -- queries ----------------------------------------------------------
     def events_for_line(self, line_addr: int) -> List[JourneyEvent]:

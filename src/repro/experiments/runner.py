@@ -37,6 +37,8 @@ class RunResult:
     #: Attached only on observed runs (``sample_interval=...``).
     sampler: Optional[object] = field(repr=False, default=None)
     profiler: Optional[object] = field(repr=False, default=None)
+    #: Attached only on traced runs (``trace_sample=...``).
+    tracer: Optional[object] = field(repr=False, default=None)
 
     # -- headline metrics ------------------------------------------------
     @property
@@ -126,6 +128,28 @@ class RunResult:
         export_json(path, doc)
         return doc
 
+    def trace_document(self) -> Dict:
+        """The run's ``repro.obs/trace-v1`` export (manifest + spans).
+
+        Only valid for traced runs (``trace_sample=...``)."""
+        if self.tracer is None:
+            raise ValueError(
+                "run was not traced; pass trace_sample= to run_benchmark")
+        from repro.obs import build_manifest
+        from repro.obs.trace import trace_document
+        manifest = build_manifest(
+            self.benchmark, self.config, instructions=self.instructions,
+            warmup=self.warmup, scale=self.scale, seed=self.seed,
+            sample_interval=self.sampler.interval if self.sampler else None,
+            hierarchy=self.hierarchy, result=self.core,
+            profiler=self.profiler)
+        return trace_document(manifest, self.tracer)
+
+    def export_trace(self, path) -> Dict:
+        """Write the run's span trace as JSON; returns the document."""
+        from repro.obs.trace import export_trace
+        return export_trace(path, self.trace_document())
+
 
 @dataclass
 class MultiSeedResult:
@@ -183,14 +207,17 @@ def run_benchmark(name: str, config: Optional[SimConfig] = None,
                   warmup: int = DEFAULT_WARMUP,
                   scale: int = DEFAULT_SCALE, seed: int = 1,
                   sample_interval: Optional[int] = None,
-                  profiler=None) -> RunResult:
+                  profiler=None,
+                  trace_sample: Optional[int] = None) -> RunResult:
     """Simulate one benchmark under one configuration.
 
     ``sample_interval`` attaches an interval metrics sampler (see
     :mod:`repro.obs`): every N retired ROI instructions the hierarchy is
     snapshotted into ``result.intervals``.  ``profiler`` (a
     :class:`repro.obs.Profiler`) attributes wall-clock time to the
-    trace/build/simulate phases.  Both default to off and then cost
+    trace/build/simulate phases.  ``trace_sample`` attaches a 1-in-N
+    request span tracer (see :mod:`repro.obs.trace`); the trace covers
+    the post-warmup ROI only.  All default to off and then cost
     nothing -- the same is-None-guard pattern :mod:`repro.validate` uses.
     """
     cfg = config or default_config(scale)
@@ -205,6 +232,13 @@ def run_benchmark(name: str, config: Optional[SimConfig] = None,
         from repro.obs import IntervalSampler
         sampler = IntervalSampler(hierarchy, sample_interval)
         hierarchy.sampler = sampler
+    tracer = None
+    if trace_sample is not None:
+        from repro.obs.trace import SpanTracer, attach
+        # Disabled through warmup; the core enables it at the ROI
+        # boundary (mirroring sampler.begin).
+        tracer = SpanTracer(sample_every=trace_sample, enabled=False)
+        attach(hierarchy, tracer)
     with _phase(profiler, "simulate"):
         result = core.run(trace, warmup=warmup)
     if hierarchy.checker is not None:
@@ -212,4 +246,4 @@ def run_benchmark(name: str, config: Optional[SimConfig] = None,
         hierarchy.checker.final_check()
     return RunResult(benchmark=name, config=cfg, core=result, seed=seed,
                      warmup=warmup, scale=scale, sampler=sampler,
-                     profiler=profiler)
+                     profiler=profiler, tracer=tracer)

@@ -99,6 +99,8 @@ class DRAM:
         #: used by the TEMPO prefetcher.  Signature: (request, done_cycle).
         self.on_leaf_translation: Optional[
             Callable[[MemoryRequest, int], None]] = None
+        #: Request-level span tracer (None unless the run is traced).
+        self.tracer = None
 
     def _map(self, line_addr: int) -> tuple:
         """Row-granular bank interleaving: consecutive lines stay in one
@@ -112,11 +114,21 @@ class DRAM:
 
     def access(self, request: MemoryRequest) -> int:
         """Service ``request``; returns the cycle its data is available."""
+        tracer = self.tracer
+        span = None
+        hits_before = self.row_hits
+        if tracer is not None:
+            span = tracer.begin("DRAM", request.cycle,
+                                cat=request.category(),
+                                line=request.line_addr)
         done = self._raw_access(request.line_addr, request.cycle)
         self.accesses += 1
         request.served_by = "DRAM"
         if request.is_leaf_translation and self.on_leaf_translation is not None:
             self.on_leaf_translation(request, done)
+        if tracer is not None:
+            tracer.end(span, done, served_by="DRAM",
+                       row_hit=self.row_hits > hits_before)
         return done
 
     def _raw_access(self, line_addr: int, cycle: int) -> int:

@@ -37,6 +37,10 @@ class MSHR:
         self.peak_occupancy = 0
         #: Total cycles of admission delay injected (congestion proxy).
         self.admission_stall_cycles = 0
+        #: Request-level span tracer (None unless the run is traced);
+        #: ``component`` labels which cache's MSHR this is in trace output.
+        self.tracer = None
+        self.component = ""
 
     def _expire(self, now: int) -> None:
         done = [line for line, t in self._inflight.items() if t <= now]
@@ -49,6 +53,10 @@ class MSHR:
         fill = self._inflight.get(line_addr)
         if fill is not None and fill > now:
             self.merges += 1
+            if self.tracer is not None:
+                self.tracer.instant("mshr_merge", now, cat="mshr",
+                                    component=self.component,
+                                    line=line_addr, fill=fill)
             return fill
         return None
 
@@ -74,6 +82,9 @@ class MSHR:
         fills = sorted(self._inflight.values())
         delay = max(0, fills[over] - now)
         self.admission_stall_cycles += delay
+        if delay and self.tracer is not None:
+            self.tracer.complete("mshr_wait", now, now + delay, cat="mshr",
+                                 component=self.component)
         return delay
 
     def allocate(self, line_addr: int, fill_cycle: int, now: int) -> int:

@@ -1,0 +1,58 @@
+"""`python -m repro trace` -- render, summarise and diff span traces.
+
+Three sub-subcommands over ``repro.obs/trace-v1`` exports::
+
+    repro trace render t.json [--limit N] [--perfetto out.json]
+    repro trace summary t.json
+    repro trace diff baseline.json enhanced.json
+
+``render`` prints the span tree (and optionally converts to Chrome
+Trace Event Format for Perfetto); ``summary`` prints the latency
+breakdown, hotspot tables and the walk-depth x hit-level matrix;
+``diff`` aligns two runs of the same trace and attributes the cycle
+delta (see :mod:`repro.obs.trace.diff`).
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.obs.export import ExportSchemaError
+from repro.obs.trace.analysis import render_trace, summarize
+from repro.obs.trace.diff import render_trace_diff, trace_diff
+from repro.obs.trace.export import (export_perfetto, load_trace,
+                                    validate_trace)
+
+
+def _load_checked(path):
+    doc = load_trace(path)
+    errors = validate_trace(doc)
+    if errors:
+        raise ExportSchemaError(
+            f"{path}: invalid trace export: " + "; ".join(errors[:5]))
+    return doc
+
+
+def cmd_trace(args) -> int:
+    """Entry point for the ``trace`` subcommand."""
+    try:
+        if args.trace_cmd == "render":
+            doc = _load_checked(args.path)
+            if args.perfetto:
+                export_perfetto(args.perfetto, doc)
+                print(f"wrote {args.perfetto} "
+                      f"(open in https://ui.perfetto.dev)",
+                      file=sys.stderr)
+            print(render_trace(doc, limit=args.limit))
+        elif args.trace_cmd == "summary":
+            print(summarize(_load_checked(args.path)))
+        elif args.trace_cmd == "diff":
+            diff = trace_diff(_load_checked(args.baseline),
+                              _load_checked(args.enhanced))
+            print(render_trace_diff(diff))
+    except BrokenPipeError:
+        raise  # downstream pager closed the pipe; main() handles it
+    except (OSError, ExportSchemaError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    return 0

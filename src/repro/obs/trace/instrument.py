@@ -1,0 +1,97 @@
+"""Wiring a :class:`~repro.obs.trace.spans.SpanTracer` into a hierarchy.
+
+Two complementary mechanisms:
+
+* **Inline guards** -- the hierarchy, MMU, walker, MSHRs, DRAM, ATP,
+  TEMPO and the core each carry a ``tracer`` attribute that is ``None``
+  by default; their hot paths pay one ``is None`` test when untraced
+  (the validate/sampler cost model).  :func:`attach` points them all at
+  the same tracer.
+* **Cache wrappers** -- per-level probe spans (L1D/L2C/LLC) come from
+  wrapping ``Cache.access`` at attach time, so the cache hot path
+  carries no permanent instrumentation at all.  The wrappers record the
+  request's category, page-table level and serving component; nesting
+  falls out of the recursive ``next_level.access`` call structure.
+
+:func:`detach` restores every wrapped method exactly (including the
+case where ``access`` was already an instance attribute) and resets all
+``tracer`` attributes to ``None``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.obs.trace.spans import SpanTracer
+
+#: Per-hierarchy bookkeeping for detach: (object, original, had_attr).
+_ATTACH_STATE = "_trace_attach_state"
+
+
+def _wrap_cache(cache, tracer: SpanTracer, saved: List[Tuple]) -> None:
+    original = cache.access
+    had_instance_attr = "access" in cache.__dict__
+    name = cache.name
+    begin = tracer.begin
+    end = tracer.end
+
+    def traced_access(req):
+        span = begin(name, req.cycle, cat=req.category(),
+                     line=req.line_addr)
+        if span is not None and req.pt_level:
+            span.args["level"] = req.pt_level
+            span.args["leaf"] = req.is_leaf_translation
+        done = original(req)
+        end(span, done, served_by=req.served_by,
+            hit=req.served_by == name)
+        return done
+
+    saved.append((cache, original, had_instance_attr))
+    cache.access = traced_access
+
+
+def attach(hierarchy, tracer: SpanTracer) -> SpanTracer:
+    """Point every instrumented component of ``hierarchy`` at ``tracer``.
+
+    Raises ``RuntimeError`` when a tracer is already attached (nesting
+    tracers would double-record every span).
+    """
+    if getattr(hierarchy, "tracer", None) is not None:
+        raise RuntimeError("a tracer is already attached; detach() first")
+    saved: List[Tuple] = []
+    for cache in (hierarchy.l1d, hierarchy.l2c, hierarchy.llc):
+        _wrap_cache(cache, tracer, saved)
+        cache.mshr.tracer = tracer
+        cache.mshr.component = cache.name
+    setattr(hierarchy, _ATTACH_STATE, saved)
+    hierarchy.tracer = tracer
+    hierarchy.mmu.tracer = tracer
+    hierarchy.mmu.walker.tracer = tracer
+    hierarchy.dram.tracer = tracer
+    if hierarchy.atp is not None:
+        hierarchy.atp.tracer = tracer
+    if hierarchy.tempo is not None:
+        hierarchy.tempo.tracer = tracer
+    return tracer
+
+
+def detach(hierarchy) -> None:
+    """Undo :func:`attach`: restore wrapped methods, clear tracer refs."""
+    saved = getattr(hierarchy, _ATTACH_STATE, None)
+    if saved is not None:
+        for obj, original, had_instance_attr in saved:
+            if had_instance_attr:
+                obj.access = original
+            else:
+                obj.__dict__.pop("access", None)
+        delattr(hierarchy, _ATTACH_STATE)
+    for cache in (hierarchy.l1d, hierarchy.l2c, hierarchy.llc):
+        cache.mshr.tracer = None
+    hierarchy.tracer = None
+    hierarchy.mmu.tracer = None
+    hierarchy.mmu.walker.tracer = None
+    hierarchy.dram.tracer = None
+    if hierarchy.atp is not None:
+        hierarchy.atp.tracer = None
+    if hierarchy.tempo is not None:
+        hierarchy.tempo.tracer = None

@@ -29,6 +29,8 @@ class ATPPrefetcher:
         self.llc = llc
         self.triggered_l2c = 0
         self.triggered_llc = 0
+        #: Request-level span tracer (None unless the run is traced).
+        self.tracer = None
 
     def attach(self) -> None:
         """Register the hit callbacks on both cache levels."""
@@ -43,6 +45,9 @@ class ATPPrefetcher:
         if self.l2c.contains(req.replay_line_addr):
             return
         self.triggered_l2c += 1
+        if self.tracer is not None:
+            self.tracer.instant("atp_trigger", cycle, cat="prefetch",
+                                level="L2C", line=req.replay_line_addr)
         self.l2c.issue_prefetch(req.replay_line_addr, cycle,
                                 evict_priority=True)
 
@@ -52,6 +57,9 @@ class ATPPrefetcher:
         if self.llc.contains(req.replay_line_addr):
             return
         self.triggered_llc += 1
+        if self.tracer is not None:
+            self.tracer.instant("atp_trigger", cycle, cat="prefetch",
+                                level="LLC", line=req.replay_line_addr)
         self.llc.issue_prefetch(req.replay_line_addr, cycle,
                                 evict_priority=True)
 

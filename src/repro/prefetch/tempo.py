@@ -22,6 +22,8 @@ class TEMPOPrefetcher:
         self.dram = dram
         self.llc = llc
         self.triggered = 0
+        #: Request-level span tracer (None unless the run is traced).
+        self.tracer = None
 
     def attach(self) -> None:
         self.dram.on_leaf_translation = self.on_dram_leaf_translation
@@ -35,6 +37,9 @@ class TEMPOPrefetcher:
         if self.llc.contains(req.replay_line_addr):
             return
         self.triggered += 1
+        if self.tracer is not None:
+            self.tracer.instant("tempo_trigger", done_cycle, cat="prefetch",
+                                level="DRAM", line=req.replay_line_addr)
         # The replay line fetch starts once the PTE data reaches the
         # controller; it descends from the LLC (missing there) to DRAM and
         # fills the LLC with highest eviction priority.

@@ -172,10 +172,18 @@ class MemoryHierarchy:
         #: by :func:`repro.experiments.runner.run_benchmark`.
         self.sampler = None
 
+        #: Request-level span tracer (None unless the run is traced --
+        #: attached via :func:`repro.obs.trace.attach`, same cost model).
+        self.tracer = None
+
     # ------------------------------------------------------------------
     def load(self, va: int, cycle: int, ip: int = 0) -> LoadResult:
         """A demand load: translate, then fetch the data line."""
         self.loads += 1
+        tracer = self.tracer
+        root = None
+        if tracer is not None:
+            root = tracer.begin_request("load", cycle, vaddr=va, ip=ip)
         tr = self.mmu.translate(va, cycle, ip)
         is_replay = tr.is_replay
         issue_at = tr.done_cycle
@@ -189,12 +197,21 @@ class MemoryHierarchy:
 
         req = MemoryRequest(address=tr.paddr, cycle=issue_at, ip=ip,
                             access_type=AccessType.LOAD, is_replay=is_replay)
-        data_done = self.l1d.access(req)
         category = "replay" if is_replay else "non_replay"
+        dspan = None
+        if tracer is not None:
+            dspan = tracer.begin("data", issue_at, cat=category,
+                                 line=req.line_addr)
+        data_done = self.l1d.access(req)
+        if tracer is not None:
+            tracer.end(dspan, data_done, served_by=req.served_by)
         self.response_distribution.record(category,
                                           self._level_key(req.served_by))
         if self.ipcp is not None:
             self._run_ipcp(ip, va, cycle)
+        if tracer is not None:
+            tracer.end_request(root, data_done, cat=category,
+                               paddr=tr.paddr)
         return LoadResult(vaddr=va, paddr=tr.paddr, issue_cycle=cycle,
                           translation_done=tr.done_cycle, data_done=data_done,
                           is_replay=is_replay, dtlb_hit=tr.dtlb_hit,
@@ -203,11 +220,24 @@ class MemoryHierarchy:
     def store(self, va: int, cycle: int, ip: int = 0) -> LoadResult:
         """A demand store: translation matters, data is buffered."""
         self.stores += 1
+        tracer = self.tracer
+        root = None
+        if tracer is not None:
+            root = tracer.begin_request("store", cycle, vaddr=va, ip=ip)
         tr = self.mmu.translate(va, cycle, ip)
         req = MemoryRequest(address=tr.paddr, cycle=tr.done_cycle, ip=ip,
                             access_type=AccessType.STORE,
                             is_replay=tr.is_replay)
+        category = "replay" if tr.is_replay else "non_replay"
+        dspan = None
+        if tracer is not None:
+            dspan = tracer.begin("data", tr.done_cycle, cat=category,
+                                 line=req.line_addr)
         data_done = self.l1d.access(req)
+        if tracer is not None:
+            tracer.end(dspan, data_done, served_by=req.served_by)
+            tracer.end_request(root, data_done, cat=category,
+                               paddr=tr.paddr)
         return LoadResult(vaddr=va, paddr=tr.paddr, issue_cycle=cycle,
                           translation_done=tr.done_cycle, data_done=data_done,
                           is_replay=tr.is_replay, dtlb_hit=tr.dtlb_hit,

@@ -55,6 +55,8 @@ class MMU:
         #: Optional DpPred dead-page predictor (Section V-B comparison):
         #: predicted-dead pages bypass the STLB.
         self.dead_page_predictor = None
+        #: Request-level span tracer (None unless the run is traced).
+        self.tracer = None
 
     def translate(self, va: int, cycle: int, ip: int = 0,
                   count_stats: bool = True) -> TranslationResult:
@@ -64,6 +66,12 @@ class MMU:
         the TLB miss counters (they still warm the TLBs and caches)."""
         if count_stats:
             self.translations += 1
+        tracer = self.tracer
+        tspan = None
+        if tracer is not None:
+            tspan = tracer.begin(
+                "translate", cycle,
+                cat="translation" if count_stats else "prefetch")
         vpn = va >> PAGE_SHIFT
         offset = va & ((1 << PAGE_SHIFT) - 1)
         huge = self.page_table.is_huge(va)
@@ -77,6 +85,8 @@ class MMU:
         base = self.dtlb.lookup(key, count=count_stats)
         if base is not None:
             pfn = base + sub
+            if tracer is not None:
+                tracer.end(tspan, t, dtlb_hit=True, stlb_hit=True)
             return TranslationResult(paddr=(pfn << PAGE_SHIFT) | offset,
                                      done_cycle=t, dtlb_hit=True,
                                      stlb_hit=True)
@@ -86,6 +96,8 @@ class MMU:
         if base is not None:
             self.dtlb.fill(key, base)
             pfn = base + sub
+            if tracer is not None:
+                tracer.end(tspan, t, dtlb_hit=False, stlb_hit=True)
             return TranslationResult(paddr=(pfn << PAGE_SHIFT) | offset,
                                      done_cycle=t, dtlb_hit=False,
                                      stlb_hit=True)
@@ -98,6 +110,8 @@ class MMU:
         fill_frame = walk.pfn - sub  # huge entries store the 2MB base
         self.stlb.fill(key, fill_frame, ip=ip, bypass=bypass)
         self.dtlb.fill(key, fill_frame)
+        if tracer is not None:
+            tracer.end(tspan, done, dtlb_hit=False, stlb_hit=False)
         return TranslationResult(paddr=(walk.pfn << PAGE_SHIFT) | offset,
                                  done_cycle=done, dtlb_hit=False,
                                  stlb_hit=False, walk=walk)

@@ -41,6 +41,8 @@ class PageTableWalker:
         self.first_cache = first_cache
         self.walks = 0
         self.pte_reads = 0
+        #: Request-level span tracer (None unless the run is traced).
+        self.tracer = None
 
     def walk(self, va: int, cycle: int, ip: int = 0) -> WalkResult:
         """Translate ``va`` starting at ``cycle``; returns the walk result.
@@ -49,6 +51,7 @@ class PageTableWalker:
         strictly serial (this is what makes STLB misses so expensive).
         """
         self.walks += 1
+        tracer = self.tracer
         pfn = self.page_table.translate(va)
         path: List[Tuple[int, int]] = self.page_table.walk_path(va)
         leaf_level = path[-1][0]  # 1, or 2 for 2MB huge pages
@@ -56,6 +59,10 @@ class PageTableWalker:
         t = cycle + self.psc.latency
         hit_level, _frame = self.psc.lookup(va)
         start_level = (hit_level - 1) if hit_level is not None else 5
+
+        wspan = None
+        if tracer is not None:
+            wspan = tracer.begin("walk", cycle, cat="translation")
 
         replay_line = ((pfn << PAGE_SHIFT) | (va & 0xFFF)) >> LINE_SHIFT
         leaf_served_by = ""
@@ -69,7 +76,13 @@ class PageTableWalker:
                 access_type=AccessType.TRANSLATION, pt_level=level,
                 leaf_walk=is_leaf,
                 replay_line_addr=replay_line if is_leaf else None)
+            pspan = None
+            if tracer is not None:
+                pspan = tracer.begin(f"pte_L{level}", t, cat="translation",
+                                     level=level, leaf=is_leaf)
             t = self.first_cache.access(req)
+            if tracer is not None:
+                tracer.end(pspan, t, served_by=req.served_by)
             self.pte_reads += 1
             levels_walked += 1
             if is_leaf:
@@ -79,6 +92,10 @@ class PageTableWalker:
                 self.psc.fill(va, level,
                               self.page_table.node_frame(va, level - 1))
 
+        if tracer is not None:
+            tracer.end(wspan, t, psc_hit_level=hit_level or 0,
+                       levels_walked=levels_walked,
+                       leaf_served_by=leaf_served_by)
         return WalkResult(pfn=pfn, done_cycle=t, levels_walked=levels_walked,
                           psc_hit_level=hit_level or 0,
                           leaf_served_by=leaf_served_by)

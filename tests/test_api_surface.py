@@ -22,7 +22,7 @@ def test_expected_entry_points_present():
     expected = {"run", "figure", "list_figures", "list_benchmarks",
                 "build_config", "enhancement_preset", "configure_parallel",
                 "RunResult", "RunSummary", "EnhancementConfig",
-                "StallCategory"}
+                "StallCategory", "trace", "trace_diff"}
     assert expected <= set(api.__all__)
 
 
@@ -76,3 +76,21 @@ def test_run_returns_runresult():
     assert isinstance(result, api.RunResult)
     assert result.ipc > 0
     assert result.sampler is None  # observability off by default
+    assert result.tracer is None  # tracing off by default
+    with pytest.raises(ValueError, match="not traced"):
+        result.trace_document()
+
+
+def test_api_trace_returns_valid_document():
+    doc = api.trace("tc", instructions=2_000, warmup=500)
+    assert doc["schema"] == "repro.obs/trace-v1"
+    assert doc["spans"]
+
+
+def test_api_trace_diff_accepts_documents():
+    a = api.trace("tc", instructions=2_000, warmup=500)
+    b = api.trace("tc", instructions=2_000, warmup=500,
+                  enhancements="full")
+    diff = api.trace_diff(a, b)
+    assert set(diff["attribution"]) == {
+        "walk_latency", "replay_release", "insertion_policy"}

@@ -1,7 +1,15 @@
-"""Tests for the request-journey tracer."""
+"""Tests for the (deprecated) request-journey tracer shim.
+
+``JourneyTracer`` is now a facade over :mod:`repro.obs.trace`; these
+tests pin that the legacy surface -- wrapping, queries, rendering,
+detach semantics -- survived the migration unchanged.
+"""
+
+import warnings
 
 import pytest
 
+from repro.debug import tracer as tracer_module
 from repro.debug.tracer import JourneyTracer
 from repro.params import default_config
 from repro.uncore.hierarchy import MemoryHierarchy
@@ -11,6 +19,15 @@ from repro.vm.address import make_va
 @pytest.fixture()
 def hierarchy():
     return MemoryHierarchy(default_config())
+
+
+def test_warns_deprecation_once(hierarchy):
+    tracer_module._warned = False
+    with pytest.warns(DeprecationWarning, match="repro.obs.trace"):
+        JourneyTracer(hierarchy)
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")  # second construction is silent
+        JourneyTracer(hierarchy)
 
 
 def test_traces_full_cold_journey(hierarchy):
