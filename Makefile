@@ -1,7 +1,7 @@
 # Convenience targets for the reproduction repo.
 
-.PHONY: install test bench figures figures-fast figures-check \
-	figures-observed fuzz calibrate all
+.PHONY: install test bench bench-baseline accuracy figures figures-fast \
+	figures-check figures-observed fuzz calibrate all
 
 install:
 	pip install -e . --no-build-isolation
@@ -9,7 +9,19 @@ install:
 test:
 	pytest tests/ -q
 
+# Timed performance matrix (docs/performance.md); fails when aggregate
+# throughput drops >15% below the machine-scaled committed baseline.
 bench:
+	PYTHONPATH=src python -m repro bench --out . --check-regression
+
+# Re-record benchmarks/perf/baseline.json (run on a quiet machine,
+# commit the result alongside the change that moved the numbers).
+bench-baseline:
+	PYTHONPATH=src python -m repro bench --out . --repeats 3 \
+		--update-baseline
+
+# Paper-accuracy suite (pytest-benchmark figure comparisons).
+accuracy:
 	pytest benchmarks/ --benchmark-only -q -s
 
 figures:
@@ -67,4 +79,4 @@ fuzz:
 calibrate:
 	python tools/calibrate.py
 
-all: test bench
+all: test accuracy

@@ -14,7 +14,7 @@ Quickstart::
     from repro import run_benchmark, default_config, EnhancementConfig
 
     base = run_benchmark("mcf")
-    cfg = default_config().replace(enhancements=EnhancementConfig.full())
+    cfg = default_config().with_(enhancements=EnhancementConfig.full())
     enhanced = run_benchmark("mcf", config=cfg)
     print(enhanced.speedup_over(base))  # ~1.1x
 """

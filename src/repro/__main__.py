@@ -12,6 +12,7 @@ Subcommands::
     python -m repro trace summary t.json              # trace breakdowns
     python -m repro trace render t.json --perfetto p.json
     python -m repro trace diff base.json enh.json     # cycle attribution
+    python -m repro bench                             # perf benchmark matrix
     python -m repro list                              # what's available
 
 Figures come from the decorator registry
@@ -29,8 +30,9 @@ import argparse
 import sys
 
 from repro import api
-from repro.experiments import registry
-from repro.workloads.registry import benchmark_names
+
+# ``repro.api`` is the only supported programmatic surface; the CLI is a
+# thin shell over it and deliberately imports nothing deeper.
 
 
 def _enable_checking() -> None:
@@ -44,7 +46,7 @@ def _cmd_run(args) -> int:
         _enable_checking()
     cfg = api.build_config(args.scale, enhancements=args.enhancements)
     if args.l2c_prefetcher != "none":
-        cfg = cfg.replace(l2c_prefetcher=args.l2c_prefetcher)
+        cfg = cfg.with_(l2c_prefetcher=args.l2c_prefetcher)
     result = api.run(args.benchmark, config=cfg,
                      instructions=args.instructions, warmup=args.warmup,
                      scale=args.scale, seed=args.seed,
@@ -108,7 +110,7 @@ def _cmd_figure(args) -> int:
         jobs=args.jobs, use_cache=not args.no_cache,
         progress=on_progress if (args.verbose or heartbeat) else None)
     for name in args.names:
-        spec = registry.get(name)
+        spec = api.figure_spec(name)
         kwargs = {"instructions": args.instructions, "warmup": args.warmup}
         if args.benchmarks and spec.takes_benchmarks:
             kwargs["benchmarks"] = args.benchmarks
@@ -137,10 +139,16 @@ def _cmd_stats(args) -> int:
     return cmd_stats(args)
 
 
+def _cmd_bench(args) -> int:
+    from repro.bench import cmd_bench
+    return cmd_bench(args)
+
+
 def _cmd_list(_args) -> int:
-    print("benchmarks :", " ".join(benchmark_names()))
-    paper = [s.name for s in registry.specs() if s.paper]
-    extra = [s.name for s in registry.specs() if not s.paper]
+    print("benchmarks :", " ".join(api.list_benchmarks()))
+    specs = api.figure_spec(None)
+    paper = [s.name for s in specs if s.paper]
+    extra = [s.name for s in specs if not s.paper]
     print("figures    :", " ".join(paper))
     print("studies    :", " ".join(extra))
     print("enhancement presets:", " ".join(api.ENHANCEMENT_PRESET_NAMES))
@@ -154,7 +162,7 @@ def main(argv=None) -> int:
     sub = parser.add_subparsers(dest="command", required=True)
 
     p_run = sub.add_parser("run", help="simulate one benchmark")
-    p_run.add_argument("benchmark", choices=benchmark_names())
+    p_run.add_argument("benchmark", choices=api.list_benchmarks())
     p_run.add_argument("--enhancements", default="none",
                        choices=sorted(api.ENHANCEMENT_PRESET_NAMES))
     p_run.add_argument("--l2c-prefetcher", default="none",
@@ -187,7 +195,7 @@ def main(argv=None) -> int:
     p_run.set_defaults(func=_cmd_run)
 
     p_fig = sub.add_parser("figure", help="regenerate paper figures")
-    p_fig.add_argument("names", nargs="+", choices=registry.names(),
+    p_fig.add_argument("names", nargs="+", choices=api.list_figures(),
                        metavar="name")
     p_fig.add_argument("--benchmarks", nargs="*", default=None)
     p_fig.add_argument("--instructions", type=int,
@@ -245,6 +253,12 @@ def main(argv=None) -> int:
     t_diff.add_argument("baseline")
     t_diff.add_argument("enhanced")
     t_diff.set_defaults(func=_cmd_trace)
+
+    p_bench = sub.add_parser(
+        "bench", help="run the pinned performance-benchmark matrix")
+    from repro.bench import add_arguments as _bench_arguments
+    _bench_arguments(p_bench)
+    p_bench.set_defaults(func=_cmd_bench)
 
     p_list = sub.add_parser("list", help="list benchmarks and figures")
     p_list.set_defaults(func=_cmd_list)

@@ -12,7 +12,11 @@ The surface is intentionally small:
   run-and-export, and cycle-delta attribution between two traced runs;
 * :func:`figure` / :func:`list_figures` -- regenerate any registered
   figure/table by name (see :mod:`repro.experiments.registry`);
-* :func:`build_config` / :func:`enhancement_preset` -- config builders;
+* :func:`bench` -- the pinned performance-benchmark matrix
+  (``python -m repro bench``; see ``docs/performance.md``);
+* :func:`build_config` / :func:`enhancement_preset` -- config builders
+  around the frozen :class:`SimConfig` (derive variants with
+  ``cfg.with_(...)``);
 * :class:`RunResult` / :class:`RunSummary` -- what runs return (live
   object vs. picklable snapshot);
 * :func:`configure_parallel` -- fan figure batches out over worker
@@ -39,6 +43,9 @@ from __future__ import annotations
 
 from typing import Dict, Optional, Tuple, Union
 
+from repro.bench import (BenchCase, BenchResult, REGRESSION_THRESHOLD,
+                         WORKLOAD_MATRIX)
+from repro.bench import run_bench as _run_bench
 from repro.core.rob import StallCategory
 from repro.experiments import registry
 from repro.experiments.figures import FigureResult
@@ -48,18 +55,23 @@ from repro.experiments.parallel import configure as _configure_parallel
 from repro.experiments.runner import (DEFAULT_INSTRUCTIONS, DEFAULT_WARMUP,
                                       RunResult, run_benchmark)
 from repro.obs import DEFAULT_SAMPLE_INTERVAL, Profiler
-from repro.params import (DEFAULT_SCALE, CacheConfig, EnhancementConfig,
-                          IdealConfig, SimConfig, TLBConfig,
-                          canonical_policy, default_config, paper_config)
+from repro.params import (DEFAULT_SCALE, ENHANCEMENT_PRESET_NAMES,
+                          CacheConfig, EnhancementConfig, IdealConfig,
+                          SimConfig, TLBConfig, canonical_policy,
+                          default_config, enhancement_preset, paper_config)
 from repro.workloads.registry import benchmark_names
+
+#: Version of this facade.  Bumped on compatible additions (minor) and
+#: on breaking changes (major); ``tests/test_api_surface.py`` pins it.
+__api_version__ = "1.1"
 
 __all__ = [
     # entry points
-    "run", "figure", "list_figures", "list_benchmarks",
-    "configure_parallel", "trace", "trace_diff",
+    "run", "figure", "figure_spec", "list_figures", "list_benchmarks",
+    "configure_parallel", "trace", "trace_diff", "bench",
     # results
     "RunResult", "RunSummary", "FigureResult", "RunKey",
-    "ParallelRunner", "ResultCache", "StallCategory",
+    "ParallelRunner", "ResultCache", "StallCategory", "BenchResult",
     # config builders
     "build_config", "enhancement_preset", "default_config", "paper_config",
     "canonical_policy", "SimConfig", "CacheConfig", "TLBConfig",
@@ -67,30 +79,8 @@ __all__ = [
     # constants
     "DEFAULT_INSTRUCTIONS", "DEFAULT_WARMUP", "DEFAULT_SCALE",
     "DEFAULT_SAMPLE_INTERVAL", "ENHANCEMENT_PRESET_NAMES", "Profiler",
+    "__api_version__",
 ]
-
-#: Named enhancement stacks, in the paper's cumulative order.
-_PRESET_FLAGS: Dict[str, Dict[str, bool]] = {
-    "none": {},
-    "t_drrip": dict(t_drrip=True),
-    "t_ship": dict(t_drrip=True, t_ship=True, newsign=True),
-    "atp": dict(t_drrip=True, t_ship=True, newsign=True, atp=True),
-    "full": dict(t_drrip=True, t_ship=True, newsign=True, atp=True,
-                 tempo=True),
-}
-
-ENHANCEMENT_PRESET_NAMES: Tuple[str, ...] = tuple(_PRESET_FLAGS)
-
-
-def enhancement_preset(name: str) -> EnhancementConfig:
-    """A fresh :class:`EnhancementConfig` for a named preset
-    (``none``/``t_drrip``/``t_ship``/``atp``/``full``)."""
-    try:
-        flags = _PRESET_FLAGS[name]
-    except KeyError:
-        raise ValueError(f"unknown enhancement preset {name!r}; known: "
-                         f"{' '.join(ENHANCEMENT_PRESET_NAMES)}") from None
-    return EnhancementConfig(**flags)
 
 
 def _resolve_enhancements(
@@ -114,9 +104,9 @@ def build_config(scale: int = DEFAULT_SCALE, *,
     cfg = default_config(scale)
     enh = _resolve_enhancements(enhancements)
     if enh is not None:
-        cfg = cfg.replace(enhancements=enh)
+        cfg = cfg.with_(enhancements=enh)
     if overrides:
-        cfg = cfg.replace(**overrides)
+        cfg = cfg.with_(**overrides)
     return cfg
 
 
@@ -210,6 +200,30 @@ def figure(name: str, **kwargs) -> FigureResult:
     ``benchmarks=[...]``).
     """
     return registry.get(name)(**kwargs)
+
+
+def figure_spec(name: str):
+    """The registered spec for one figure/table: a callable harness with
+    metadata attributes (``name``, ``title``, ``paper``,
+    ``takes_benchmarks``).  ``name=None`` returns every spec in display
+    order -- what ``python -m repro list`` renders."""
+    if name is None:
+        return registry.specs()
+    return registry.get(name)
+
+
+def bench(matrix=WORKLOAD_MATRIX, repeats: int = 1,
+          out_dir=None) -> BenchResult:
+    """Run the pinned performance-benchmark matrix (see
+    :mod:`repro.bench` and ``docs/performance.md``).
+
+    Returns a :class:`BenchResult` whose ``document`` is the
+    schema-stable ``repro.bench/v1`` dict (written as
+    ``BENCH_<date>.json`` when ``out_dir`` is given);
+    ``result.compare(baseline)`` yields the regression verdict the CI
+    gate uses.
+    """
+    return _run_bench(matrix=matrix, repeats=repeats, out_dir=out_dir)
 
 
 def list_figures() -> Tuple[str, ...]:

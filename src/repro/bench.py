@@ -1,0 +1,320 @@
+"""Timed performance benchmark harness (``python -m repro bench``).
+
+Measures end-to-end simulation throughput (hierarchy accesses per
+second) over a **pinned workload matrix** and emits a schema-stable
+``BENCH_<date>.json`` document.  The matrix is part of the harness
+contract: scale-16 memory-intensive configurations at 200K-instruction
+ROIs, which keep the measurement dominated by the simulation kernel
+(cache/TLB/walker/MSHR datapath) rather than by trace generation or
+setup.  See ``docs/performance.md`` for usage, the baseline-updating
+procedure, and the optimisation inventory behind the current numbers.
+
+Regression gating compares against the committed baseline at
+``benchmarks/perf/baseline.json``.  Raw accesses/sec is not portable
+across machines, so the baseline also records a pure-Python
+*calibration* score measured at baseline time; at check time the
+calibration is re-measured and the expected throughput is scaled by the
+machine-speed ratio before the threshold is applied.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import resource
+import sys
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.experiments.runner import run_benchmark
+from repro.obs import Profiler
+from repro.params import default_config, paper_config
+
+#: Schema identifier written into every bench document.
+BENCH_SCHEMA = "repro.bench/v1"
+
+#: Regression gate: fail when aggregate accesses/sec drops more than
+#: this fraction below the (machine-speed-scaled) baseline.
+REGRESSION_THRESHOLD = 0.15
+
+
+@dataclass(frozen=True)
+class BenchCase:
+    """One pinned configuration of the benchmark matrix."""
+
+    benchmark: str
+    enhancements: str = "none"
+    scale: int = 16
+    instructions: int = 200_000
+    warmup: int = 20_000
+
+    @property
+    def key(self) -> str:
+        return (f"{self.benchmark}/{self.enhancements}"
+                f"/s{self.scale}/{self.instructions}")
+
+
+#: The pinned matrix.  Memory-pressure workloads at reduced scale: small
+#: caches keep miss/eviction/walk rates high, so the run exercises the
+#: flat-store datapath, the MSHRs, the page-table walker and the
+#: recall trackers rather than idling in hit loops.  Changing this list
+#: invalidates the committed baseline (see docs/performance.md).
+WORKLOAD_MATRIX: Tuple[BenchCase, ...] = (
+    BenchCase("pr"),
+    BenchCase("radii"),
+    BenchCase("canneal"),
+)
+
+
+@dataclass
+class BenchResult:
+    """Outcome of one harness invocation (see :func:`run_bench`)."""
+
+    document: Dict = field(repr=False)
+    path: Optional[Path] = None
+
+    @property
+    def accesses_per_sec(self) -> float:
+        return self.document["aggregate"]["accesses_per_sec"]
+
+    @property
+    def wall_s(self) -> float:
+        return self.document["aggregate"]["wall_s"]
+
+    def compare(self, baseline: Dict,
+                threshold: float = REGRESSION_THRESHOLD) -> Dict:
+        """Regression verdict against a baseline document."""
+        return compare_to_baseline(self.document, baseline,
+                                   threshold=threshold)
+
+
+def calibrate(iterations: int = 400_000) -> float:
+    """Machine-speed score: dict/arithmetic ops per second.
+
+    The loop mirrors the simulator's hot-path instruction mix (dict
+    probes, integer arithmetic, attribute-free bookkeeping), so its
+    score tracks how fast *this* interpreter/machine runs the kernel.
+    """
+    table: Dict[int, int] = {}
+    t0 = time.perf_counter()
+    acc = 0
+    for i in range(iterations):
+        key = (i * 0x9E3779B9) & 0xFFFF
+        hit = table.get(key)
+        if hit is None:
+            table[key] = i
+        else:
+            acc += hit & 7
+        if len(table) > 4096:
+            table.clear()
+    dt = time.perf_counter() - t0
+    return iterations / dt
+
+
+def _run_case(case: BenchCase, repeats: int) -> Dict:
+    """Run one matrix entry ``repeats`` times; keep the fastest wall."""
+    cfg = paper_config() if case.scale == 1 else default_config(case.scale)
+    if case.enhancements != "none":
+        cfg = cfg.with_(enhancements=case.enhancements)
+    best: Optional[Dict] = None
+    for _ in range(max(1, repeats)):
+        profiler = Profiler()
+        t0 = time.perf_counter()
+        result = run_benchmark(case.benchmark, config=cfg,
+                               instructions=case.instructions,
+                               warmup=case.warmup, scale=case.scale,
+                               profiler=profiler)
+        wall = time.perf_counter() - t0
+        accesses = result.hierarchy.loads + result.hierarchy.stores
+        phases = profiler.snapshot()
+        entry = {
+            "benchmark": case.benchmark,
+            "enhancements": case.enhancements,
+            "scale": case.scale,
+            "instructions": case.instructions,
+            "warmup": case.warmup,
+            "wall_s": round(wall, 4),
+            "accesses": accesses,
+            "accesses_per_sec": round(accesses / wall, 1),
+            "ipc": round(result.ipc, 4),
+            "cycles": result.cycles,
+            # Per-component wall split: workload trace generation,
+            # hierarchy/core construction, and the simulation kernel.
+            "phases": {name: round(seconds, 4)
+                       for name, seconds in phases.items()},
+        }
+        if best is None or entry["wall_s"] < best["wall_s"]:
+            best = entry
+    return best
+
+
+def run_bench(matrix: Sequence[BenchCase] = WORKLOAD_MATRIX,
+              repeats: int = 1,
+              out_dir=None,
+              calibrate_machine: bool = True) -> BenchResult:
+    """Run the pinned matrix; return (and optionally write) the document.
+
+    ``repeats`` re-runs each configuration and keeps the fastest wall
+    time (min-of-N is the standard noise reducer for throughput
+    benchmarks).  ``out_dir`` writes ``BENCH_<UTC date>.json`` there.
+    The document is schema-stable: top-level keys and per-config fields
+    only grow, never change meaning, within ``repro.bench/v1``.
+    """
+    configs: List[Dict] = []
+    total_wall = 0.0
+    total_accesses = 0
+    for case in matrix:
+        entry = _run_case(case, repeats)
+        configs.append(entry)
+        total_wall += entry["wall_s"]
+        total_accesses += entry["accesses"]
+    peak_rss_kb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    document = {
+        "schema": BENCH_SCHEMA,
+        "created_utc": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "repeats": max(1, repeats),
+        "calibration_ops_per_sec": (round(calibrate(), 1)
+                                    if calibrate_machine else None),
+        "configs": configs,
+        "aggregate": {
+            "wall_s": round(total_wall, 4),
+            "accesses": total_accesses,
+            "accesses_per_sec": round(total_accesses / total_wall, 1),
+            "peak_rss_kb": peak_rss_kb,
+        },
+    }
+    path = None
+    if out_dir is not None:
+        out = Path(out_dir)
+        out.mkdir(parents=True, exist_ok=True)
+        stamp = time.strftime("%Y%m%d", time.gmtime())
+        path = out / f"BENCH_{stamp}.json"
+        path.write_text(json.dumps(document, indent=1) + "\n")
+    return BenchResult(document=document, path=path)
+
+
+# ----------------------------------------------------------------------
+# Baseline handling
+# ----------------------------------------------------------------------
+def baseline_path() -> Path:
+    """The committed baseline location (repo checkouts only)."""
+    return (Path(__file__).resolve().parents[2]
+            / "benchmarks" / "perf" / "baseline.json")
+
+
+def load_baseline(path=None) -> Dict:
+    p = Path(path) if path is not None else baseline_path()
+    with open(p) as fh:
+        doc = json.load(fh)
+    if doc.get("schema") != BENCH_SCHEMA:
+        raise ValueError(f"{p}: not a {BENCH_SCHEMA} document")
+    return doc
+
+
+def compare_to_baseline(document: Dict, baseline: Dict,
+                        threshold: float = REGRESSION_THRESHOLD) -> Dict:
+    """Regression verdict: current vs. baseline aggregate throughput.
+
+    When both documents carry a calibration score, the baseline
+    throughput is scaled by the machine-speed ratio first, making the
+    gate meaningful on hardware other than where the baseline was
+    recorded.  Returns a dict with ``ok`` plus the numbers behind it.
+    """
+    current = document["aggregate"]["accesses_per_sec"]
+    recorded = baseline["aggregate"]["accesses_per_sec"]
+    cal_now = document.get("calibration_ops_per_sec")
+    cal_then = baseline.get("calibration_ops_per_sec")
+    machine_ratio = None
+    expected = recorded
+    if cal_now and cal_then:
+        machine_ratio = cal_now / cal_then
+        expected = recorded * machine_ratio
+    floor = expected * (1.0 - threshold)
+    mismatched = [c["benchmark"] for c in document["configs"]] != \
+                 [c["benchmark"] for c in baseline["configs"]]
+    return {
+        "ok": current >= floor and not mismatched,
+        "current_aps": current,
+        "baseline_aps": recorded,
+        "machine_ratio": machine_ratio,
+        "expected_aps": round(expected, 1),
+        "floor_aps": round(floor, 1),
+        "threshold": threshold,
+        "matrix_mismatch": mismatched,
+    }
+
+
+def add_arguments(parser) -> None:
+    """Register the bench CLI options (shared by ``python -m repro
+    bench`` and standalone invocation)."""
+    parser.add_argument("--out", metavar="DIR", default=".",
+                        help="directory for BENCH_<date>.json "
+                             "(default: current directory)")
+    parser.add_argument("--repeats", type=int, default=1, metavar="N",
+                        help="runs per config; fastest wall is kept")
+    parser.add_argument("--baseline", metavar="PATH", default=None,
+                        help="baseline document to compare against "
+                             "(default: benchmarks/perf/baseline.json)")
+    parser.add_argument("--check-regression", action="store_true",
+                        help="exit non-zero when aggregate throughput "
+                             f"drops >{REGRESSION_THRESHOLD:.0%} below "
+                             "the (machine-scaled) baseline")
+    parser.add_argument("--update-baseline", action="store_true",
+                        help="write this run as the committed baseline")
+
+
+def cmd_bench(args) -> int:
+    """CLI body for ``python -m repro bench``."""
+    result = run_bench(repeats=args.repeats, out_dir=args.out)
+    doc = result.document
+    for entry in doc["configs"]:
+        print(f"{entry['benchmark']:>10}/{entry['enhancements']}"
+              f"/s{entry['scale']}/{entry['instructions']}: "
+              f"{entry['accesses_per_sec']:>9.0f} acc/s "
+              f"({entry['wall_s']:.2f}s wall, "
+              f"sim {entry['phases'].get('simulate', 0.0):.2f}s, "
+              f"trace {entry['phases'].get('trace', 0.0):.2f}s)")
+    agg = doc["aggregate"]
+    print(f"{'AGGREGATE':>10}: {agg['accesses_per_sec']:>9.0f} acc/s "
+          f"({agg['wall_s']:.2f}s wall, {agg['accesses']} accesses, "
+          f"peak RSS {agg['peak_rss_kb']} kB)")
+    if result.path is not None:
+        print(f"wrote {result.path}")
+
+    if args.update_baseline:
+        target = Path(args.baseline) if args.baseline else baseline_path()
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(json.dumps(doc, indent=1) + "\n")
+        print(f"baseline updated: {target}")
+        return 0
+
+    baseline_file = Path(args.baseline) if args.baseline else baseline_path()
+    if baseline_file.exists():
+        verdict = compare_to_baseline(doc, load_baseline(baseline_file))
+        scale_note = (f" (machine x{verdict['machine_ratio']:.2f})"
+                      if verdict["machine_ratio"] else "")
+        status = "OK" if verdict["ok"] else "REGRESSION"
+        print(f"baseline   : {verdict['baseline_aps']:.0f} acc/s"
+              f"{scale_note} -> floor {verdict['floor_aps']:.0f}; "
+              f"current {verdict['current_aps']:.0f} [{status}]")
+        if args.check_regression and not verdict["ok"]:
+            return 1
+    elif args.check_regression:
+        print(f"no baseline at {baseline_file}; cannot check", file=sys.stderr)
+        return 1
+    return 0
+
+
+def main(argv=None) -> int:
+    import argparse
+    parser = argparse.ArgumentParser(prog="repro bench")
+    add_arguments(parser)
+    return cmd_bench(parser.parse_args(argv))
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -5,6 +5,13 @@ level's access latency.  A miss forwards to the next level (advancing the
 request clock by the lookup latency), allocates an MSHR entry, and fills on
 response.  Requests to a line already in flight merge with the MSHR entry.
 
+Storage: per-line metadata lives in the flat parallel columns of a
+:class:`repro.cache.store.CacheStore` -- one preallocated column per field,
+indexed by ``set_idx * num_ways + way`` -- and residency in one
+``{line_addr: slot}`` dict for the whole cache.  The replacement policy is
+bound to the same store, so RRPVs and signatures are shared columns rather
+than per-block attributes (see :mod:`repro.cache.replacement.base`).
+
 Paper-specific hooks:
 
 * ``ideal_translations`` / ``ideal_replays`` -- the Fig 2 opportunity modes:
@@ -24,11 +31,17 @@ from typing import Callable, Dict, List, Optional
 from repro.cache.block import CacheBlock
 from repro.cache.replacement import make_policy
 from repro.cache.replacement.base import ReplacementPolicy
+from repro.cache.store import BlockView, CacheStore
+from repro.memsys import request as request_pool
 from repro.memsys.mshr import MSHR
 from repro.memsys.request import AccessType, MemoryRequest
 from repro.params import CacheConfig
 from repro.stats.counters import CacheStats
-from repro.stats.recall import RecallTracker
+from repro.stats.recall import RecallPair, RecallTracker
+
+_PREFETCH = AccessType.PREFETCH
+_STORE = AccessType.STORE
+_WRITEBACK = AccessType.WRITEBACK
 
 
 class Cache:
@@ -45,17 +58,15 @@ class Cache:
         self.num_ways = config.ways
         self.latency = config.latency
         self.next_level = next_level
+        self._store = CacheStore(self.num_sets, self.num_ways)
+        self._slot_of = self._store.slot_of
+        self._policy = None
         self.policy = policy or make_policy(
             config.replacement, self.num_sets, self.num_ways)
         self.mshr = MSHR(config.mshr_entries)
         self.stats = CacheStats(config.name)
         self.ideal_translations = ideal_translations
         self.ideal_replays = ideal_replays
-
-        self._sets: List[List[CacheBlock]] = [
-            [CacheBlock() for _ in range(self.num_ways)]
-            for _ in range(self.num_sets)]
-        self._lookup: List[Dict[int, int]] = [dict() for _ in range(self.num_sets)]
 
         #: Demand-triggered prefetcher operating at this level (or None).
         self.prefetcher = None
@@ -67,11 +78,14 @@ class Cache:
         self.on_leaf_translation_hit: Optional[
             Callable[[MemoryRequest, int], None]] = None
 
+        self.recall_pair: Optional[RecallPair] = None
         self.recall_translation: Optional[RecallTracker] = None
         self.recall_replay: Optional[RecallTracker] = None
         if track_recall:
-            self.recall_translation = RecallTracker(f"{self.name}/translation")
-            self.recall_replay = RecallTracker(f"{self.name}/replay")
+            self.recall_pair = RecallPair(f"{self.name}/translation",
+                                          f"{self.name}/replay")
+            self.recall_translation = self.recall_pair.translation
+            self.recall_replay = self.recall_pair.replay
         self.writebacks_issued = 0
         #: Extra in-flight prefetch capacity on top of the demand MSHRs
         #: (a model of the separate prefetch queue).
@@ -82,98 +96,141 @@ class Cache:
         self.back_invalidations = 0
 
     # ------------------------------------------------------------------
+    @property
+    def policy(self) -> ReplacementPolicy:
+        """The replacement policy (assigning one binds it to the store)."""
+        return self._policy
+
+    @policy.setter
+    def policy(self, policy: ReplacementPolicy) -> None:
+        policy.bind(self._store)
+        self._policy = policy
+
+    @property
+    def store(self) -> CacheStore:
+        """The flat column store (shared with the bound policy)."""
+        return self._store
+
+    # ------------------------------------------------------------------
     def set_index(self, line_addr: int) -> int:
         return line_addr % self.num_sets
 
     def contains(self, line_addr: int) -> bool:
         """Tag probe without side effects (used by tests and prefetchers)."""
-        return line_addr in self._lookup[self.set_index(line_addr)]
+        return line_addr in self._slot_of
 
-    def block_for(self, line_addr: int) -> Optional[CacheBlock]:
-        """Return the resident block for ``line_addr`` (no side effects)."""
-        set_idx = self.set_index(line_addr)
-        way = self._lookup[set_idx].get(line_addr)
-        return self._sets[set_idx][way] if way is not None else None
+    def block_for(self, line_addr: int) -> Optional[BlockView]:
+        """A live block view for ``line_addr`` (no side effects)."""
+        slot = self._slot_of.get(line_addr)
+        return self._store.view(slot) if slot is not None else None
 
     # ------------------------------------------------------------------
     def access(self, req: MemoryRequest) -> int:
         """Process one request; returns the data-ready cycle."""
         line = req.line_addr
-        set_idx = self.set_index(line)
+        set_idx = line % self.num_sets
         ready = req.cycle + self.latency
-        category = req.category()
-        is_leaf = req.is_leaf_translation
 
-        if self.recall_translation is not None:
-            self.recall_translation.on_access(set_idx, line)
-            self.recall_replay.on_access(set_idx, line)
+        rt = self.recall_translation
+        if rt is not None and (rt.pending or self.recall_replay.pending):
+            self.recall_pair.on_access(set_idx, line)
 
-        way = self._lookup[set_idx].get(line)
-        if way is not None:
-            completion = self._handle_hit(req, set_idx, way, ready,
-                                          category, is_leaf)
+        slot = self._slot_of.get(line)
+        if slot is not None:
+            completion = self._handle_hit(req, set_idx, slot, ready)
         else:
-            completion = self._handle_miss(req, set_idx, ready,
-                                           category, is_leaf)
+            completion = self._handle_miss(req, set_idx, ready)
 
         if self.prefetcher is not None and req.is_demand_data:
-            self._run_prefetcher(req, hit=way is not None)
+            self._run_prefetcher(req, hit=slot is not None)
         return completion
 
     # ------------------------------------------------------------------
-    def _handle_hit(self, req: MemoryRequest, set_idx: int, way: int,
-                    ready: int, category: str, is_leaf: bool) -> int:
-        block = self._sets[set_idx][way]
-        self.stats.record(category, hit=True, leaf=is_leaf)
+    def _handle_hit(self, req: MemoryRequest, set_idx: int, slot: int,
+                    ready: int) -> int:
+        store = self._store
+        # Counter updates and the MSHR merge probe are inlined (they match
+        # CacheStats.record and MSHR.lookup): this runs once per hit on the
+        # innermost path.
+        stats = self.stats
+        cat = req._category
+        stats.accesses[cat] += 1
+        stats.hits[cat] += 1
+        if req.is_leaf_translation:
+            stats.leaf_accesses += 1
+            stats.leaf_hits += 1
         req.served_by = self.name
         # A "hit" on a line whose fill is still in flight (e.g. an ATP
         # prefetch racing the replay demand) completes when the data
         # actually arrives, not at the tag-hit latency.
-        pending = self.mshr.lookup(req.line_addr, req.cycle)
-        if pending is not None and pending > ready:
-            ready = pending
-        if req.access_type is AccessType.WRITEBACK:
-            block.dirty = True
+        mshr = self.mshr
+        pending = mshr._inflight.get(req.line_addr)
+        if pending is not None and pending > req.cycle:
+            mshr.merges += 1
+            if mshr.tracer is not None:
+                mshr.tracer.instant("mshr_merge", req.cycle, cat="mshr",
+                                    component=mshr.component,
+                                    line=req.line_addr, fill=pending)
+            if pending > ready:
+                ready = pending
+        access_type = req.access_type
+        if access_type is _WRITEBACK:
+            store.dirty[slot] = 1
             return ready
-        if req.access_type is AccessType.PREFETCH:
+        if access_type is _PREFETCH:
             # Prefetch hits neither promote nor train the policy.
             return ready
-        if block.is_prefetch and not block.reused:
+        if store.is_prefetch[slot] and not store.reused[slot]:
             self.stats.prefetch_useful += 1
-        block.reused = True
-        if req.access_type is AccessType.STORE:
-            block.dirty = True
-        self.policy.on_hit(set_idx, way, req, block)
-        if block.dead_on_hit:
+        store.reused[slot] = 1
+        if access_type is _STORE:
+            store.dirty[slot] = 1
+        way = slot - set_idx * self.num_ways
+        self._policy.on_hit(set_idx, way, req)
+        if store.dead_on_hit[slot]:
             # ATP/TEMPO replay fills are dead after their single use (Fig 7):
             # the consuming hit must not promote them.
-            self.policy.demote(set_idx, way, block)
-        if is_leaf and self.on_leaf_translation_hit is not None:
+            self._policy.demote(set_idx, way)
+        if req.is_leaf_translation and self.on_leaf_translation_hit is not None:
             self.on_leaf_translation_hit(req, ready)
         return ready
 
     def _handle_miss(self, req: MemoryRequest, set_idx: int,
-                     ready: int, category: str, is_leaf: bool) -> int:
+                     ready: int) -> int:
         line = req.line_addr
-        self.stats.record(category, hit=False, leaf=is_leaf)
+        # Counter updates and the MSHR merge probe are inlined (they match
+        # CacheStats.record and MSHR.lookup): this runs once per miss on
+        # the innermost path.
+        stats = self.stats
+        cat = req._category
+        stats.accesses[cat] += 1
+        stats.misses[cat] += 1
+        if req.is_leaf_translation:
+            stats.leaf_accesses += 1
+            stats.leaf_misses += 1
         if req.is_demand_data:
-            self.policy.record_miss(set_idx)
+            self._policy.record_miss(set_idx)
 
-        merged = self.mshr.lookup(line, req.cycle)
-        if merged is not None:
+        mshr = self.mshr
+        merged = mshr._inflight.get(line)
+        if merged is not None and merged > req.cycle:
+            mshr.merges += 1
+            if mshr.tracer is not None:
+                mshr.tracer.instant("mshr_merge", req.cycle, cat="mshr",
+                                    component=mshr.component,
+                                    line=line, fill=merged)
             req.served_by = self.name
-            if line not in self._lookup[set_idx]:
+            if line not in self._slot_of:
                 # The line was evicted while its fill was still in flight
                 # (the victim loop does not know about MSHRs).  The
                 # pending fill still delivers the data, so it re-installs
                 # the block -- dropping it would strand the response.
                 self._fill(req, set_idx, merged)
-                if req.access_type is AccessType.WRITEBACK:
-                    self._sets[set_idx][self._lookup[set_idx][line]].dirty \
-                        = True
-            return max(ready, merged)
+                if req.access_type is _WRITEBACK:
+                    self._store.dirty[self._slot_of[line]] = 1
+            return merged if merged > ready else ready
 
-        if req.access_type is AccessType.PREFETCH:
+        if req.access_type is _PREFETCH:
             # Prefetches ride a separate queue: they never steal demand
             # MSHR capacity, but a flooded queue drops them.
             if (self.mshr.occupancy(req.cycle)
@@ -193,15 +250,14 @@ class Cache:
             self._fill(req, set_idx, fill_cycle)
             return fill_cycle
 
-        ideal = ((is_leaf and self.ideal_translations)
+        ideal = ((req.is_leaf_translation and self.ideal_translations)
                  or (req.is_demand_data and req.is_replay
                      and self.ideal_replays))
 
-        if req.access_type is AccessType.WRITEBACK:
+        if req.access_type is _WRITEBACK:
             # Non-inclusive: install the written-back line here.
             self._fill(req, set_idx, ready)
-            block = self._sets[set_idx][self._lookup[set_idx][line]]
-            block.dirty = True
+            self._store.dirty[self._slot_of[line]] = 1
             return ready
 
         # A full MSHR delays the start of the downstream access until a
@@ -223,91 +279,98 @@ class Cache:
 
     # ------------------------------------------------------------------
     def _fill(self, req: MemoryRequest, set_idx: int, fill_cycle: int) -> None:
-        blocks = self._sets[set_idx]
-        lookup = self._lookup[set_idx]
-        way = None
-        for w, block in enumerate(blocks):
-            if not block.valid:
-                way = w
-                break
-        if way is None:
-            way = self.policy.victim(set_idx, req, blocks)
-            victim = blocks[way]
-            self.policy.on_evict(set_idx, way, victim)
-            self._evict(set_idx, victim, fill_cycle)
-        block = blocks[way]
-        block.reset_for_fill(req.line_addr, fill_cycle)
-        block.is_translation = req.is_translation
-        block.is_leaf_translation = req.is_leaf_translation
-        block.is_replay = req.is_demand_data and req.is_replay
-        block.is_prefetch = req.access_type is AccessType.PREFETCH
-        if req.access_type is AccessType.STORE:
-            block.dirty = True
-        lookup[req.line_addr] = way
-        self.policy.on_fill(set_idx, way, req, block)
+        store = self._store
+        slot = store.first_free(set_idx)
+        if slot < 0:
+            way = self._policy.victim(set_idx, req)
+            slot = set_idx * self.num_ways + way
+            self._policy.on_evict(set_idx, way)
+            self._evict(set_idx, slot, fill_cycle)
+        else:
+            way = slot - set_idx * self.num_ways
+        line = req.line_addr
+        store.reset_slot(slot, line, fill_cycle)
+        if req.is_translation:
+            store.is_translation[slot] = 1
+            if req.is_leaf_translation:
+                store.is_leaf_translation[slot] = 1
+        access_type = req.access_type
+        is_prefetch = access_type is _PREFETCH
+        if req.is_demand_data and req.is_replay:
+            store.is_replay[slot] = 1
+        if is_prefetch:
+            store.is_prefetch[slot] = 1
+        if access_type is _STORE:
+            store.dirty[slot] = 1
+        self._slot_of[line] = slot
+        self._policy.on_fill(set_idx, way, req)
         if req.evict_priority:
-            self.policy.demote(set_idx, way, block)
-            block.dead_on_hit = True
-        if block.is_prefetch:
+            self._policy.demote(set_idx, way)
+            store.dead_on_hit[slot] = 1
+        if is_prefetch:
             self.stats.prefetch_fills += 1
 
     def invalidate(self, line_addr: int) -> Optional[CacheBlock]:
         """Drop ``line_addr`` if resident (inclusion back-invalidation).
 
-        Returns the dropped block (still carrying its dirty bit) so the
-        inclusive parent can fold a dirty upper-level copy into its own
-        eviction writeback, or None when the line was not resident."""
-        set_idx = self.set_index(line_addr)
-        way = self._lookup[set_idx].pop(line_addr, None)
-        if way is None:
+        Returns a detached snapshot of the dropped block (still carrying
+        its dirty bit) so the inclusive parent can fold a dirty
+        upper-level copy into its own eviction writeback, or None when the
+        line was not resident."""
+        slot = self._slot_of.pop(line_addr, None)
+        if slot is None:
             return None
-        block = self._sets[set_idx][way]
-        block.valid = False
-        return block
+        self._store.valid[slot] = 0
+        return self._store.snapshot(slot)
 
-    def _evict(self, set_idx: int, victim: CacheBlock, cycle: int) -> None:
-        del self._lookup[set_idx][victim.line_addr]
+    def _evict(self, set_idx: int, slot: int, cycle: int) -> None:
+        store = self._store
+        victim_line = store.line[slot]
+        del self._slot_of[victim_line]
         # Back-invalidation: a dirty upper-level copy holds data the LLC
         # never saw; dropping it silently would lose the only dirty copy,
         # so it upgrades this eviction to a writeback.
         upper_dirty = False
         for upper in self.back_invalidate_targets:
-            dropped = upper.invalidate(victim.line_addr)
+            dropped = upper.invalidate(victim_line)
             if dropped:
                 self.back_invalidations += 1
                 upper_dirty = upper_dirty or getattr(dropped, "dirty", False)
         if self.recall_translation is not None:
-            if victim.is_leaf_translation:
-                self.recall_translation.on_evict(set_idx, victim.line_addr)
-            elif victim.is_replay:
-                self.recall_replay.on_evict(set_idx, victim.line_addr)
-        if victim.dirty or upper_dirty:
+            if store.is_leaf_translation[slot]:
+                self.recall_translation.on_evict(set_idx, victim_line)
+            elif store.is_replay[slot]:
+                self.recall_replay.on_evict(set_idx, victim_line)
+        if store.dirty[slot] or upper_dirty:
             self.writebacks_issued += 1
-            wb = MemoryRequest(address=victim.line_addr << 6, cycle=cycle,
-                               access_type=AccessType.WRITEBACK)
+            wb = request_pool.acquire(victim_line << 6, cycle,
+                                      access_type=_WRITEBACK)
             self.next_level.access(wb)
-        victim.valid = False
+            request_pool.release(wb)
+        store.valid[slot] = 0
 
     # ------------------------------------------------------------------
     def _run_prefetcher(self, req: MemoryRequest, hit: bool) -> None:
         candidates = self.prefetcher.operate(req, hit)
         for line_addr in candidates:
-            if self.contains(line_addr):
+            if line_addr in self._slot_of:
                 continue
-            pref = MemoryRequest(address=line_addr << 6, cycle=req.cycle,
-                                 ip=req.ip,
-                                 access_type=AccessType.PREFETCH)
+            pref = request_pool.acquire(line_addr << 6, req.cycle,
+                                        ip=req.ip, access_type=_PREFETCH)
             self.access(pref)
+            request_pool.release(pref)
 
     def issue_prefetch(self, line_addr: int, cycle: int,
                        evict_priority: bool = False) -> int:
         """Externally-triggered prefetch into this level (ATP path)."""
-        if self.contains(line_addr):
+        if line_addr in self._slot_of:
             return cycle
-        pref = MemoryRequest(address=line_addr << 6, cycle=cycle,
-                             access_type=AccessType.PREFETCH)
-        pref.evict_priority = evict_priority
-        return self.access(pref)
+        pref = request_pool.acquire(line_addr << 6, cycle,
+                                    access_type=_PREFETCH,
+                                    evict_priority=evict_priority)
+        done = self.access(pref)
+        request_pool.release(pref)
+        return done
 
     def reset_stats(self) -> None:
         """Zero all counters (warmup boundary); cache contents persist."""
@@ -322,8 +385,10 @@ class Cache:
         self.mshr.peak_occupancy = 0
         self.mshr.admission_stall_cycles = 0
         if self.recall_translation is not None:
-            self.recall_translation = RecallTracker(f"{self.name}/translation")
-            self.recall_replay = RecallTracker(f"{self.name}/replay")
+            self.recall_pair = RecallPair(f"{self.name}/translation",
+                                          f"{self.name}/replay")
+            self.recall_translation = self.recall_pair.translation
+            self.recall_replay = self.recall_pair.replay
         if self.prefetcher is not None:
             self.prefetcher.issued = 0
 
@@ -333,25 +398,25 @@ class Cache:
 
         Policies without RRPV state (LRU, Random) leave every block at
         RRPV 0, so the histogram degenerates to one bucket."""
-        max_rrpv = getattr(self.policy, "max_rrpv", 0)
+        max_rrpv = getattr(self._policy, "max_rrpv", 0)
         counts = [0] * (max_rrpv + 1)
-        for blocks in self._sets:
-            for block in blocks:
-                if block.valid:
-                    counts[min(block.rrpv, max_rrpv)] += 1
+        rrpv = self._store.rrpv
+        for slot in self._slot_of.values():
+            value = rrpv[slot]
+            counts[value if value < max_rrpv else max_rrpv] += 1
         return counts
 
     def occupancy_by_category(self) -> Dict[str, int]:
         """Count of resident blocks per fill category (for analysis)."""
-        counts = {"translation": 0, "replay": 0, "other": 0}
-        for blocks in self._sets:
-            for block in blocks:
-                if not block.valid:
-                    continue
-                if block.is_translation:
-                    counts["translation"] += 1
-                elif block.is_replay:
-                    counts["replay"] += 1
-                else:
-                    counts["other"] += 1
-        return counts
+        store = self._store
+        is_translation = store.is_translation
+        is_replay = store.is_replay
+        translation = replay = other = 0
+        for slot in self._slot_of.values():
+            if is_translation[slot]:
+                translation += 1
+            elif is_replay[slot]:
+                replay += 1
+            else:
+                other += 1
+        return {"translation": translation, "replay": replay, "other": other}

@@ -1,17 +1,21 @@
-"""Replacement-policy interface.
+"""Replacement-policy interface over the column-oriented cache store.
 
 A policy sees three events -- fill, hit, evict -- plus victim selection.
 The cache handles invalid ways itself; ``victim`` is only consulted when the
 set is full.  Policies receive the full :class:`MemoryRequest` so that
 translation-conscious variants can classify the incoming block.
+
+Policies are *bound* to a :class:`repro.cache.store.CacheStore` before use
+(:meth:`ReplacementPolicy.bind`): per-line policy state (RRPV, signature,
+reuse bit) lives in the store's flat columns, shared with the cache, and
+hooks address lines by ``(set_idx, way)`` exactly as before -- the slot is
+``set_idx * num_ways + way``.
 """
 
 from __future__ import annotations
 
 import abc
-from typing import List, Sequence
 
-from repro.cache.block import CacheBlock
 from repro.memsys.request import MemoryRequest
 
 
@@ -26,36 +30,46 @@ class ReplacementPolicy(abc.ABC):
             raise ValueError("cache geometry must be positive")
         self.num_sets = num_sets
         self.num_ways = num_ways
+        #: Bound backing store (set by the owning cache via :meth:`bind`).
+        self.store = None
+
+    def bind(self, store) -> None:
+        """Attach the cache's column store this policy operates on."""
+        if (store.num_sets, store.num_ways) != (self.num_sets,
+                                                self.num_ways):
+            raise ValueError(
+                f"policy geometry {self.num_sets}x{self.num_ways} does not "
+                f"match store {store.num_sets}x{store.num_ways}")
+        self.store = store
 
     @abc.abstractmethod
-    def victim(self, set_idx: int, req: MemoryRequest,
-               blocks: Sequence[CacheBlock]) -> int:
+    def victim(self, set_idx: int, req: MemoryRequest) -> int:
         """Choose a way to evict from a full set."""
 
     @abc.abstractmethod
-    def on_fill(self, set_idx: int, way: int, req: MemoryRequest,
-                block: CacheBlock) -> None:
+    def on_fill(self, set_idx: int, way: int, req: MemoryRequest) -> None:
         """A new block was installed at (set, way)."""
 
     @abc.abstractmethod
-    def on_hit(self, set_idx: int, way: int, req: MemoryRequest,
-               block: CacheBlock) -> None:
+    def on_hit(self, set_idx: int, way: int, req: MemoryRequest) -> None:
         """The block at (set, way) was re-referenced."""
 
-    def on_evict(self, set_idx: int, way: int, block: CacheBlock) -> None:
+    def on_evict(self, set_idx: int, way: int) -> None:
         """The block at (set, way) is about to be replaced (training hook)."""
 
     def record_miss(self, set_idx: int) -> None:
         """A demand miss occurred in ``set_idx`` (set-dueling hook)."""
 
-    def demote(self, set_idx: int, way: int, block: CacheBlock) -> None:
+    def demote(self, set_idx: int, way: int) -> None:
         """Force the block to highest eviction priority (ATP prefetch fills)."""
 
 
 class RRIPBase(ReplacementPolicy):
     """Shared machinery for RRPV-based policies (SRRIP family, SHiP,
-    Hawkeye).  Stores one RRPV per (set, way) in the blocks themselves and
-    implements the standard aging eviction loop."""
+    Hawkeye).  RRPVs live in the bound store's ``rrpv`` column; eviction
+    uses the standard aging scheme, applied as one delta instead of a
+    rescan loop (the victim is the way whose RRPV saturates first, i.e.
+    the first way holding the set's maximum RRPV)."""
 
     #: RRPV bit width (2 for SRRIP/SHiP, 3 for Hawkeye).
     rrpv_bits = 2
@@ -64,27 +78,28 @@ class RRIPBase(ReplacementPolicy):
         super().__init__(num_sets, num_ways)
         self.max_rrpv = (1 << self.rrpv_bits) - 1
 
-    def victim(self, set_idx: int, req: MemoryRequest,
-               blocks: Sequence[CacheBlock]) -> int:
+    def victim(self, set_idx: int, req: MemoryRequest) -> int:
         """Evict the first block at max RRPV, aging the set as needed."""
-        while True:
-            for way, block in enumerate(blocks):
-                if block.rrpv >= self.max_rrpv:
-                    return way
-            for block in blocks:
-                block.rrpv += 1
+        base = set_idx * self.num_ways
+        rrpv = self.store.rrpv
+        seg = rrpv[base:base + self.num_ways]
+        mx = max(seg)
+        if mx < self.max_rrpv:
+            delta = self.max_rrpv - mx
+            for slot in range(base, base + self.num_ways):
+                rrpv[slot] += delta
+        return seg.index(mx)
 
     def insertion_rrpv(self, set_idx: int, req: MemoryRequest) -> int:
         """RRPV assigned to an incoming block (policy-specific)."""
         return self.max_rrpv - 1
 
-    def on_fill(self, set_idx: int, way: int, req: MemoryRequest,
-                block: CacheBlock) -> None:
-        block.rrpv = self.insertion_rrpv(set_idx, req)
+    def on_fill(self, set_idx: int, way: int, req: MemoryRequest) -> None:
+        self.store.rrpv[set_idx * self.num_ways + way] = \
+            self.insertion_rrpv(set_idx, req)
 
-    def on_hit(self, set_idx: int, way: int, req: MemoryRequest,
-               block: CacheBlock) -> None:
-        block.rrpv = 0
+    def on_hit(self, set_idx: int, way: int, req: MemoryRequest) -> None:
+        self.store.rrpv[set_idx * self.num_ways + way] = 0
 
-    def demote(self, set_idx: int, way: int, block: CacheBlock) -> None:
-        block.rrpv = self.max_rrpv
+    def demote(self, set_idx: int, way: int) -> None:
+        self.store.rrpv[set_idx * self.num_ways + way] = self.max_rrpv

@@ -17,9 +17,8 @@ can make translation and replay training independent.
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, Dict, List, Tuple
+from typing import Deque, Dict, Tuple
 
-from repro.cache.block import CacheBlock
 from repro.cache.replacement.base import RRIPBase
 from repro.memsys.request import MemoryRequest
 
@@ -111,46 +110,46 @@ class HawkeyePolicy(RRIPBase):
             self._train(prev_sig, opt_hit)
 
     # -- replacement ------------------------------------------------------
-    def victim(self, set_idx: int, req: MemoryRequest,
-               blocks) -> int:
+    def victim(self, set_idx: int, req: MemoryRequest) -> int:
         # Prefer a cache-averse block (RRPV == max); otherwise the oldest
         # friendly block (highest RRPV).  No aging loop: Hawkeye ages
-        # friendly blocks on fills instead.
-        best_way, best_rrpv = 0, -1
-        for way, block in enumerate(blocks):
-            if block.rrpv >= self.max_rrpv:
-                return way
-            if block.rrpv > best_rrpv:
-                best_way, best_rrpv = way, block.rrpv
-        return best_way
+        # friendly blocks on fills instead.  Either way the victim is the
+        # first way holding the set's maximum RRPV.
+        base = set_idx * self.num_ways
+        seg = self.store.rrpv[base:base + self.num_ways]
+        return seg.index(max(seg))
 
     def insertion_rrpv(self, set_idx: int, req: MemoryRequest) -> int:
         return 0 if self._is_friendly(self.signature(req)) else self.max_rrpv
 
-    def on_fill(self, set_idx: int, way: int, req: MemoryRequest,
-                block: CacheBlock) -> None:
+    def on_fill(self, set_idx: int, way: int, req: MemoryRequest) -> None:
         self._observe(set_idx, req)
         sig = self.signature(req)
-        block.signature = sig
+        slot = set_idx * self.num_ways + way
+        self.store.signature[slot] = sig
         if self._is_friendly(sig):
-            block.rrpv = 0
+            self.store.rrpv[slot] = 0
             # Age other friendly blocks so older ones become victims.
             # (The cache passes fills through here one at a time; aging is
             # applied lazily on victim selection via stored RRPVs.)
         else:
-            block.rrpv = self.max_rrpv
+            self.store.rrpv[slot] = self.max_rrpv
 
-    def on_hit(self, set_idx: int, way: int, req: MemoryRequest,
-               block: CacheBlock) -> None:
+    def on_hit(self, set_idx: int, way: int, req: MemoryRequest) -> None:
         self._observe(set_idx, req)
-        block.signature = self.signature(req)
-        block.rrpv = 0 if self._is_friendly(block.signature) else self.max_rrpv - 1
+        sig = self.signature(req)
+        slot = set_idx * self.num_ways + way
+        self.store.signature[slot] = sig
+        self.store.rrpv[slot] = 0 if self._is_friendly(sig) \
+            else self.max_rrpv - 1
 
-    def on_evict(self, set_idx: int, way: int, block: CacheBlock) -> None:
+    def on_evict(self, set_idx: int, way: int) -> None:
         # Detrain the PC of a friendly block evicted without reuse: OPT
         # would not have kept it either.
-        if block.rrpv < self.max_rrpv and not block.reused:
-            self._train(block.signature, False)
+        slot = set_idx * self.num_ways + way
+        if (self.store.rrpv[slot] < self.max_rrpv
+                and not self.store.reused[slot]):
+            self._train(self.store.signature[slot], False)
 
     # -- introspection ------------------------------------------------------
     def predictor_value(self, req: MemoryRequest) -> int:

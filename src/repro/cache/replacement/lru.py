@@ -2,36 +2,32 @@
 
 from __future__ import annotations
 
-import itertools
-from typing import List, Sequence
-
-from repro.cache.block import CacheBlock
 from repro.cache.replacement.base import ReplacementPolicy
 from repro.memsys.request import MemoryRequest
 
 
 class LRUPolicy(ReplacementPolicy):
-    """Classic LRU via a per-(set, way) monotone timestamp."""
+    """Classic LRU via a flat per-slot monotone timestamp column."""
 
     name = "lru"
 
     def __init__(self, num_sets: int, num_ways: int):
         super().__init__(num_sets, num_ways)
-        self._stamp = [[0] * num_ways for _ in range(num_sets)]
-        self._clock = itertools.count(1)
+        self._stamp = [0] * (num_sets * num_ways)
+        self._clock = 0
 
-    def victim(self, set_idx: int, req: MemoryRequest,
-               blocks: Sequence[CacheBlock]) -> int:
-        stamps = self._stamp[set_idx]
-        return min(range(self.num_ways), key=stamps.__getitem__)
+    def victim(self, set_idx: int, req: MemoryRequest) -> int:
+        base = set_idx * self.num_ways
+        seg = self._stamp[base:base + self.num_ways]
+        return seg.index(min(seg))
 
-    def on_fill(self, set_idx: int, way: int, req: MemoryRequest,
-                block: CacheBlock) -> None:
-        self._stamp[set_idx][way] = next(self._clock)
+    def on_fill(self, set_idx: int, way: int, req: MemoryRequest) -> None:
+        self._clock += 1
+        self._stamp[set_idx * self.num_ways + way] = self._clock
 
-    def on_hit(self, set_idx: int, way: int, req: MemoryRequest,
-               block: CacheBlock) -> None:
-        self._stamp[set_idx][way] = next(self._clock)
+    def on_hit(self, set_idx: int, way: int, req: MemoryRequest) -> None:
+        self._clock += 1
+        self._stamp[set_idx * self.num_ways + way] = self._clock
 
-    def demote(self, set_idx: int, way: int, block: CacheBlock) -> None:
-        self._stamp[set_idx][way] = 0
+    def demote(self, set_idx: int, way: int) -> None:
+        self._stamp[set_idx * self.num_ways + way] = 0

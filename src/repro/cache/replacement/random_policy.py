@@ -3,9 +3,7 @@
 from __future__ import annotations
 
 import random
-from typing import Sequence
 
-from repro.cache.block import CacheBlock
 from repro.cache.replacement.base import ReplacementPolicy
 from repro.memsys.request import MemoryRequest
 
@@ -19,14 +17,11 @@ class RandomPolicy(ReplacementPolicy):
         super().__init__(num_sets, num_ways)
         self._rng = random.Random(seed)
 
-    def victim(self, set_idx: int, req: MemoryRequest,
-               blocks: Sequence[CacheBlock]) -> int:
+    def victim(self, set_idx: int, req: MemoryRequest) -> int:
         return self._rng.randrange(self.num_ways)
 
-    def on_fill(self, set_idx: int, way: int, req: MemoryRequest,
-                block: CacheBlock) -> None:
+    def on_fill(self, set_idx: int, way: int, req: MemoryRequest) -> None:
         pass
 
-    def on_hit(self, set_idx: int, way: int, req: MemoryRequest,
-               block: CacheBlock) -> None:
+    def on_hit(self, set_idx: int, way: int, req: MemoryRequest) -> None:
         pass

@@ -12,7 +12,6 @@ variants of Section IV can redefine it (``IP << IsTranslation`` etc.).
 
 from __future__ import annotations
 
-from repro.cache.block import CacheBlock
 from repro.cache.replacement.base import RRIPBase
 from repro.memsys.request import MemoryRequest
 
@@ -41,24 +40,27 @@ class SHiPPolicy(RRIPBase):
             return self.max_rrpv
         return self.max_rrpv - 1
 
-    def on_fill(self, set_idx: int, way: int, req: MemoryRequest,
-                block: CacheBlock) -> None:
-        block.signature = self.signature(req)
-        block.rrpv = self.insertion_rrpv(set_idx, req)
+    def on_fill(self, set_idx: int, way: int, req: MemoryRequest) -> None:
+        slot = set_idx * self.num_ways + way
+        self.store.signature[slot] = self.signature(req)
+        self.store.rrpv[slot] = self.insertion_rrpv(set_idx, req)
 
     # -- training ---------------------------------------------------------
-    def on_hit(self, set_idx: int, way: int, req: MemoryRequest,
-               block: CacheBlock) -> None:
-        block.rrpv = 0
-        counter = self._shct[block.signature]
+    def on_hit(self, set_idx: int, way: int, req: MemoryRequest) -> None:
+        slot = set_idx * self.num_ways + way
+        self.store.rrpv[slot] = 0
+        sig = self.store.signature[slot]
+        counter = self._shct[sig]
         if counter < self.SHCT_MAX:
-            self._shct[block.signature] = counter + 1
+            self._shct[sig] = counter + 1
 
-    def on_evict(self, set_idx: int, way: int, block: CacheBlock) -> None:
-        if not block.reused:
-            counter = self._shct[block.signature]
+    def on_evict(self, set_idx: int, way: int) -> None:
+        slot = set_idx * self.num_ways + way
+        if not self.store.reused[slot]:
+            sig = self.store.signature[slot]
+            counter = self._shct[sig]
             if counter > 0:
-                self._shct[block.signature] = counter - 1
+                self._shct[sig] = counter - 1
 
     # -- introspection (tests) ---------------------------------------------
     def shct_value(self, req: MemoryRequest) -> int:

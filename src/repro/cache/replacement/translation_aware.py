@@ -157,7 +157,7 @@ class THawkeyePolicy(HawkeyePolicy):
             return 0
         return super().insertion_rrpv(set_idx, req)
 
-    def on_fill(self, set_idx: int, way: int, req: MemoryRequest, block) -> None:
-        super().on_fill(set_idx, way, req, block)
+    def on_fill(self, set_idx: int, way: int, req: MemoryRequest) -> None:
+        super().on_fill(set_idx, way, req)
         if req.is_leaf_translation:
-            block.rrpv = 0
+            self.store.rrpv[set_idx * self.num_ways + way] = 0

@@ -16,9 +16,6 @@ keeping, and does nothing for replay loads.
 
 from __future__ import annotations
 
-from typing import Sequence
-
-from repro.cache.block import CacheBlock
 from repro.cache.replacement.ship import SHiPPolicy
 from repro.memsys.request import MemoryRequest
 
@@ -61,35 +58,38 @@ class CSALTPolicy(SHiPPolicy):
             self.t_ways = max(self.MIN_T_WAYS, self.t_ways - 1)
 
     # -- policy hooks -------------------------------------------------------
-    def on_hit(self, set_idx: int, way: int, req: MemoryRequest,
-               block: CacheBlock) -> None:
+    def on_hit(self, set_idx: int, way: int, req: MemoryRequest) -> None:
         cls = self._class_of(req)
         self._accesses[cls] += 1
         self._hits[cls] += 1
-        super().on_hit(set_idx, way, req, block)
+        super().on_hit(set_idx, way, req)
 
-    def on_fill(self, set_idx: int, way: int, req: MemoryRequest,
-                block: CacheBlock) -> None:
+    def on_fill(self, set_idx: int, way: int, req: MemoryRequest) -> None:
         self._accesses[self._class_of(req)] += 1
         self._epoch_tick()
-        super().on_fill(set_idx, way, req, block)
+        super().on_fill(set_idx, way, req)
 
-    def victim(self, set_idx: int, req: MemoryRequest,
-               blocks: Sequence[CacheBlock]) -> int:
+    def victim(self, set_idx: int, req: MemoryRequest) -> int:
         """Enforce the partition: evict within the over-quota class."""
-        t_count = sum(1 for b in blocks if b.valid and b.is_translation)
+        store = self.store
+        base = set_idx * self.num_ways
+        valid = store.valid
+        is_translation = store.is_translation
+        rrpv = store.rrpv
+        slots = range(base, base + self.num_ways)
+        t_count = sum(1 for s in slots if valid[s] and is_translation[s])
         if req.is_translation:
             restrict_to_translations = t_count >= self.t_ways
         else:
             restrict_to_translations = t_count > self.t_ways
-        candidates = [w for w, b in enumerate(blocks)
-                      if b.is_translation == restrict_to_translations]
+        want = 1 if restrict_to_translations else 0
+        candidates = [s for s in slots if is_translation[s] == want]
         if not candidates:
-            return super().victim(set_idx, req, blocks)
+            return super().victim(set_idx, req)
         # SRRIP-style selection within the allowed class.
         while True:
-            best = max(candidates, key=lambda w: blocks[w].rrpv)
-            if blocks[best].rrpv >= self.max_rrpv:
-                return best
-            for w in candidates:
-                blocks[w].rrpv += 1
+            best = max(candidates, key=rrpv.__getitem__)
+            if rrpv[best] >= self.max_rrpv:
+                return best - base
+            for s in candidates:
+                rrpv[s] += 1

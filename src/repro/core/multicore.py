@@ -37,7 +37,7 @@ class MultiCore:
                                   * num_cores)
         dram = dataclasses.replace(config.dram,
                                    channels=max(1, num_cores // 2))
-        config = config.replace(llc=llc, dram=dram)
+        config = config.with_(llc=llc, dram=dram)
         self.config = config
         self.num_cores = num_cores
         allocator = FrameAllocator(seed=config.seed)

@@ -79,6 +79,17 @@ class OOOCore:
         """
         ips, kinds, addrs = trace.ips, trace.kinds, trace.addrs
         deps = trace.deps
+        # Numpy-backed traces: convert to plain lists once.  Element-wise
+        # list indexing is much faster than numpy scalar extraction, and it
+        # yields native ints the memory system can use without casting.
+        if hasattr(ips, "tolist"):
+            ips = ips.tolist()
+        if hasattr(kinds, "tolist"):
+            kinds = kinds.tolist()
+        if hasattr(addrs, "tolist"):
+            addrs = addrs.tolist()
+        if hasattr(deps, "tolist"):
+            deps = deps.tolist()
         total = len(ips) if limit is None else min(limit, len(ips))
         # Completion of the most recent dependent-chain load: a load with
         # deps[i] set cannot issue before it (pointer chasing).
@@ -92,6 +103,13 @@ class OOOCore:
         frontend = hierarchy.frontend
         fetch_hidden = frontend.hidden_latency if frontend else 0
         prev_fetch_line = -1
+        rob_entries = self.rob_entries
+        dispatch_width = self.dispatch_width
+        retire_width = self.retire_width
+        nonmem_latency = self.nonmem_latency
+        hierarchy_load = hierarchy.load
+        hierarchy_store = hierarchy.store
+        kind_load, kind_store = KIND_LOAD, KIND_STORE
 
         dispatch_cycle = 0
         dispatch_slots = 0
@@ -116,7 +134,7 @@ class OOOCore:
                     tracer.enable()
             # -- dispatch ------------------------------------------------
             dc = dispatch_cycle
-            if len(retire_times) >= self.rob_entries:
+            if len(retire_times) >= rob_entries:
                 free_at = retire_times.popleft()
                 if free_at > dc:
                     dc = free_at
@@ -125,7 +143,7 @@ class OOOCore:
                 dispatch_cycle = dc
                 dispatch_slots = 0
             dispatch_slots += 1
-            if dispatch_slots >= self.dispatch_width:
+            if dispatch_slots >= dispatch_width:
                 dispatch_cycle += 1
                 dispatch_slots = 0
 
@@ -134,7 +152,7 @@ class OOOCore:
                 fetch_line = ips[i] >> 6
                 if fetch_line != prev_fetch_line:
                     prev_fetch_line = fetch_line
-                    fetch_done = frontend.fetch(int(ips[i]), dc)
+                    fetch_done = frontend.fetch(ips[i], dc)
                     # An L1I hit is hidden by the fetch pipeline; misses
                     # push dispatch back by the uncovered latency.
                     if fetch_done - dc > fetch_hidden:
@@ -146,25 +164,25 @@ class OOOCore:
             kind = kinds[i]
             is_replay = False
             translation_done = dc
-            if kind == KIND_LOAD:
+            if kind == kind_load:
                 issue_at = dc
                 if deps[i] and chain_completion > issue_at:
                     issue_at = chain_completion
-                res = hierarchy.load(int(addrs[i]), issue_at, int(ips[i]))
+                res = hierarchy_load(addrs[i], issue_at, ips[i])
                 completion = res.data_done
                 is_replay = res.is_replay
                 translation_done = res.translation_done
                 if deps[i]:
                     chain_completion = completion
-            elif kind == KIND_STORE:
-                hierarchy.store(int(addrs[i]), dc, int(ips[i]))
-                completion = dc + self.nonmem_latency
+            elif kind == kind_store:
+                hierarchy_store(addrs[i], dc, ips[i])
+                completion = dc + nonmem_latency
             else:
-                completion = dc + self.nonmem_latency
+                completion = dc + nonmem_latency
 
             # -- retire (in order, retire_width per cycle) ---------------
             earliest = retire_cycle
-            if retire_slots >= self.retire_width:
+            if retire_slots >= retire_width:
                 earliest += 1
             if earliest < dc + 1:
                 earliest = dc + 1
@@ -178,7 +196,7 @@ class OOOCore:
                         if tracer is not None:
                             tracer.attach_load_stall(
                                 earliest, completion, is_replay,
-                                translation_done, ip=int(ips[i]))
+                                translation_done, ip=ips[i])
                     else:
                         stalls.record_other_stall(stall)
                 rt = completion

@@ -44,7 +44,7 @@ def single_mechanism_ablation(benchmarks: Optional[Sequence[str]] = None,
              for name in names}
     for name in names:
         for label, enh in ABLATION_VARIANTS.items():
-            cfg = default_config(scale).replace(enhancements=enh)
+            cfg = default_config(scale).with_(enhancements=enh)
             specs[(name, label)] = RunKey.make(name, cfg, instructions,
                                                warmup, scale)
     runs = _run_grid(specs)
@@ -79,7 +79,7 @@ def atp_trigger_placement(benchmarks: Optional[Sequence[str]] = None,
     size (Fig 21 discussion).
     """
     names = list(benchmarks) if benchmarks else benchmark_names()
-    cfg = default_config(scale).replace(
+    cfg = default_config(scale).with_(
         enhancements=EnhancementConfig.full())
     runs = _run_grid({name: RunKey.make(name, cfg, instructions, warmup,
                                         scale)

@@ -49,7 +49,7 @@ def prefetch_accuracy(benchmarks: Optional[Sequence[str]] = None,
     specs = {}
     for name in names:
         for label, (overrides, levels) in variants.items():
-            cfg = default_config(scale).replace(**overrides)
+            cfg = default_config(scale).with_(**overrides)
             specs[(name, label)] = RunKey.make(name, cfg, instructions,
                                                warmup, scale)
     runs = _run_grid(specs)

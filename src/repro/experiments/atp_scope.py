@@ -60,7 +60,7 @@ class _ReplayLatencyProbe:
 
 def _measure(name: str, enh: EnhancementConfig, instructions: int,
              warmup: int, scale: int):
-    cfg = default_config(scale).replace(enhancements=enh)
+    cfg = default_config(scale).with_(enhancements=enh)
     hierarchy = MemoryHierarchy(cfg)
     trace = make_trace(name, instructions + warmup, scale=scale)
     with _ReplayLatencyProbe(hierarchy) as probe:

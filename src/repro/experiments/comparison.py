@@ -43,10 +43,10 @@ def prior_work_comparison(benchmarks: Optional[Sequence[str]] = None,
         data[name] = {}
         for variant in COMPARISON_VARIANTS:
             if variant == "proposed":
-                cfg = default_config(scale).replace(
+                cfg = default_config(scale).with_(
                     enhancements=EnhancementConfig.full())
             else:
-                cfg = default_config(scale).replace(comparison=variant)
+                cfg = default_config(scale).with_(comparison=variant)
             run = run_benchmark(name, config=cfg, instructions=instructions,
                                 warmup=warmup, scale=scale)
             sp = run.speedup_over(base[name])

@@ -86,7 +86,7 @@ def huge_page_study(benchmarks: Optional[Sequence[str]] = None,
         specs[(name, "base")] = RunKey.make(name, None, instructions,
                                             warmup, scale)
         for label, (huge, enh) in variant_cfgs.items():
-            cfg = default_config(scale).replace(huge_page_policy=huge,
+            cfg = default_config(scale).with_(huge_page_policy=huge,
                                                 enhancements=enh)
             specs[(name, label)] = RunKey.make(name, cfg, instructions,
                                                warmup, scale)

@@ -160,7 +160,7 @@ def fig2_ideal(benchmarks: Optional[Sequence[str]] = None,
              for name in names}
     for name in names:
         for mode in mode_names:
-            cfg = default_config(scale).replace(ideal=_IDEAL_MODES[mode])
+            cfg = default_config(scale).with_(ideal=_IDEAL_MODES[mode])
             specs[(name, mode)] = RunKey.make(name, cfg, instructions,
                                               warmup, scale)
     runs = _run_grid(specs)
@@ -236,7 +236,7 @@ def _policy_mpki_figure(figure: str, title: str, metric: str,
     for name in names:
         for policy in policies:
             cfg = default_config(scale)
-            cfg = cfg.replace(llc=cfg.llc.scaled(1))
+            cfg = cfg.with_(llc=cfg.llc.scaled(1))
             cfg.llc.replacement = policy
             specs[(name, policy)] = RunKey.make(name, cfg, instructions,
                                                 warmup, scale)
@@ -364,9 +364,9 @@ def fig8_prefetcher_replay_mpki(benchmarks: Optional[Sequence[str]] = None,
         for pf in prefetchers:
             cfg = default_config(scale)
             if pf == "ipcp":
-                cfg = cfg.replace(l1d_prefetcher="ipcp")
+                cfg = cfg.with_(l1d_prefetcher="ipcp")
             elif pf != "none":
-                cfg = cfg.replace(l2c_prefetcher=pf)
+                cfg = cfg.with_(l2c_prefetcher=pf)
             specs[(name, pf)] = RunKey.make(name, cfg, instructions,
                                             warmup, scale)
     runs = _run_grid(specs)
@@ -399,7 +399,7 @@ def fig10_replay_rrpv0_degradation(benchmarks: Optional[Sequence[str]] = None,
     """Performance when both translations AND replays insert at RRPV=0
     (normalized to baseline; the paper shows degradation)."""
     names = _benchmarks(benchmarks)
-    cfg = default_config(scale).replace(
+    cfg = default_config(scale).with_(
         enhancements=EnhancementConfig(t_drrip=True, t_ship=True,
                                        newsign=True,
                                        replay_rrpv0=True))
@@ -445,7 +445,7 @@ def fig12_newsign_mpki(benchmarks: Optional[Sequence[str]] = None,
     specs = {}
     for name in names:
         for label, enh in variants.items():
-            cfg = default_config(scale).replace(enhancements=enh)
+            cfg = default_config(scale).with_(enhancements=enh)
             specs[(name, label)] = RunKey.make(name, cfg, instructions,
                                                warmup, scale)
     runs = _run_grid(specs)
@@ -495,7 +495,7 @@ def fig14_performance(benchmarks: Optional[Sequence[str]] = None,
              for name in names}
     for name in names:
         for label, enh in FIG14_VARIANTS.items():
-            cfg = base_cfg.replace(enhancements=enh)
+            cfg = base_cfg.with_(enhancements=enh)
             specs[(name, label)] = RunKey.make(name, cfg, instructions,
                                                warmup, scale)
     runs = _run_grid(specs)
@@ -537,10 +537,10 @@ def fig15_with_prefetchers(benchmarks: Optional[Sequence[str]] = None,
         for pf in prefetchers:
             cfg = default_config(scale)
             if pf == "ipcp":
-                cfg = cfg.replace(l1d_prefetcher="ipcp")
+                cfg = cfg.with_(l1d_prefetcher="ipcp")
             else:
-                cfg = cfg.replace(l2c_prefetcher=pf)
-            enh_cfg = cfg.replace(enhancements=EnhancementConfig.full())
+                cfg = cfg.with_(l2c_prefetcher=pf)
+            enh_cfg = cfg.with_(enhancements=EnhancementConfig.full())
             specs[(name, pf, "base")] = RunKey.make(name, cfg, instructions,
                                                     warmup, scale)
             specs[(name, pf, "enh")] = RunKey.make(name, enh_cfg,
@@ -579,7 +579,7 @@ def fig16_stall_reduction(benchmarks: Optional[Sequence[str]] = None,
     """Reduction in head-of-ROB stall cycles due to STLB misses and replay
     requests with the full enhancement stack."""
     names = _benchmarks(benchmarks)
-    cfg = default_config(scale).replace(
+    cfg = default_config(scale).with_(
         enhancements=EnhancementConfig.full())
     specs = {}
     for name in names:

@@ -54,7 +54,7 @@ def fig17_smt(mixes: Sequence[Tuple[str, str]] = SMT_MIXES,
     speedups = []
     for mix in mixes:
         base_cfg = default_config(scale)
-        enh_cfg = base_cfg.replace(enhancements=EnhancementConfig.full())
+        enh_cfg = base_cfg.with_(enhancements=EnhancementConfig.full())
         base = _run_smt(mix, base_cfg, instructions, warmup, scale)
         enh = _run_smt(mix, enh_cfg, instructions, warmup, scale)
         per_thread = [b.cycles / e.cycles for b, e in zip(base, enh)]
@@ -98,7 +98,7 @@ def multicore_speedup(mix: Sequence[str], num_cores: Optional[int] = None,
         return machine.run(traces, warmup=warmup)
 
     base = run(default_config(scale))
-    enh = run(default_config(scale).replace(
+    enh = run(default_config(scale).with_(
         enhancements=EnhancementConfig.full()))
     per_core = [b.cycles / e.cycles for b, e in zip(base, enh)]
     return {"mix": tuple(mix), "per_core": per_core,

@@ -41,21 +41,21 @@ def _sweep(figure: str, title: str, structure: str, points: Sequence[int],
             stlb = dataclasses.replace(cfg.stlb,
                                        entries=max(cfg.stlb.ways,
                                                    point // scale))
-            return cfg.replace(stlb=stlb)
+            return cfg.with_(stlb=stlb)
         if structure == "l2c":
             l2c = dataclasses.replace(
                 cfg.l2c, size_bytes=max(64 * cfg.l2c.ways, point // scale),
                 latency=_L2C_LATENCY[point])
-            return cfg.replace(l2c=l2c)
+            return cfg.with_(l2c=l2c)
         llc = dataclasses.replace(
             cfg.llc, size_bytes=max(64 * cfg.llc.ways, point // scale),
             latency=_LLC_LATENCY[point])
-        return cfg.replace(llc=llc)
+        return cfg.with_(llc=llc)
 
     specs = {}
     for point in points:
         cfg = point_config(point)
-        enh_cfg = cfg.replace(enhancements=EnhancementConfig.full())
+        enh_cfg = cfg.with_(enhancements=EnhancementConfig.full())
         for name in names:
             specs[(point, name, "base")] = RunKey.make(
                 name, cfg, instructions, warmup, scale)
@@ -106,7 +106,7 @@ def psc_sensitivity(benchmarks: Optional[Sequence[str]] = None,
     specs = {}
     for name in names:
         for label, psc in variants.items():
-            cfg = default_config(scale).replace(psc=psc)
+            cfg = default_config(scale).with_(psc=psc)
             specs[(name, label)] = RunKey.make(name, cfg, instructions,
                                                warmup, scale)
     runs = _run_grid(specs)

@@ -19,6 +19,9 @@ from __future__ import annotations
 
 from typing import Dict, Optional
 
+#: Sentinel fill-time watermark for an empty table.
+_NEVER = float("inf")
+
 
 class MSHR:
     """A bounded table of ``line_addr -> fill_completion_cycle``."""
@@ -28,6 +31,11 @@ class MSHR:
             raise ValueError("MSHR needs at least one entry")
         self.entries = entries
         self._inflight: Dict[int, int] = {}
+        #: Lower bound on the earliest in-flight fill time: lets _expire
+        #: skip its scan when provably nothing has completed yet.  Stale
+        #: (too low) after an overwrite removes the true minimum, which
+        #: only costs a wasted scan, never a missed expiry.
+        self._min_fill = _NEVER
         self.merges = 0
         self.allocations = 0
         #: Entries retired because their fill time passed (conservation:
@@ -43,10 +51,14 @@ class MSHR:
         self.component = ""
 
     def _expire(self, now: int) -> None:
-        done = [line for line, t in self._inflight.items() if t <= now]
+        if self._min_fill > now:
+            return
+        inflight = self._inflight
+        done = [line for line, t in inflight.items() if t <= now]
         for line in done:
-            del self._inflight[line]
+            del inflight[line]
         self.expirations += len(done)
+        self._min_fill = min(inflight.values(), default=_NEVER)
 
     def lookup(self, line_addr: int, now: int) -> Optional[int]:
         """Return the fill cycle if ``line_addr`` is still in flight."""
@@ -74,8 +86,21 @@ class MSHR:
         cover as many completions as it takes for a slot to be genuinely
         free.  None of those entries are deleted here -- their fills may
         still be in flight and must keep merging."""
-        self._expire(now)
-        over = len(self._inflight) - self.entries
+        # NOTE: the _expire sweep must run even when the table has spare
+        # raw capacity.  Requests arrive with non-monotonic cycles, so an
+        # entry deleted here can no longer merge with a *later* request
+        # probing an *earlier* cycle -- skipping the sweep when
+        # len(_inflight) < entries measurably changes merge and occupancy
+        # outcomes (it is not a pure optimisation).  The sweep is inlined
+        # (== _expire) because this is the hottest MSHR entry point.
+        inflight = self._inflight
+        if self._min_fill <= now:
+            done = [line for line, t in inflight.items() if t <= now]
+            for line in done:
+                del inflight[line]
+            self.expirations += len(done)
+            self._min_fill = min(inflight.values(), default=_NEVER)
+        over = len(inflight) - self.entries
         if over < 0:
             return 0
         # The (over+1)-th earliest fill completing frees the first slot.
@@ -113,6 +138,8 @@ class MSHR:
         if line_addr in self._inflight:
             self.expirations += 1
         self._inflight[line_addr] = fill_cycle
+        if fill_cycle < self._min_fill:
+            self._min_fill = fill_cycle
         self.allocations += 1
         # Live occupancy never exceeds the raw table size, so the O(n)
         # live count only runs when the size beats the recorded peak.

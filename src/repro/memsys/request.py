@@ -8,13 +8,25 @@ A request is classified along the axes the paper cares about:
 * **replay load** -- a demand load whose address translation missed the STLB
   and walked the page table (terminology from TEMPO).
 * **non-replay load** -- a demand load whose translation hit the DTLB/STLB.
+
+``MemoryRequest`` is deliberately *not* a dataclass: one is constructed
+per cache probe on the innermost simulation path, so it is a ``__slots__``
+class whose classification (line address, category, leaf-ness) is computed
+once at construction instead of per property read.  The classifying inputs
+(``address``, ``access_type``, ``is_replay``, ``pt_level``, ``leaf_walk``)
+must not be mutated afterwards; the hierarchy only ever mutates ``cycle``,
+``dropped``, ``served_by`` and ``evict_priority``.
+
+Short-lived internal requests (writebacks, prefetch probes) can come from
+the module-level free-list pool (:func:`acquire` / :func:`release`) to
+avoid allocator churn; pooled requests must not escape the call that
+acquired them.
 """
 
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
-from typing import Optional
+from typing import List, Optional
 
 from repro.params import LINE_SHIFT
 
@@ -30,7 +42,17 @@ class AccessType(enum.Enum):
     WRITEBACK = "writeback"
 
 
-@dataclass
+_NON_DEMAND_CATEGORY = {
+    AccessType.TRANSLATION: "translation",
+    AccessType.PREFETCH: "prefetch",
+    AccessType.WRITEBACK: "writeback",
+    AccessType.IFETCH: "ifetch",
+}
+
+_LOAD = AccessType.LOAD
+_STORE = AccessType.STORE
+
+
 class MemoryRequest:
     """One memory access travelling through the cache hierarchy.
 
@@ -38,56 +60,118 @@ class MemoryRequest:
     processing it; levels advance it as the request descends.
     """
 
-    address: int
-    cycle: int
-    ip: int = 0
-    access_type: AccessType = AccessType.LOAD
-    cpu: int = 0
-    #: True when the corresponding address translation missed the STLB.
-    is_replay: bool = False
-    #: Page-table level being read (5..1); 1 is the leaf.  0 for data.
-    pt_level: int = 0
-    #: True when this PTE read is the walk's leaf level.  Level 1 is
-    #: always a leaf; 2MB huge-page walks terminate at level 2.
-    leaf_walk: bool = False
-    #: For leaf translations: the physical line address of the replay load
-    #: the translated page will be accessed with (PTW carries the upper six
-    #: bits of the page offset, per Section IV of the paper).
-    replay_line_addr: Optional[int] = None
-    #: ATP/TEMPO prefetch fills are demoted to highest eviction priority.
-    evict_priority: bool = False
-    #: Set by a level that drops a prefetch (flooded prefetch queue): no
-    #: data ever returns, so upstream levels must not install the line.
-    dropped: bool = field(default=False, compare=False)
-    #: Filled by the hierarchy: name of the level that served the request.
-    served_by: str = field(default="", compare=False)
+    __slots__ = ("address", "cycle", "ip", "access_type", "cpu", "is_replay",
+                 "pt_level", "leaf_walk", "replay_line_addr",
+                 "evict_priority", "dropped", "served_by",
+                 "line_addr", "is_translation", "is_leaf_translation",
+                 "is_demand_data", "_category")
 
-    @property
-    def line_addr(self) -> int:
-        return self.address >> LINE_SHIFT
-
-    @property
-    def is_translation(self) -> bool:
-        return self.access_type is AccessType.TRANSLATION
-
-    @property
-    def is_leaf_translation(self) -> bool:
-        return (self.access_type is AccessType.TRANSLATION
-                and (self.pt_level == 1 or self.leaf_walk))
-
-    @property
-    def is_demand_data(self) -> bool:
-        return self.access_type in (AccessType.LOAD, AccessType.STORE)
+    def __init__(self, address: int, cycle: int, ip: int = 0,
+                 access_type: AccessType = _LOAD, cpu: int = 0,
+                 is_replay: bool = False, pt_level: int = 0,
+                 leaf_walk: bool = False,
+                 replay_line_addr: Optional[int] = None,
+                 evict_priority: bool = False):
+        self.address = address
+        self.cycle = cycle
+        self.ip = ip
+        self.access_type = access_type
+        self.cpu = cpu
+        #: True when the corresponding address translation missed the STLB.
+        self.is_replay = is_replay
+        #: Page-table level being read (5..1); 1 is the leaf.  0 for data.
+        self.pt_level = pt_level
+        #: True when this PTE read is the walk's leaf level.  Level 1 is
+        #: always a leaf; 2MB huge-page walks terminate at level 2.
+        self.leaf_walk = leaf_walk
+        #: For leaf translations: the physical line address of the replay
+        #: load the translated page will be accessed with (PTW carries the
+        #: upper six bits of the page offset, per Section IV of the paper).
+        self.replay_line_addr = replay_line_addr
+        #: ATP/TEMPO prefetch fills are demoted to highest eviction priority.
+        self.evict_priority = evict_priority
+        #: Set by a level that drops a prefetch (flooded prefetch queue): no
+        #: data ever returns, so upstream levels must not install the line.
+        self.dropped = False
+        #: Filled by the hierarchy: name of the level that served the request.
+        self.served_by = ""
+        # -- derived classification, computed once --------------------------
+        self.line_addr = address >> LINE_SHIFT
+        if access_type is _LOAD or access_type is _STORE:
+            self.is_demand_data = True
+            self.is_translation = False
+            self.is_leaf_translation = False
+            self._category = "replay" if is_replay else "non_replay"
+        else:
+            self.is_demand_data = False
+            is_translation = access_type is AccessType.TRANSLATION
+            self.is_translation = is_translation
+            self.is_leaf_translation = (
+                is_translation and (pt_level == 1 or leaf_walk))
+            self._category = _NON_DEMAND_CATEGORY[access_type]
 
     def category(self) -> str:
         """Statistics bucket: ``translation`` / ``replay`` / ``non_replay`` /
         ``prefetch`` / ``writeback``."""
-        if self.access_type is AccessType.TRANSLATION:
-            return "translation"
-        if self.access_type is AccessType.PREFETCH:
-            return "prefetch"
-        if self.access_type is AccessType.WRITEBACK:
-            return "writeback"
-        if self.access_type is AccessType.IFETCH:
-            return "ifetch"
-        return "replay" if self.is_replay else "non_replay"
+        return self._category
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"MemoryRequest(address={self.address:#x}, "
+                f"cycle={self.cycle}, type={self.access_type.value}, "
+                f"category={self._category})")
+
+
+#: Free list for short-lived internal requests (writebacks, prefetch
+#: probes).  Bounded so a pathological burst cannot pin memory.
+_POOL: List[MemoryRequest] = []
+_POOL_LIMIT = 64
+
+
+def acquire(address: int, cycle: int, ip: int = 0,
+            access_type: AccessType = _LOAD,
+            is_replay: bool = False, pt_level: int = 0,
+            leaf_walk: bool = False,
+            replay_line_addr: Optional[int] = None,
+            evict_priority: bool = False) -> MemoryRequest:
+    """A pooled request for traffic whose lifetime ends with the access
+    call that created it.  Callers must :func:`release` it afterwards and
+    must not retain references."""
+    if _POOL:
+        req = _POOL.pop()
+        req.address = address
+        req.cycle = cycle
+        req.ip = ip
+        req.access_type = access_type
+        req.cpu = 0
+        req.is_replay = is_replay
+        req.pt_level = pt_level
+        req.leaf_walk = leaf_walk
+        req.replay_line_addr = replay_line_addr
+        req.evict_priority = evict_priority
+        req.dropped = False
+        req.served_by = ""
+        req.line_addr = address >> LINE_SHIFT
+        if access_type is _LOAD or access_type is _STORE:
+            req.is_demand_data = True
+            req.is_translation = False
+            req.is_leaf_translation = False
+            req._category = "replay" if is_replay else "non_replay"
+        else:
+            req.is_demand_data = False
+            is_translation = access_type is AccessType.TRANSLATION
+            req.is_translation = is_translation
+            req.is_leaf_translation = (
+                is_translation and (pt_level == 1 or leaf_walk))
+            req._category = _NON_DEMAND_CATEGORY[access_type]
+        return req
+    return MemoryRequest(address=address, cycle=cycle, ip=ip,
+                         access_type=access_type, is_replay=is_replay,
+                         pt_level=pt_level, leaf_walk=leaf_walk,
+                         replay_line_addr=replay_line_addr,
+                         evict_priority=evict_priority)
+
+
+def release(req: MemoryRequest) -> None:
+    """Return a request obtained from :func:`acquire` to the pool."""
+    if len(_POOL) < _POOL_LIMIT:
+        _POOL.append(req)

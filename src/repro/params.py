@@ -251,6 +251,32 @@ class EnhancementConfig:
                    atp=True, tempo=True)
 
 
+#: Named enhancement stacks, in the paper's cumulative order.  This is
+#: the single source the facade (``repro.api``) and ``SimConfig.with_``
+#: resolve preset names against.
+ENHANCEMENT_PRESETS = {
+    "none": {},
+    "t_drrip": dict(t_drrip=True),
+    "t_ship": dict(t_drrip=True, t_ship=True, newsign=True),
+    "atp": dict(t_drrip=True, t_ship=True, newsign=True, atp=True),
+    "full": dict(t_drrip=True, t_ship=True, newsign=True, atp=True,
+                 tempo=True),
+}
+
+ENHANCEMENT_PRESET_NAMES = tuple(ENHANCEMENT_PRESETS)
+
+
+def enhancement_preset(name: str) -> EnhancementConfig:
+    """A fresh :class:`EnhancementConfig` for a named preset
+    (``none``/``t_drrip``/``t_ship``/``atp``/``full``)."""
+    try:
+        flags = ENHANCEMENT_PRESETS[name]
+    except KeyError:
+        raise ValueError(f"unknown enhancement preset {name!r}; known: "
+                         f"{' '.join(ENHANCEMENT_PRESET_NAMES)}") from None
+    return EnhancementConfig(**flags)
+
+
 @dataclass
 class IdealConfig:
     """Ideal-cache modes used for the Fig 2 opportunity study.
@@ -271,9 +297,19 @@ class IdealConfig:
                 or self.l2c_translations or self.l2c_replays)
 
 
-@dataclass
+@dataclass(frozen=True)
 class SimConfig:
-    """Complete configuration of one simulated machine."""
+    """Complete configuration of one simulated machine.
+
+    Instances are frozen: deriving a variant goes through
+    :meth:`with_`, which returns a new config with the given fields
+    overridden (``enhancements`` additionally accepts a preset name).
+    The old mutable-style ``.replace(...)`` spelling still works as a
+    deprecated alias.  Sub-configs (:class:`CacheConfig`,
+    :class:`EnhancementConfig`, ...) remain plain mutable dataclasses --
+    freezing applies to the top-level field bindings that identify a
+    machine, which is what result memoisation hashes.
+    """
 
     core: CoreConfig = field(default_factory=CoreConfig)
     dtlb: TLBConfig = field(default_factory=lambda: TLBConfig("DTLB", 64, 4, 1))
@@ -319,9 +355,29 @@ class SimConfig:
     track_recall: bool = True
     seed: int = 1
 
+    def with_(self, **overrides) -> "SimConfig":
+        """Return a copy with the given fields overridden.
+
+        The canonical way to derive a config variant::
+
+            cfg = default_config().with_(enhancements="full",
+                                         l2c_prefetcher="spp")
+
+        ``enhancements`` accepts an :class:`EnhancementConfig` or a
+        preset name (see :data:`ENHANCEMENT_PRESETS`); every other
+        keyword is a :class:`SimConfig` field.  Unknown fields raise
+        ``TypeError``.
+        """
+        enh = overrides.get("enhancements")
+        if isinstance(enh, str):
+            overrides = dict(overrides,
+                             enhancements=enhancement_preset(enh))
+        return dataclasses.replace(self, **overrides)
+
     def replace(self, **kwargs) -> "SimConfig":
-        """Return a copy with the given fields replaced."""
-        return dataclasses.replace(self, **kwargs)
+        """Deprecated alias of :meth:`with_` (pre-1.1 spelling)."""
+        _warn_once("SimConfig.replace", "SimConfig.with_", "config API")
+        return self.with_(**kwargs)
 
 
 def paper_config() -> SimConfig:
@@ -344,7 +400,7 @@ def default_config(scale: int = DEFAULT_SCALE) -> SimConfig:
     # shrinking it at all lets the whole scaled leaf-PTE working set live
     # in the L1D, which would starve the L2C/LLC mechanisms under study
     # (Fig 3: only 23% of leaf translations are served at the L1D).
-    return cfg.replace(
+    return cfg.with_(
         dtlb=cfg.dtlb.scaled(max(1, scale // 4)),
         itlb=cfg.itlb.scaled(max(1, scale // 4)),
         stlb=cfg.stlb.scaled(scale),

@@ -4,18 +4,29 @@ The paper defines *recall distance* as the number of **unique** accesses that
 arrive at the same cache set between a block's eviction and the next request
 for that block.  We track it exactly up to a cap (the paper's figures bucket
 everything above 50 together), bounding memory use.
+
+Implementation: instead of one ``set`` of seen lines per pending eviction
+(which costs O(pending windows) per access), each set keeps a logical access
+clock and, per line, the clock of its most recent access in recency order.
+A line is unique-since-eviction exactly when its last access is at or after
+the eviction's clock value, so the unique count of a window starting at
+``s`` is the number of trailing recency entries with time >= s -- computed
+lazily, only when the block is actually recalled, by walking the recency
+order backwards (bounded by the cap).  An access costs one dict move; sets
+with no pending evictions (the common case) pay a single dict probe.
 """
 
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Dict, List, Set, Tuple
+from typing import Dict, List, Tuple
 
 #: Histogram bucket upper bounds; the final bucket is "> 50".
 RECALL_BUCKETS: Tuple[int, ...] = (10, 20, 30, 40, 50)
 
 _CAP = 64           # distances are exact below this, saturating above
 _MAX_PENDING = 256  # evicted blocks tracked per set
+_PRUNE_THRESHOLD = 4 * _MAX_PENDING  # last-seen table size triggering a prune
 
 
 class RecallTracker:
@@ -23,34 +34,77 @@ class RecallTracker:
 
     def __init__(self, name: str):
         self.name = name
-        # set_idx -> OrderedDict[line_addr -> set of unique lines seen]
-        self._pending: Dict[int, "OrderedDict[int, Set[int]]"] = {}
+        # Per set: logical clock, line -> clock of its last access (in
+        # recency order, oldest first), and pending windows
+        # line -> eviction clock, ordered by eviction recency (oldest
+        # first, for censoring on overflow).
+        self._time: Dict[int, int] = {}
+        self._last_seen: Dict[int, "OrderedDict[int, int]"] = {}
+        self._windows: Dict[int, "OrderedDict[int, int]"] = {}
+        #: Total pending windows across sets.  Callers on the hot path may
+        #: skip :meth:`on_access` entirely while this is zero (the method
+        #: would early-return for every set anyway).
+        self.pending = 0
         #: Final histogram: len(RECALL_BUCKETS)+1 bins, last is overflow.
         self.histogram: List[int] = [0] * (len(RECALL_BUCKETS) + 1)
         self.samples = 0
 
     def on_evict(self, set_idx: int, line_addr: int) -> None:
         """A tracked block was evicted from ``set_idx``."""
-        pending = self._pending.setdefault(set_idx, OrderedDict())
-        pending[line_addr] = set()
-        pending.move_to_end(line_addr)
-        if len(pending) > _MAX_PENDING:
+        windows = self._windows.get(set_idx)
+        if windows is None:
+            windows = self._windows[set_idx] = OrderedDict()
+            self._time.setdefault(set_idx, 0)
+            self._last_seen.setdefault(set_idx, OrderedDict())
+        if line_addr not in windows:
+            self.pending += 1
+        windows[line_addr] = self._time[set_idx]
+        windows.move_to_end(line_addr)
+        if len(windows) > _MAX_PENDING:
             # Censored: it outlived the tracking window without a recall.
-            pending.popitem(last=False)
+            windows.popitem(last=False)
+            self.pending -= 1
             self._record_censored()
 
     def on_access(self, set_idx: int, line_addr: int) -> None:
-        """Any access arrived at ``set_idx``; resolves recalls and counts
-        uniques for still-pending evictions."""
-        pending = self._pending.get(set_idx)
-        if not pending:
+        """Any access arrived at ``set_idx``; resolves recalls and advances
+        the recency order still-pending evictions are counted against."""
+        windows = self._windows.get(set_idx)
+        if not windows:
+            # The clock only ticks while evictions are pending: a window
+            # created later starts after every recorded access time, so
+            # dormant periods cannot change any window's unique count.
             return
-        recalled = pending.pop(line_addr, None)
-        if recalled is not None:
-            self._record(len(recalled))
-        for seen in pending.values():
-            if len(seen) < _CAP:
-                seen.add(line_addr)
+        last_seen = self._last_seen[set_idx]
+        start = windows.pop(line_addr, None)
+        if start is not None:
+            self.pending -= 1
+            # Unique accesses since eviction == lines whose most recent
+            # access is at or after the eviction clock: walk the recency
+            # order backwards until times drop below it (or the cap).
+            # The recalling access itself is counted afterwards, so it is
+            # excluded here -- its recency entry still predates ``start``.
+            count = 0
+            for t in reversed(last_seen.values()):
+                if t < start or count >= _CAP:
+                    break
+                count += 1
+            self._record(count)
+            if not windows:
+                # No outstanding windows: every remembered access time is
+                # now irrelevant (any future window starts after them all).
+                last_seen.clear()
+                return
+        now = self._time[set_idx]
+        last_seen[line_addr] = now
+        last_seen.move_to_end(line_addr)
+        self._time[set_idx] = now + 1
+        if len(last_seen) > _PRUNE_THRESHOLD:
+            # Times before the oldest window's start compare identically
+            # to "never seen", so forgetting them is exact.
+            oldest = min(windows.values())
+            while last_seen and next(iter(last_seen.values())) < oldest:
+                last_seen.popitem(last=False)
 
     def _record(self, distance: int) -> None:
         self.samples += 1
@@ -89,7 +143,93 @@ class RecallTracker:
     def flush(self) -> None:
         """Resolve all still-pending evictions as never-recalled (censored
         into the > 50 bucket)."""
-        for pending in self._pending.values():
-            for _seen in pending.values():
+        for windows in self._windows.values():
+            for _start in windows.values():
                 self._record_censored()
-        self._pending.clear()
+        self._windows.clear()
+        self._last_seen.clear()
+        self._time.clear()
+        self.pending = 0
+
+
+class RecallPair:
+    """Two recall categories at one cache sharing one recency order.
+
+    A cache tracks recall distance for two populations (translation and
+    replay blocks) over the *same* access stream.  Two independent
+    trackers would duplicate the per-set clock and recency table and pay
+    the recency bookkeeping twice per access, so the pair shares them:
+    each channel keeps only its own pending windows and histogram.
+    Histograms are identical to two independent trackers fed the same
+    stream -- a window's unique count only compares recorded access times
+    against the window's start, and the shared clock preserves every
+    ordering the private clocks established (times recorded before a
+    window opens stay below its start; times after stay at or above it).
+
+    The channels are plain :class:`RecallTracker` objects (``on_evict``,
+    histograms, CDFs and ``flush`` all work unchanged); only ``on_access``
+    must go through the pair so the shared order advances exactly once.
+    """
+
+    __slots__ = ("translation", "replay", "_time", "_last_seen")
+
+    def __init__(self, translation_name: str, replay_name: str):
+        self.translation = RecallTracker(translation_name)
+        self.replay = RecallTracker(replay_name)
+        # Both channels observe every access: alias their recency state.
+        self._time = self.translation._time
+        self._last_seen = self.translation._last_seen
+        self.replay._time = self._time
+        self.replay._last_seen = self._last_seen
+
+    def on_access(self, set_idx: int, line_addr: int) -> None:
+        """One access: resolves recalls in both channels, then advances
+        the shared recency order once."""
+        tr = self.translation
+        rp = self.replay
+        wt = tr._windows.get(set_idx)
+        wr = rp._windows.get(set_idx)
+        if not wt and not wr:
+            return
+        last_seen = self._last_seen.get(set_idx)
+        if last_seen is None:  # only possible mid-teardown, after a flush
+            return
+        if wt:
+            start = wt.pop(line_addr, None)
+            if start is not None:
+                tr.pending -= 1
+                count = 0
+                for t in reversed(last_seen.values()):
+                    if t < start or count >= _CAP:
+                        break
+                    count += 1
+                tr._record(count)
+        if wr:
+            start = wr.pop(line_addr, None)
+            if start is not None:
+                rp.pending -= 1
+                count = 0
+                for t in reversed(last_seen.values()):
+                    if t < start or count >= _CAP:
+                        break
+                    count += 1
+                rp._record(count)
+        if not wt and not wr:
+            # No outstanding windows in either channel: every remembered
+            # access time for this set is now irrelevant.
+            last_seen.clear()
+            return
+        now = self._time[set_idx]
+        last_seen[line_addr] = now
+        last_seen.move_to_end(line_addr)
+        self._time[set_idx] = now + 1
+        if len(last_seen) > _PRUNE_THRESHOLD:
+            # Prune below the oldest start either channel still needs.
+            bounds = []
+            if wt:
+                bounds.append(min(wt.values()))
+            if wr:
+                bounds.append(min(wr.values()))
+            oldest = min(bounds)
+            while last_seen and next(iter(last_seen.values())) < oldest:
+                last_seen.popitem(last=False)

@@ -21,6 +21,7 @@ from typing import Optional
 from repro.cache.cache import Cache
 from repro.cache.replacement import make_policy
 from repro.memsys.dram import DRAM
+from repro.memsys import request as request_pool
 from repro.memsys.request import AccessType, MemoryRequest
 from repro.params import LINE_SHIFT, PAGE_SHIFT, SimConfig
 from repro.prefetch import make_l2c_prefetcher
@@ -32,7 +33,7 @@ from repro.vm.mmu import MMU
 from repro.vm.page_table import PageTable
 
 
-@dataclass
+@dataclass(slots=True)
 class LoadResult:
     """Timing of one demand load through translation + data access."""
 
@@ -158,6 +159,8 @@ class MemoryHierarchy:
             from repro.core.frontend import Frontend
             self.frontend = Frontend(config, self.mmu, self.l2c)
 
+        self._replay_issue_latency = config.core.replay_issue_latency
+
         #: Fig 3: which level served leaf translations / replays.
         self.response_distribution = LevelDistribution()
         self.loads = 0
@@ -190,13 +193,16 @@ class MemoryHierarchy:
         if is_replay:
             # The load is replayed from the load queue after the walk
             # fills the TLBs (pipeline re-issue latency).
-            issue_at += self.config.core.replay_issue_latency
+            issue_at += self._replay_issue_latency
             if tr.walk is not None and tr.walk.leaf_served_by:
-                self.response_distribution.record(
-                    "translation", self._level_key(tr.walk.leaf_served_by))
+                # inlined response_distribution.record (hot path; the
+                # category literal is always present in the table)
+                self.response_distribution.counts["translation"][
+                    tr.walk.leaf_served_by] += 1
 
-        req = MemoryRequest(address=tr.paddr, cycle=issue_at, ip=ip,
-                            access_type=AccessType.LOAD, is_replay=is_replay)
+        req = request_pool.acquire(tr.paddr, issue_at, ip=ip,
+                                   access_type=AccessType.LOAD,
+                                   is_replay=is_replay)
         category = "replay" if is_replay else "non_replay"
         dspan = None
         if tracer is not None:
@@ -205,17 +211,21 @@ class MemoryHierarchy:
         data_done = self.l1d.access(req)
         if tracer is not None:
             tracer.end(dspan, data_done, served_by=req.served_by)
-        self.response_distribution.record(category,
-                                          self._level_key(req.served_by))
+        # inlined response_distribution.record + _level_key (hot path)
+        self.response_distribution.counts[category][
+            req.served_by or "DRAM"] += 1
         if self.ipcp is not None:
             self._run_ipcp(ip, va, cycle)
         if tracer is not None:
             tracer.end_request(root, data_done, cat=category,
                                paddr=tr.paddr)
-        return LoadResult(vaddr=va, paddr=tr.paddr, issue_cycle=cycle,
-                          translation_done=tr.done_cycle, data_done=data_done,
-                          is_replay=is_replay, dtlb_hit=tr.dtlb_hit,
-                          stlb_hit=tr.stlb_hit, data_served_by=req.served_by)
+        result = LoadResult(vaddr=va, paddr=tr.paddr, issue_cycle=cycle,
+                            translation_done=tr.done_cycle,
+                            data_done=data_done, is_replay=is_replay,
+                            dtlb_hit=tr.dtlb_hit, stlb_hit=tr.stlb_hit,
+                            data_served_by=req.served_by)
+        request_pool.release(req)
+        return result
 
     def store(self, va: int, cycle: int, ip: int = 0) -> LoadResult:
         """A demand store: translation matters, data is buffered."""
@@ -225,9 +235,9 @@ class MemoryHierarchy:
         if tracer is not None:
             root = tracer.begin_request("store", cycle, vaddr=va, ip=ip)
         tr = self.mmu.translate(va, cycle, ip)
-        req = MemoryRequest(address=tr.paddr, cycle=tr.done_cycle, ip=ip,
-                            access_type=AccessType.STORE,
-                            is_replay=tr.is_replay)
+        req = request_pool.acquire(tr.paddr, tr.done_cycle, ip=ip,
+                                   access_type=AccessType.STORE,
+                                   is_replay=tr.is_replay)
         category = "replay" if tr.is_replay else "non_replay"
         dspan = None
         if tracer is not None:
@@ -238,10 +248,13 @@ class MemoryHierarchy:
             tracer.end(dspan, data_done, served_by=req.served_by)
             tracer.end_request(root, data_done, cat=category,
                                paddr=tr.paddr)
-        return LoadResult(vaddr=va, paddr=tr.paddr, issue_cycle=cycle,
-                          translation_done=tr.done_cycle, data_done=data_done,
-                          is_replay=tr.is_replay, dtlb_hit=tr.dtlb_hit,
-                          stlb_hit=tr.stlb_hit, data_served_by=req.served_by)
+        result = LoadResult(vaddr=va, paddr=tr.paddr, issue_cycle=cycle,
+                            translation_done=tr.done_cycle,
+                            data_done=data_done, is_replay=tr.is_replay,
+                            dtlb_hit=tr.dtlb_hit, stlb_hit=tr.stlb_hit,
+                            data_served_by=req.served_by)
+        request_pool.release(req)
+        return result
 
     # ------------------------------------------------------------------
     def _run_ipcp(self, ip: int, va: int, cycle: int) -> None:
@@ -262,9 +275,10 @@ class MemoryHierarchy:
             pline = tr.paddr >> LINE_SHIFT
             if self.l1d.contains(pline):
                 continue
-            pref = MemoryRequest(address=tr.paddr, cycle=tr.done_cycle,
-                                 ip=ip, access_type=AccessType.PREFETCH)
+            pref = request_pool.acquire(tr.paddr, tr.done_cycle, ip=ip,
+                                        access_type=AccessType.PREFETCH)
             self.l1d.access(pref)
+            request_pool.release(pref)
 
     @staticmethod
     def _level_key(served_by: str) -> str:

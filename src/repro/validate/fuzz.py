@@ -56,21 +56,21 @@ def build_config(variant: str) -> SimConfig:
     if variant == "lru":
         # All-LRU levels: the differential oracle shadows the whole depth.
         import dataclasses
-        return cfg.replace(
+        return cfg.with_(
             l2c=dataclasses.replace(cfg.l2c, replacement="lru"),
             llc=dataclasses.replace(cfg.llc, replacement="lru"))
     if variant == "tstack":
-        return cfg.replace(enhancements=EnhancementConfig(
+        return cfg.with_(enhancements=EnhancementConfig(
             t_drrip=True, t_ship=True, newsign=True))
-    full = cfg.replace(enhancements=EnhancementConfig.full())
+    full = cfg.with_(enhancements=EnhancementConfig.full())
     if variant == "full" or variant == "smt":
         return full
     if variant == "inclusive":
-        return full.replace(llc_inclusion="inclusive")
+        return full.with_(llc_inclusion="inclusive")
     if variant == "hugepage":
-        return full.replace(huge_page_policy="gather_region")
+        return full.with_(huge_page_policy="gather_region")
     if variant == "prefetch":
-        return full.replace(l2c_prefetcher="next_line")
+        return full.with_(l2c_prefetcher="next_line")
     raise ValueError(f"unknown fuzz variant {variant!r}")
 
 

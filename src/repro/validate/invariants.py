@@ -138,33 +138,30 @@ class CacheChecker:
     def check_set(self, set_idx: int) -> None:
         cache = self.cache
         ctx = self.ctx
-        blocks = cache._sets[set_idx]
-        lookup = cache._lookup[set_idx]
-        seen_ways = set()
-        for line, way in lookup.items():
-            if not 0 <= way < cache.num_ways:
-                ctx.fail(cache.name, f"set {set_idx}: way {way} out of range")
-                continue
-            if way in seen_ways:
-                ctx.fail(cache.name,
-                         f"set {set_idx}: two lines mapped to way {way}")
-            seen_ways.add(way)
-            block = blocks[way]
-            ctx.require(block.valid, cache.name,
-                        f"set {set_idx}: line {line:#x} maps to invalid way")
-            ctx.require(block.line_addr == line, cache.name,
-                        f"set {set_idx}: lookup says {line:#x}, block tag "
-                        f"is {block.line_addr:#x}")
-        valid = sum(1 for b in blocks if b.valid)
-        ctx.require(valid == len(lookup), cache.name,
-                    f"set {set_idx}: {valid} valid blocks vs "
-                    f"{len(lookup)} mapped lines")
+        store = cache.store
+        slot_of = store.slot_of
+        base = set_idx * cache.num_ways
         max_rrpv = getattr(cache.policy, "max_rrpv", None)
-        if max_rrpv is not None:
-            for way, block in enumerate(blocks):
-                if block.valid and not 0 <= block.rrpv <= max_rrpv:
+        for way in range(cache.num_ways):
+            slot = base + way
+            if not store.valid[slot]:
+                continue
+            line = store.line[slot]
+            mapped = slot_of.get(line)
+            # Two lines cannot share a way (each slot holds one tag) and a
+            # mapped line cannot point at an invalid or mistagged slot:
+            # both collapse into this single bijection check.
+            ctx.require(mapped == slot, cache.name,
+                        f"set {set_idx} way {way}: valid line {line:#x} "
+                        f"maps to slot {mapped}, expected {slot}")
+            ctx.require(line % cache.num_sets == set_idx, cache.name,
+                        f"set {set_idx} way {way}: line {line:#x} belongs "
+                        f"in set {line % cache.num_sets}")
+            if max_rrpv is not None:
+                rrpv = store.rrpv[slot]
+                if not 0 <= rrpv <= max_rrpv:
                     ctx.fail(cache.name, f"set {set_idx} way {way}: RRPV "
-                                         f"{block.rrpv} outside [0, {max_rrpv}]")
+                                         f"{rrpv} outside [0, {max_rrpv}]")
 
     def check_mshr(self, now: int) -> None:
         cache = self.cache
@@ -197,14 +194,29 @@ class CacheChecker:
         self.check_stats()
         for set_idx in range(self.cache.num_sets):
             self.check_set(set_idx)
+        # Global closure of the per-slot bijection: every mapped line
+        # points at a valid, matching slot, and the residency-map size
+        # equals the valid-slot count (no orphaned entries either way).
+        cache = self.cache
+        ctx = self.ctx
+        store = cache.store
+        for line, slot in store.slot_of.items():
+            ctx.require(
+                0 <= slot < store.size and store.valid[slot]
+                and store.line[slot] == line, cache.name,
+                f"line {line:#x} mapped to slot {slot}, which does not "
+                f"hold it")
+        valid = sum(store.valid)
+        ctx.require(valid == len(store.slot_of), cache.name,
+                    f"{valid} valid slots vs {len(store.slot_of)} mapped "
+                    f"lines")
         parent = self.inclusion_parent
         if parent is not None:
-            for lookup in self.cache._lookup:
-                for line in lookup:
-                    self.ctx.require(
-                        parent.contains(line), self.cache.name,
-                        f"line {line:#x} resident here but absent from "
-                        f"inclusive {parent.name}")
+            for line in store.slot_of:
+                ctx.require(
+                    parent.contains(line), cache.name,
+                    f"line {line:#x} resident here but absent from "
+                    f"inclusive {parent.name}")
 
 
 class MMUChecker:

@@ -102,8 +102,7 @@ class CacheOracle:
                 self._check_disqualifiers(req)
             if self.taint_reason is not None:
                 return orig_access(req)
-            set_idx = cache.set_index(req.line_addr)
-            real_hit = req.line_addr in cache._lookup[set_idx]
+            real_hit = req.line_addr in cache.store.slot_of
             done = orig_access(req)
             shadow_hit = self.shadow.access(req)
             self.compared += 1
@@ -152,8 +151,11 @@ class CacheOracle:
             f"{cache.name}/oracle",
             f"hit/miss totals diverge: timed ({real_hits}, {real_misses}) "
             f"vs reference ({self.shadow.hits}, {self.shadow.misses})")
+        real_sets: List[set] = [set() for _ in range(cache.num_sets)]
+        for line in cache.store.slot_of:
+            real_sets[line % cache.num_sets].add(line)
         for set_idx in range(cache.num_sets):
-            real = set(cache._lookup[set_idx])
+            real = real_sets[set_idx]
             ref = self.shadow.residency(set_idx)
             self.ctx.require(
                 real == ref, f"{cache.name}/oracle",

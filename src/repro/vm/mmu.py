@@ -15,13 +15,14 @@ from repro.params import BITS_PER_LEVEL, PAGE_SHIFT, SimConfig
 #: a huge entry is its 2MB-aligned virtual page number, tagged).
 _HUGE_TAG = 1 << 60
 _HUGE_OFFSET_MASK = (1 << BITS_PER_LEVEL) - 1
+_PAGE_OFFSET_MASK = (1 << PAGE_SHIFT) - 1
 from repro.vm.page_table import PageTable
 from repro.vm.psc import PagingStructureCaches
 from repro.vm.tlb import TLB
 from repro.vm.walker import PageTableWalker, WalkResult
 
 
-@dataclass
+@dataclass(slots=True)
 class TranslationResult:
     """Outcome of translating one virtual address."""
 
@@ -73,9 +74,9 @@ class MMU:
                 "translate", cycle,
                 cat="translation" if count_stats else "prefetch")
         vpn = va >> PAGE_SHIFT
-        offset = va & ((1 << PAGE_SHIFT) - 1)
-        huge = self.page_table.is_huge(va)
-        if huge:
+        offset = va & _PAGE_OFFSET_MASK
+        pred = self.page_table.huge_page_predicate  # inlined is_huge
+        if pred is not None and pred(va):
             key = _HUGE_TAG | (vpn >> BITS_PER_LEVEL)
             sub = vpn & _HUGE_OFFSET_MASK  # 4KB chunk within the 2MB page
         else:

@@ -74,6 +74,9 @@ class _TableNode:
 #: 4KB frames per 2MB huge page.
 FRAMES_PER_HUGE_PAGE = 1 << BITS_PER_LEVEL
 
+_IDX_MASK = (1 << BITS_PER_LEVEL) - 1
+_TOP_SHIFT = PAGE_SHIFT + (PT_LEVELS - 1) * BITS_PER_LEVEL
+
 
 class PageTable:
     """Radix page table rooted at a CR3 frame.
@@ -111,8 +114,10 @@ class PageTable:
         leaf_level = self.leaf_level(va)
         path = [self._root]
         node = self._root
+        shift = _TOP_SHIFT
         for level in range(PT_LEVELS, leaf_level, -1):
-            idx = level_index(va, level)
+            idx = (va >> shift) & _IDX_MASK
+            shift -= BITS_PER_LEVEL
             child = node.slots.get(idx)
             if child is None:
                 if not allocate:
@@ -167,6 +172,56 @@ class PageTable:
         return pfn
 
     # ------------------------------------------------------------------
+    def walk_entries(self, va: int) -> Tuple[int, List[Tuple[int, int, int]]]:
+        """One-descent walk info for the hardware walker.
+
+        Returns ``(pfn, [(level, pte_physical_address, child_frame), ...])``
+        root (level 5) first.  ``child_frame`` is the frame of the next
+        level's table page -- what PSCL<level> caches after reading that
+        level's PTE -- and 0 at the leaf.  Equivalent to ``translate`` +
+        ``walk_path`` + per-level ``node_frame`` in a single radix descent
+        (this is the walker's hot path, hence the inlined descend).
+        """
+        pred = self.huge_page_predicate
+        leaf_level = 2 if pred is not None and pred(va) else 1
+        path = [self._root]
+        node = self._root
+        shift = _TOP_SHIFT
+        for _level in range(PT_LEVELS, leaf_level, -1):
+            idx = (va >> shift) & _IDX_MASK
+            shift -= BITS_PER_LEVEL
+            child = node.slots.get(idx)
+            if child is None:
+                child = _TableNode(self.allocator.allocate())
+                node.slots[idx] = child
+                self.table_pages += 1
+            node = child
+            path.append(node)
+        # Leaf PTE; allocate the data page on first touch (== translate).
+        idx = (va >> shift) & _IDX_MASK
+        pfn = node.slots.get(idx)
+        if pfn is None:
+            if leaf_level == 2:
+                pfn = self.allocator.allocate_contiguous(
+                    FRAMES_PER_HUGE_PAGE)
+                self.huge_pages += 1
+            else:
+                pfn = self.allocator.allocate()
+                self.data_pages += 1
+            node.slots[idx] = pfn
+        if leaf_level == 2:
+            pfn += (va >> PAGE_SHIFT) & _IDX_MASK  # 4KB frame in the 2MB page
+        out = []
+        last = len(path) - 1
+        shift = _TOP_SHIFT
+        for pos, pnode in enumerate(path):
+            idx = (va >> shift) & _IDX_MASK
+            pte_pa = (pnode.frame << PAGE_SHIFT) | (idx * PTE_SIZE)
+            out.append((PT_LEVELS - pos, pte_pa,
+                        path[pos + 1].frame if pos < last else 0))
+            shift -= BITS_PER_LEVEL
+        return pfn, out
+
     def walk_path(self, va: int) -> List[Tuple[int, int]]:
         """Return ``[(level, pte_physical_address), ...]`` for the walk,
         root (level 5) first, leaf level (1, or 2 for huge pages) last.

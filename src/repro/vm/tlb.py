@@ -47,10 +47,11 @@ class TLB:
         ``count=False`` suppresses statistics and recall tracking (used for
         prefetch-initiated translations, which the paper's MPKI numbers
         exclude)."""
-        set_idx = self._set_index(vpn)
-        if count and self.recall is not None:
-            self.recall.on_access(set_idx, vpn)
+        set_idx = vpn % self.num_sets
         if count:
+            rec = self.recall
+            if rec is not None and rec.pending:
+                rec.on_access(set_idx, vpn)
             self.accesses += 1
         entries = self._sets[set_idx]
         if vpn in entries:
@@ -70,7 +71,7 @@ class TLB:
 
         ``bypass=True`` (DpPred dead-page bypassing) inserts the entry at
         the LRU end of its set, making it the next victim."""
-        set_idx = self._set_index(vpn)
+        set_idx = vpn % self.num_sets
         entries = self._sets[set_idx]
         frames = self._frames[set_idx]
         if vpn not in entries and len(entries) >= self.num_ways:

@@ -12,15 +12,15 @@ the PTW carries the upper six page-offset bits of the faulting access.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Tuple
 
-from repro.memsys.request import AccessType, MemoryRequest
+from repro.memsys import request as request_pool
+from repro.memsys.request import AccessType
 from repro.params import LINE_SHIFT, PAGE_SHIFT
 from repro.vm.page_table import PageTable
 from repro.vm.psc import PagingStructureCaches
 
 
-@dataclass
+@dataclass(slots=True)
 class WalkResult:
     """Outcome of one page-table walk."""
 
@@ -52,9 +52,8 @@ class PageTableWalker:
         """
         self.walks += 1
         tracer = self.tracer
-        pfn = self.page_table.translate(va)
-        path: List[Tuple[int, int]] = self.page_table.walk_path(va)
-        leaf_level = path[-1][0]  # 1, or 2 for 2MB huge pages
+        pfn, entries = self.page_table.walk_entries(va)
+        leaf_level = entries[-1][0]  # 1, or 2 for 2MB huge pages
 
         t = cycle + self.psc.latency
         hit_level, _frame = self.psc.lookup(va)
@@ -67,12 +66,12 @@ class PageTableWalker:
         replay_line = ((pfn << PAGE_SHIFT) | (va & 0xFFF)) >> LINE_SHIFT
         leaf_served_by = ""
         levels_walked = 0
-        for level, pte_pa in path:
+        for level, pte_pa, child_frame in entries:
             if level > start_level:
                 continue
             is_leaf = level == leaf_level
-            req = MemoryRequest(
-                address=pte_pa, cycle=t, ip=ip,
+            req = request_pool.acquire(
+                pte_pa, t, ip=ip,
                 access_type=AccessType.TRANSLATION, pt_level=level,
                 leaf_walk=is_leaf,
                 replay_line_addr=replay_line if is_leaf else None)
@@ -89,8 +88,8 @@ class PageTableWalker:
                 leaf_served_by = req.served_by
             else:
                 # Cache the walk-through-``level`` outcome in PSCL<level>.
-                self.psc.fill(va, level,
-                              self.page_table.node_frame(va, level - 1))
+                self.psc.fill(va, level, child_frame)
+            request_pool.release(req)
 
         if tracer is not None:
             tracer.end(wspan, t, psc_hit_level=hit_level or 0,

@@ -4,6 +4,10 @@ Every name in ``api.__all__`` must resolve; removing or breaking a
 re-export is a compatibility break and should fail here first.
 """
 
+import ast
+import dataclasses
+import inspect
+
 import pytest
 
 from repro import api
@@ -94,3 +98,105 @@ def test_api_trace_diff_accepts_documents():
     diff = api.trace_diff(a, b)
     assert set(diff["attribution"]) == {
         "walk_latency", "replay_release", "insertion_policy"}
+
+
+# ----------------------------------------------------------------------
+# v1.1 additions: bench, frozen SimConfig, facade-only CLI
+# ----------------------------------------------------------------------
+def test_api_version_pinned():
+    assert api.__api_version__ == "1.1"
+    assert "__api_version__" in api.__all__
+
+
+def test_v11_exports_present():
+    assert {"bench", "BenchResult", "figure_spec",
+            "SimConfig"} <= set(api.__all__)
+
+
+def test_figure_spec_metadata():
+    spec = api.figure_spec("fig14")
+    assert spec.name == "fig14" and callable(spec)
+    names = [s.name for s in api.figure_spec(None)]
+    assert names == list(api.list_figures())
+
+
+def test_simconfig_is_frozen():
+    cfg = api.build_config()
+    with pytest.raises(dataclasses.FrozenInstanceError):
+        cfg.llc_inclusion = "inclusive"
+
+
+def test_simconfig_with_resolves_preset_names():
+    cfg = api.build_config()
+    full = cfg.with_(enhancements="full")
+    assert full.enhancements.atp and full.enhancements.tempo
+    assert not cfg.enhancements.atp  # original untouched
+    with pytest.raises(ValueError, match="unknown enhancement preset"):
+        cfg.with_(enhancements="everything")
+    with pytest.raises(TypeError):
+        cfg.with_(no_such_field=1)
+
+
+def test_simconfig_replace_is_deprecated_alias():
+    from repro import params
+    params._warned_names.discard("SimConfig.replace")  # warn-once reset
+    cfg = api.build_config()
+    with pytest.warns(DeprecationWarning, match="SimConfig.with_"):
+        out = cfg.replace(llc_inclusion="inclusive")
+    assert out.llc_inclusion == "inclusive"
+
+
+def test_cli_routes_through_api_only():
+    """The CLI is a shell over ``repro.api``: its module-level imports
+    must not reach past the facade (and ``repro.bench``, which owns its
+    own subcommand)."""
+    import repro.__main__ as cli
+    tree = ast.parse(inspect.getsource(cli))
+    allowed = {"repro", "repro.api", "repro.bench", "argparse", "sys",
+               "os", "__future__"}
+    module_level = [node for node in tree.body
+                    if isinstance(node, (ast.Import, ast.ImportFrom))]
+    for node in module_level:
+        if isinstance(node, ast.ImportFrom):
+            assert node.module in allowed, node.module
+        else:
+            for alias in node.names:
+                assert alias.name in allowed, alias.name
+
+
+def test_bench_runs_and_is_schema_stable(tmp_path):
+    from repro.bench import BENCH_SCHEMA, BenchCase
+    tiny = (BenchCase("tc", instructions=2_000, warmup=500),)
+    result = api.bench(matrix=tiny, out_dir=tmp_path)
+    doc = result.document
+    assert doc["schema"] == BENCH_SCHEMA
+    assert {"schema", "created_utc", "python", "platform", "repeats",
+            "calibration_ops_per_sec", "configs",
+            "aggregate"} <= set(doc)
+    (entry,) = doc["configs"]
+    assert {"benchmark", "enhancements", "scale", "instructions",
+            "warmup", "wall_s", "accesses", "accesses_per_sec", "ipc",
+            "cycles", "phases"} <= set(entry)
+    assert entry["accesses"] > 0 and result.accesses_per_sec > 0
+    assert result.path is not None and result.path.exists()
+    assert result.path.name.startswith("BENCH_")
+
+
+def test_bench_regression_verdict():
+    from repro.bench import compare_to_baseline
+
+    def doc(aps, cal, benchmarks=("tc",)):
+        return {"aggregate": {"accesses_per_sec": aps},
+                "calibration_ops_per_sec": cal,
+                "configs": [{"benchmark": b} for b in benchmarks]}
+
+    # Same machine speed: 10% drop passes, 20% drop fails at 15%.
+    assert compare_to_baseline(doc(900, 100), doc(1000, 100))["ok"]
+    assert not compare_to_baseline(doc(800, 100), doc(1000, 100))["ok"]
+    # Half-speed machine: the baseline expectation scales down with it.
+    verdict = compare_to_baseline(doc(500, 50), doc(1000, 100))
+    assert verdict["ok"] and verdict["machine_ratio"] == 0.5
+    # A different matrix always fails: numbers aren't comparable.
+    verdict = compare_to_baseline(doc(1000, 100),
+                                  doc(1000, 100, benchmarks=("pr",)))
+    assert not verdict["ok"] and verdict["matrix_mismatch"]

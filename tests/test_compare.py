@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.cache.block import CacheBlock
+from repro.cache.store import CacheStore
 from repro.compare.csalt import CSALTPolicy
 from repro.compare.dead_page import DeadBlockBypass, DeadPagePredictor
 from repro.memsys.request import AccessType, MemoryRequest
@@ -92,42 +92,44 @@ def test_llc_bypass_skips_install():
 
 
 # -- CSALT -----------------------------------------------------------------
-def _filled(blocks, specs):
-    for block, (line, is_translation) in zip(blocks, specs):
-        block.valid = True
-        block.line_addr = line
-        block.is_translation = is_translation
-        block.rrpv = 1
+def _bound(pol, specs):
+    store = CacheStore(pol.num_sets, pol.num_ways)
+    pol.bind(store)
+    for way, (line, is_translation) in enumerate(specs):
+        store.valid[way] = 1
+        store.line[way] = line
+        store.is_translation[way] = 1 if is_translation else 0
+        store.rrpv[way] = 1
+    return store
 
 
 def test_csalt_partition_evicts_within_class():
     pol = CSALTPolicy(4, 4, initial_t_ways=2)
-    blocks = [CacheBlock() for _ in range(4)]
-    _filled(blocks, [(1, True), (2, True), (3, False), (4, False)])
+    store = _bound(pol, [(1, True), (2, True), (3, False), (4, False)])
     # Translation fill while at quota: must evict a translation way.
     t_req = MemoryRequest(address=0x100, cycle=0,
                           access_type=AccessType.TRANSLATION, pt_level=1)
-    victim = pol.victim(0, t_req, blocks)
-    assert blocks[victim].is_translation
+    victim = pol.victim(0, t_req)
+    assert store.is_translation[victim]
     # Data fill while translations within quota: evicts a data way.
     d_req = MemoryRequest(address=0x200, cycle=0)
-    victim = pol.victim(0, d_req, blocks)
-    assert not blocks[victim].is_translation
+    victim = pol.victim(0, d_req)
+    assert not store.is_translation[victim]
 
 
 def test_csalt_quota_adapts():
     pol = CSALTPolicy(4, 8, initial_t_ways=2)
+    _bound(pol, [])
     start = pol.t_ways
     # Starve translations: low translation hit rate, high data hit rate.
     t_req = MemoryRequest(address=0x100, cycle=0,
                           access_type=AccessType.TRANSLATION, pt_level=1)
     d_req = MemoryRequest(address=0x200, cycle=0)
-    block = CacheBlock()
     for _ in range(pol.EPOCH_FILLS):
         pol._accesses["translation"] += 1       # misses only
-        pol.on_hit(0, 0, d_req, block)
+        pol.on_hit(0, 0, d_req)
         pol._epoch_tick_count = 0
-        pol.on_fill(0, 0, d_req, block)
+        pol.on_fill(0, 0, d_req)
     assert pol.t_ways > start
 
 

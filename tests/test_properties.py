@@ -6,6 +6,7 @@ from hypothesis import given, settings
 
 from repro.cache.cache import Cache
 from repro.cache.replacement import available_policies, make_policy
+from repro.cache.store import CacheStore
 from repro.memsys.mshr import MSHR
 from repro.memsys.request import AccessType, MemoryRequest
 from repro.params import CacheConfig
@@ -67,13 +68,65 @@ def test_cache_invariants_under_random_traffic(policy_name, accesses):
         done = cache.access(req)
         assert done >= cycle + cache.latency  # causality
 
-    for set_idx, blocks in enumerate(cache._sets):
-        valid_lines = [b.line_addr for b in blocks if b.valid]
+    store = cache.store
+    all_valid_lines = []
+    for set_idx in range(cache.num_sets):
+        base = set_idx * cache.num_ways
+        valid_lines = [store.line[base + w] for w in range(cache.num_ways)
+                       if store.valid[base + w]]
         assert len(valid_lines) == len(set(valid_lines))
-        assert set(cache._lookup[set_idx].keys()) == set(valid_lines)
-        for line_addr, way in cache._lookup[set_idx].items():
-            assert blocks[way].line_addr == line_addr
-            assert line_addr % cache.num_sets == set_idx
+        for way in range(cache.num_ways):
+            slot = base + way
+            if store.valid[slot]:
+                assert store.slot_of[store.line[slot]] == slot
+                assert store.line[slot] % cache.num_sets == set_idx
+        all_valid_lines.extend(valid_lines)
+    assert set(store.slot_of) == set(all_valid_lines)
+    assert len(store.slot_of) == len(all_valid_lines)
+
+
+_BLOCK_FIELDS = ("line_addr", "valid", "dirty", "reused", "is_translation",
+                 "is_leaf_translation", "is_replay", "is_prefetch",
+                 "dead_on_hit", "signature", "rrpv", "fill_cycle")
+
+
+@pytest.mark.parametrize("policy_name", available_policies())
+@settings(max_examples=25, deadline=None)
+@given(accesses=ACCESS_STRATEGY)
+def test_store_round_trips_through_cacheblock(policy_name, accesses):
+    """Slot-array state survives a round trip through the old per-block
+    representation: snapshot() -> CacheBlock -> load_block() into a
+    fresh store reproduces every column, for every slot the randomized
+    stream populated.  This pins the column layout against the
+    block-object layout the flat store replaced."""
+    config = CacheConfig("T", size_bytes=4 * 64 * 2, ways=2, latency=10,
+                         mshr_entries=4, replacement="lru")
+    cache = Cache(config, NullMemory(),
+                  policy=make_policy(policy_name, 4, 2),
+                  track_recall=True)
+    cycle = 0
+    for line, kind, ip in accesses:
+        cycle += 7
+        cache.access(build_request(line, kind, ip, cycle))
+
+    store = cache.store
+    clone = CacheStore(store.num_sets, store.num_ways)
+    for slot in range(store.size):
+        block = store.snapshot(slot)
+        # The detached copy matches the live view field-for-field.
+        view = store.view(slot)
+        for name in _BLOCK_FIELDS:
+            assert getattr(block, name) == getattr(view, name), (slot, name)
+        if store.valid[slot]:
+            clone.load_block(slot, block)
+            clone.slot_of[block.line_addr] = slot
+    for slot in range(store.size):
+        if not store.valid[slot]:
+            continue
+        for name in _BLOCK_FIELDS:
+            assert getattr(clone.view(slot), name) == \
+                getattr(store.view(slot), name), (slot, name)
+    assert clone.slot_of == store.slot_of
 
 
 @settings(max_examples=50, deadline=None)
@@ -117,24 +170,26 @@ def test_mshr_admission_never_negative_and_bounded(fills):
 def test_rrpv_bounds_hold(seq):
     """RRPVs stay within [0, max] for RRIP policies under arbitrary mixes."""
     pol = make_policy("ship", 8, 4)
-    from repro.cache.block import CacheBlock
-    sets = [[CacheBlock() for _ in range(4)] for _ in range(8)]
+    store = CacheStore(8, 4)
+    pol.bind(store)
     for addr in seq:
         line = addr >> 6
         set_idx = line % 8
         req = MemoryRequest(address=addr, cycle=0, ip=addr & 0xFFFF)
-        blocks = sets[set_idx]
-        way = next((w for w, b in enumerate(blocks) if b.valid
-                    and b.line_addr == line), None)
+        base = set_idx * 4
+        way = next((w for w in range(4) if store.valid[base + w]
+                    and store.line[base + w] == line), None)
         if way is not None:
-            pol.on_hit(set_idx, way, req, blocks[way])
+            pol.on_hit(set_idx, way, req)
         else:
-            victim = next((w for w, b in enumerate(blocks)
-                           if not b.valid), None)
-            if victim is None:
-                victim = pol.victim(set_idx, req, blocks)
-                pol.on_evict(set_idx, victim, blocks[victim])
-            blocks[victim].reset_for_fill(line, 0)
-            pol.on_fill(set_idx, victim, req, blocks[victim])
-        for b in blocks:
-            assert 0 <= b.rrpv <= pol.max_rrpv
+            slot = store.first_free(set_idx)
+            if slot < 0:
+                victim = pol.victim(set_idx, req)
+                pol.on_evict(set_idx, victim)
+                slot = base + victim
+            else:
+                victim = slot - base
+            store.reset_slot(slot, line, 0)
+            pol.on_fill(set_idx, victim, req)
+        for w in range(4):
+            assert 0 <= store.rrpv[base + w] <= pol.max_rrpv

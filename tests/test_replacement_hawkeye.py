@@ -2,13 +2,19 @@
 
 import pytest
 
-from repro.cache.block import CacheBlock
 from repro.cache.replacement.hawkeye import HawkeyePolicy, _SetHistory
+from repro.cache.store import CacheStore
 from repro.memsys.request import MemoryRequest
 
 
 def req(ip=0x400, addr=0x1000):
     return MemoryRequest(address=addr, cycle=0, ip=ip)
+
+
+def bound(pol):
+    store = CacheStore(pol.num_sets, pol.num_ways)
+    pol.bind(store)
+    return store
 
 
 def test_set_history_first_access_has_no_outcome():
@@ -59,46 +65,40 @@ def test_predictor_trains_toward_friendly():
 
 def test_victim_prefers_cache_averse():
     pol = HawkeyePolicy(64, 4)
-    bs = []
-    for i in range(4):
-        b = CacheBlock()
-        b.valid = True
-        b.rrpv = 0
-        bs.append(b)
-    bs[3].rrpv = pol.max_rrpv
-    assert pol.victim(0, req(), bs) == 3
+    store = bound(pol)
+    store.rrpv[3] = pol.max_rrpv
+    assert pol.victim(0, req()) == 3
 
 
 def test_victim_falls_back_to_oldest_friendly():
     pol = HawkeyePolicy(64, 4)
-    bs = []
-    for i in range(4):
-        b = CacheBlock()
-        b.valid = True
-        b.rrpv = i  # none at max (7)
-        bs.append(b)
-    assert pol.victim(0, req(), bs) == 3
+    store = bound(pol)
+    for way in range(4):
+        store.rrpv[way] = way  # none at max (7)
+    assert pol.victim(0, req()) == 3
 
 
 def test_on_fill_observes_sampled_sets_only():
     pol = HawkeyePolicy(1024, 4)
     assert len(pol._histories) <= 2 * HawkeyePolicy.SAMPLED_SETS
+    bound(pol)
     sampled = next(iter(pol._histories))
-    b = CacheBlock()
     before = pol._histories[sampled].time
-    pol.on_fill(sampled, 0, req(), b)
+    pol.on_fill(sampled, 0, req())
     assert pol._histories[sampled].time == before + 1
 
 
 def test_detrain_on_unreused_friendly_eviction():
     pol = HawkeyePolicy(64, 4)
+    store = bound(pol)
     r = req(ip=0x42)
     sig = pol.signature(r)
     start = pol._predictor[sig]
-    b = CacheBlock()
-    b.valid = True
-    pol.on_fill(9999 % 64, 0, r, b)  # unsampled set: no OPTgen effect
-    b.reused = False
-    b.rrpv = 0  # friendly insertion
-    pol.on_evict(0, 0, b)
+    set_idx = 9999 % 64
+    slot = set_idx * pol.num_ways
+    store.valid[slot] = 1
+    pol.on_fill(set_idx, 0, r)  # friendly predictor: inserts at RRPV 0
+    assert store.rrpv[slot] == 0
+    assert not store.reused[slot]
+    pol.on_evict(set_idx, 0)
     assert pol._predictor[sig] == max(0, start - 1)

@@ -2,19 +2,22 @@
 
 import pytest
 
-from repro.cache.block import CacheBlock
 from repro.cache.replacement.drrip import DRRIPPolicy
 from repro.cache.replacement.srrip import BRRIPPolicy, SRRIPPolicy
+from repro.cache.store import CacheStore
 from repro.memsys.request import MemoryRequest
 
 
-def blocks(n):
-    out = []
-    for _ in range(n):
-        b = CacheBlock()
-        b.valid = True
-        out.append(b)
-    return out
+def bound(pol, fill_set=None):
+    """Bind a fresh store; optionally mark every way of one set valid."""
+    store = CacheStore(pol.num_sets, pol.num_ways)
+    pol.bind(store)
+    if fill_set is not None:
+        base = fill_set * pol.num_ways
+        for way in range(pol.num_ways):
+            store.valid[base + way] = 1
+            store.line[base + way] = fill_set + way * pol.num_sets
+    return store
 
 
 def req(ip=0x400):
@@ -28,26 +31,26 @@ def test_srrip_inserts_long():
 
 def test_srrip_hit_promotes_to_zero():
     pol = SRRIPPolicy(4, 4)
-    b = CacheBlock()
-    b.rrpv = 3
-    pol.on_hit(0, 0, req(), b)
-    assert b.rrpv == 0
+    store = bound(pol)
+    store.rrpv[0] = 3
+    pol.on_hit(0, 0, req())
+    assert store.rrpv[0] == 0
 
 
 def test_srrip_victim_prefers_max_rrpv():
     pol = SRRIPPolicy(4, 4)
-    bs = blocks(4)
-    bs[2].rrpv = pol.max_rrpv
-    assert pol.victim(0, req(), bs) == 2
+    store = bound(pol, fill_set=0)
+    store.rrpv[2] = pol.max_rrpv
+    assert pol.victim(0, req()) == 2
 
 
 def test_srrip_victim_ages_until_max():
     pol = SRRIPPolicy(4, 2)
-    bs = blocks(2)
-    bs[0].rrpv, bs[1].rrpv = 1, 2
-    way = pol.victim(0, req(), bs)
-    assert way == 1          # aged by one: block 1 reaches 3 first
-    assert bs[0].rrpv == 2   # aging side effect
+    store = bound(pol, fill_set=0)
+    store.rrpv[0], store.rrpv[1] = 1, 2
+    way = pol.victim(0, req())
+    assert way == 1                # aged by one: block 1 reaches 3 first
+    assert store.rrpv[0] == 2      # aging side effect
 
 
 def test_brrip_inserts_mostly_distant():
@@ -92,7 +95,7 @@ def test_drrip_psel_steers_followers():
 
 def test_demote_sets_max_rrpv():
     pol = SRRIPPolicy(4, 4)
-    b = CacheBlock()
-    b.rrpv = 0
-    pol.demote(0, 0, b)
-    assert b.rrpv == pol.max_rrpv
+    store = bound(pol)
+    store.rrpv[0] = 0
+    pol.demote(0, 0)
+    assert store.rrpv[0] == pol.max_rrpv

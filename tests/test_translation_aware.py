@@ -5,7 +5,14 @@ import pytest
 from repro.cache.replacement import make_policy
 from repro.cache.replacement.translation_aware import (
     NewSignSHiPPolicy, TDRRIPPolicy, THawkeyePolicy, TSHiPPolicy, _aware_ip)
+from repro.cache.store import CacheStore
 from repro.memsys.request import AccessType, MemoryRequest
+
+
+def bound(pol):
+    store = CacheStore(pol.num_sets, pol.num_ways)
+    pol.bind(store)
+    return store
 
 
 def leaf_translation(ip=0x400):
@@ -73,12 +80,11 @@ def test_newsign_signatures_disjoint_per_class():
 def test_newsign_training_isolated_between_classes():
     """Dead replay loads from IP X must not poison X's translations."""
     pol = NewSignSHiPPolicy(64, 16)
+    bound(pol)
     ip = 0x77
     for _ in range(10):
-        from repro.cache.block import CacheBlock
-        b = CacheBlock()
-        pol.on_fill(0, 0, replay_load(ip), b)
-        pol.on_evict(0, 0, b)  # dead
+        pol.on_fill(0, 0, replay_load(ip))
+        pol.on_evict(0, 0)  # dead (never marked reused)
     assert pol.insertion_rrpv(0, replay_load(ip)) == pol.max_rrpv
     # Translations from the same IP are unaffected.
     assert pol.insertion_rrpv(0, leaf_translation(ip)) == pol.max_rrpv - 1
@@ -91,13 +97,12 @@ def test_tship_leaf_translations_pinned_to_zero():
 
 
 def test_tship_promotion_unchanged_from_ship():
-    from repro.cache.block import CacheBlock
     pol = TSHiPPolicy(64, 16)
-    b = CacheBlock()
-    pol.on_fill(0, 0, non_replay_load(), b)
-    b.rrpv = 2
-    pol.on_hit(0, 0, non_replay_load(), b)
-    assert b.rrpv == 0
+    store = bound(pol)
+    pol.on_fill(0, 0, non_replay_load())
+    store.rrpv[0] = 2
+    pol.on_hit(0, 0, non_replay_load())
+    assert store.rrpv[0] == 0
 
 
 def test_tship_replay_rrpv0_misconfiguration():
@@ -107,14 +112,13 @@ def test_tship_replay_rrpv0_misconfiguration():
 
 # -- T-Hawkeye ------------------------------------------------------------
 def test_thawkeye_leaf_translations_fill_at_zero():
-    from repro.cache.block import CacheBlock
     pol = THawkeyePolicy(64, 16)
+    store = bound(pol)
     sig = pol.signature(leaf_translation())
     for _ in range(10):
         pol._train(sig, positive=False)  # predictor says averse
-    b = CacheBlock()
-    pol.on_fill(0, 0, leaf_translation(), b)
-    assert b.rrpv == 0  # pinned regardless of the predictor
+    pol.on_fill(0, 0, leaf_translation())
+    assert store.rrpv[0] == 0  # pinned regardless of the predictor
 
 
 def test_thawkeye_signatures_disjoint():

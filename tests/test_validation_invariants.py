@@ -77,10 +77,9 @@ def test_detects_stats_corruption(checked):
 
 def test_detects_duplicate_way_mapping(checked):
     drive(checked, 32)
-    l1d = checked.l1d
-    lookup = next(l for l in l1d._lookup if len(l) >= 2)
-    lines = list(lookup)
-    lookup[lines[0]] = lookup[lines[1]]  # two lines now share a way
+    slot_of = checked.l1d.store.slot_of
+    lines = list(slot_of)[:2]
+    slot_of[lines[0]] = slot_of[lines[1]]  # two lines now share a slot
     with pytest.raises(ValidationError):
         checked.checker.final_check()
 
@@ -89,8 +88,9 @@ def test_detects_rrpv_out_of_bounds(checked):
     drive(checked, 32)
     llc = checked.llc
     max_rrpv = llc.policy.max_rrpv
-    block = next(b for s in llc._sets for b in s if b.valid)
-    block.rrpv = max_rrpv + 5
+    store = llc.store
+    slot = next(s for s in range(store.size) if store.valid[s])
+    store.rrpv[slot] = max_rrpv + 5
     with pytest.raises(ValidationError, match="RRPV"):
         checked.checker.final_check()
 
@@ -121,9 +121,10 @@ def test_detects_inclusion_violation(monkeypatch):
     drive(hierarchy, 32)
     # Drop a line from the LLC behind the back-invalidation machinery's
     # back: its L1D/L2C copies now violate inclusion.
-    victim = next(line for lookup in hierarchy.l2c._lookup
-                  for line in lookup if hierarchy.llc.contains(line))
-    hierarchy.llc._lookup[hierarchy.llc.set_index(victim)].pop(victim)
+    victim = next(line for line in hierarchy.l2c.store.slot_of
+                  if hierarchy.llc.contains(line))
+    slot = hierarchy.llc.store.slot_of.pop(victim)
+    hierarchy.llc.store.valid[slot] = 0
     with pytest.raises(ValidationError, match="inclusive"):
         hierarchy.checker.final_check()
 

@@ -85,7 +85,7 @@ def test_oracle_catches_injected_promotion_bug():
     """Sabotage the timed policy so hits stop promoting: the shadow model
     must flag the divergence once an eviction decision differs."""
     cache, oracle = shadowed(sets=1, ways=2, strict=False)
-    cache.policy.on_hit = lambda set_idx, way, req, block: None
+    cache.policy.on_hit = lambda set_idx, way, req: None
     cycle = 0
     for line in (0, 8, 0, 16, 0):  # sabotaged LRU evicts 0 instead of 8
         cycle = cache.access(req(line, cycle)) + 1
@@ -97,8 +97,9 @@ def test_oracle_catches_phantom_eviction():
     cycle = 0
     for line in range(16):
         cycle = cache.access(req(line, cycle)) + 1
-    line = next(iter(cache._lookup[0]))
-    cache._lookup[0].pop(line)  # line vanishes behind the oracle's back
+    store = cache.store
+    line = next(iter(store.slot_of))
+    store.valid[store.slot_of.pop(line)] = 0  # vanishes behind oracle's back
     oracle.final_check()
     assert any("residency" in v for v in oracle.ctx.violations)
 

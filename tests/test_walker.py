@@ -10,6 +10,22 @@ from repro.vm.psc import PagingStructureCaches
 from repro.vm.walker import PageTableWalker
 
 
+class _Snapshot:
+    """Detached copy of a request's fields at access time.
+
+    The walker issues pooled requests (reused between PTE reads), so a
+    recording fake must copy what it needs instead of retaining the
+    object -- the same contract real cache levels follow."""
+
+    def __init__(self, req):
+        self.pt_level = req.pt_level
+        self.access_type = req.access_type
+        self.replay_line_addr = req.replay_line_addr
+        self.leaf_walk = req.leaf_walk
+        self.address = req.address
+        self.cycle = req.cycle
+
+
 class FlatMemory:
     """Fixed-latency 'cache' that records every PTE read."""
 
@@ -18,7 +34,7 @@ class FlatMemory:
         self.requests = []
 
     def access(self, req):
-        self.requests.append(req)
+        self.requests.append(_Snapshot(req))
         req.served_by = "L1D"
         return req.cycle + self.latency
 
