@@ -1,7 +1,7 @@
 # Convenience targets for the reproduction repo.
 
 .PHONY: install test bench bench-baseline accuracy figures figures-fast \
-	figures-check figures-observed fuzz calibrate all
+	figures-check figures-observed scenarios fuzz calibrate all
 
 install:
 	pip install -e . --no-build-isolation
@@ -70,6 +70,20 @@ figures-observed:
 	PYTHONPATH=src python -m repro trace diff \
 		obs-artifacts/pr-base-trace.json \
 		obs-artifacts/pr-full-trace.json
+
+# Scenario regression matrix (docs/scenarios.md): lint every checked-in
+# repro.scenario/v1 document, then run the SYN-* stress scenarios and
+# the RL-* mixes at smoke scale, appending schema-stable JSONL results
+# to scenario-artifacts/ (CI uploads them).
+scenarios:
+	mkdir -p scenario-artifacts
+	PYTHONPATH=src python -m repro scenario validate --all
+	PYTHONPATH=src python -m repro scenario run \
+		SYN-01-STLB-THRASH SYN-02-PTE-REUSE-CLIFF \
+		SYN-03-REPLAY-DEAD-STREAMS RL-01-GRAPH-SOUP \
+		RL-02-PHASED-PIPELINE \
+		--instructions 12000 --warmup 2000 --no-cache \
+		--out scenario-artifacts/scenario-results.jsonl
 
 # 200 deterministic fuzz streams through the checked hierarchy
 # (seed range 0..199; failures print ready-to-paste regression tests).

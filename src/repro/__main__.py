@@ -13,6 +13,9 @@ Subcommands::
     python -m repro trace render t.json --perfetto p.json
     python -m repro trace diff base.json enh.json     # cycle attribution
     python -m repro bench                             # perf benchmark matrix
+    python -m repro scenario list                     # traffic-mix library
+    python -m repro scenario validate --all           # lint the library
+    python -m repro scenario run SYN-01-STLB-THRASH   # simulate a scenario
     python -m repro list                              # what's available
 
 Figures come from the decorator registry
@@ -33,6 +36,21 @@ from repro import api
 
 # ``repro.api`` is the only supported programmatic surface; the CLI is a
 # thin shell over it and deliberately imports nothing deeper.
+
+
+def _positive_int(value: str) -> int:
+    """Argparse type: a strictly positive integer (``--jobs 0`` and
+    ``--sample-interval -5`` must fail at the parser, not deep in a
+    simulation)."""
+    try:
+        number = int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"invalid int value: {value!r}") from None
+    if number <= 0:
+        raise argparse.ArgumentTypeError(
+            f"must be a positive integer, got {number}")
+    return number
 
 
 def _enable_checking() -> None:
@@ -144,6 +162,11 @@ def _cmd_bench(args) -> int:
     return cmd_bench(args)
 
 
+def _cmd_scenario(args) -> int:
+    from repro.scenarios.cli import cmd_scenario
+    return cmd_scenario(args)
+
+
 def _cmd_list(_args) -> int:
     print("benchmarks :", " ".join(api.list_benchmarks()))
     specs = api.figure_spec(None)
@@ -161,8 +184,9 @@ def main(argv=None) -> int:
         description="ISPASS'22 translation-conscious caching reproduction")
     sub = parser.add_subparsers(dest="command", required=True)
 
-    p_run = sub.add_parser("run", help="simulate one benchmark")
-    p_run.add_argument("benchmark", choices=api.list_benchmarks())
+    p_run = sub.add_parser("run", help="simulate one benchmark or scenario")
+    p_run.add_argument("benchmark", metavar="benchmark",
+                       choices=api.list_benchmarks() + api.list_scenarios())
     p_run.add_argument("--enhancements", default="none",
                        choices=sorted(api.ENHANCEMENT_PRESET_NAMES))
     p_run.add_argument("--l2c-prefetcher", default="none",
@@ -175,8 +199,8 @@ def main(argv=None) -> int:
     p_run.add_argument("--metrics", metavar="PATH", default=None,
                        help="export manifest + interval time-series as "
                             "repro.obs/v1 JSON (see docs/observability.md)")
-    p_run.add_argument("--sample-interval", type=int, default=None,
-                       metavar="N",
+    p_run.add_argument("--sample-interval", type=_positive_int,
+                       default=None, metavar="N",
                        help="sample the hierarchy every N retired "
                             "instructions (default with --metrics: "
                             f"{api.DEFAULT_SAMPLE_INTERVAL})")
@@ -184,7 +208,7 @@ def main(argv=None) -> int:
                        help="export the request span trace as "
                             "repro.obs/trace-v1 JSON (see "
                             "docs/observability.md)")
-    p_run.add_argument("--trace-sample", type=int, default=None,
+    p_run.add_argument("--trace-sample", type=_positive_int, default=None,
                        metavar="N",
                        help="trace 1 in N requests (default with "
                             "--trace: 1, i.e. every request)")
@@ -201,7 +225,7 @@ def main(argv=None) -> int:
     p_fig.add_argument("--instructions", type=int,
                        default=api.DEFAULT_INSTRUCTIONS)
     p_fig.add_argument("--warmup", type=int, default=api.DEFAULT_WARMUP)
-    p_fig.add_argument("--jobs", type=int, default=1,
+    p_fig.add_argument("--jobs", type=_positive_int, default=1,
                        help="worker processes for independent runs")
     p_fig.add_argument("--no-cache", action="store_true",
                        help="skip the on-disk result memo "
@@ -259,6 +283,13 @@ def main(argv=None) -> int:
     from repro.bench import add_arguments as _bench_arguments
     _bench_arguments(p_bench)
     p_bench.set_defaults(func=_cmd_bench)
+
+    # The scenario subcommand's argument tree lives with its
+    # implementation (repro.scenarios.cli); only the registration hook is
+    # imported here, at parser-build time like the bench arguments above.
+    from repro.scenarios.cli import add_scenario_parser
+    add_scenario_parser(sub)
+    sub.choices["scenario"].set_defaults(func=_cmd_scenario)
 
     p_list = sub.add_parser("list", help="list benchmarks and figures")
     p_list.set_defaults(func=_cmd_list)

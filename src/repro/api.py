@@ -14,6 +14,9 @@ The surface is intentionally small:
   figure/table by name (see :mod:`repro.experiments.registry`);
 * :func:`bench` -- the pinned performance-benchmark matrix
   (``python -m repro bench``; see ``docs/performance.md``);
+* :func:`run_scenario` / :func:`list_scenarios` / :func:`load_scenario`
+  -- the ``repro.scenario/v1`` traffic-mix DSL (``python -m repro
+  scenario``; see ``docs/scenarios.md``);
 * :func:`build_config` / :func:`enhancement_preset` -- config builders
   around the frozen :class:`SimConfig` (derive variants with
   ``cfg.with_(...)``);
@@ -59,16 +62,22 @@ from repro.params import (DEFAULT_SCALE, ENHANCEMENT_PRESET_NAMES,
                           CacheConfig, EnhancementConfig, IdealConfig,
                           SimConfig, TLBConfig, canonical_policy,
                           default_config, enhancement_preset, paper_config)
+from repro.scenarios import (ScenarioDoc, ScenarioError, ScenarioResult,
+                             list_scenarios, load_scenario, run_scenario,
+                             validate_scenario)
 from repro.workloads.registry import benchmark_names
 
 #: Version of this facade.  Bumped on compatible additions (minor) and
 #: on breaking changes (major); ``tests/test_api_surface.py`` pins it.
-__api_version__ = "1.1"
+__api_version__ = "1.2"
 
 __all__ = [
     # entry points
     "run", "figure", "figure_spec", "list_figures", "list_benchmarks",
     "configure_parallel", "trace", "trace_diff", "bench",
+    # scenarios (repro.scenario/v1; see docs/scenarios.md)
+    "run_scenario", "list_scenarios", "load_scenario", "validate_scenario",
+    "ScenarioDoc", "ScenarioError", "ScenarioResult",
     # results
     "RunResult", "RunSummary", "FigureResult", "RunKey",
     "ParallelRunner", "ResultCache", "StallCategory", "BenchResult",

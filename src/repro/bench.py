@@ -20,6 +20,7 @@ machine-speed ratio before the threshold is applied.
 from __future__ import annotations
 
 import json
+import math
 import platform
 import resource
 import sys
@@ -90,13 +91,18 @@ class BenchResult:
                                    threshold=threshold)
 
 
-def calibrate(iterations: int = 400_000) -> float:
-    """Machine-speed score: dict/arithmetic ops per second.
+#: Shortest wall time a calibration pass may take and still be trusted:
+#: below this the measurement is dominated by timer resolution and the
+#: resulting ops/sec (and hence the scaled regression floor) is garbage.
+MIN_CALIBRATION_SECONDS = 1e-3
 
-    The loop mirrors the simulator's hot-path instruction mix (dict
-    probes, integer arithmetic, attribute-free bookkeeping), so its
-    score tracks how fast *this* interpreter/machine runs the kernel.
-    """
+#: Any genuine interpreter manages far more than this; a score below it
+#: means the measurement (or a recorded baseline) is degenerate.
+MIN_CREDIBLE_CALIBRATION = 1e3
+
+
+def _calibration_pass(iterations: int) -> float:
+    """One timed run of the calibration loop; returns the wall seconds."""
     table: Dict[int, int] = {}
     t0 = time.perf_counter()
     acc = 0
@@ -109,8 +115,33 @@ def calibrate(iterations: int = 400_000) -> float:
             acc += hit & 7
         if len(table) > 4096:
             table.clear()
-    dt = time.perf_counter() - t0
-    return iterations / dt
+    return time.perf_counter() - t0
+
+
+def calibrate(iterations: int = 400_000) -> float:
+    """Machine-speed score: dict/arithmetic ops per second.
+
+    The loop mirrors the simulator's hot-path instruction mix (dict
+    probes, integer arithmetic, attribute-free bookkeeping), so its
+    score tracks how fast *this* interpreter/machine runs the kernel.
+
+    Passes shorter than :data:`MIN_CALIBRATION_SECONDS` (possible with a
+    tiny ``iterations`` or a coarse ``perf_counter``) are retried with a
+    4x larger loop rather than divided through -- a sub-resolution delta
+    would otherwise yield a zero division or a nonsense score that
+    silently corrupts the regression gate.
+    """
+    its = max(1, int(iterations))
+    dt = 0.0
+    for _ in range(8):
+        dt = _calibration_pass(its)
+        if dt >= MIN_CALIBRATION_SECONDS:
+            return its / dt
+        its *= 4
+    raise RuntimeError(
+        f"calibration unmeasurable: {its // 4} iterations completed in "
+        f"{dt:.3e}s (below the {MIN_CALIBRATION_SECONDS}s timer floor); "
+        f"refusing to produce a machine-speed score")
 
 
 def _run_case(case: BenchCase, repeats: int) -> Dict:
@@ -215,6 +246,17 @@ def load_baseline(path=None) -> Dict:
     return doc
 
 
+def _check_calibration(score, which: str) -> None:
+    """Reject calibration scores that would corrupt the machine ratio."""
+    ok = (isinstance(score, (int, float)) and math.isfinite(score)
+          and score >= MIN_CREDIBLE_CALIBRATION)
+    if not ok:
+        raise ValueError(
+            f"degenerate {which} calibration score {score!r} (expected a "
+            f"finite value >= {MIN_CREDIBLE_CALIBRATION}); re-record it "
+            f"with repro.bench.calibrate()")
+
+
 def compare_to_baseline(document: Dict, baseline: Dict,
                         threshold: float = REGRESSION_THRESHOLD) -> Dict:
     """Regression verdict: current vs. baseline aggregate throughput.
@@ -223,14 +265,26 @@ def compare_to_baseline(document: Dict, baseline: Dict,
     throughput is scaled by the machine-speed ratio first, making the
     gate meaningful on hardware other than where the baseline was
     recorded.  Returns a dict with ``ok`` plus the numbers behind it.
+
+    Degenerate inputs fail loudly (:class:`ValueError`) instead of
+    skewing the gate: a near-zero current calibration would scale the
+    floor to ~0 and pass everything; a near-zero baseline calibration
+    (or a non-positive baseline throughput) would fail or pass
+    everything regardless of the code under test.
     """
     current = document["aggregate"]["accesses_per_sec"]
     recorded = baseline["aggregate"]["accesses_per_sec"]
+    if not (isinstance(recorded, (int, float)) and recorded > 0):
+        raise ValueError(
+            f"degenerate baseline: aggregate accesses_per_sec is "
+            f"{recorded!r}; the regression floor would be meaningless")
     cal_now = document.get("calibration_ops_per_sec")
     cal_then = baseline.get("calibration_ops_per_sec")
     machine_ratio = None
     expected = recorded
-    if cal_now and cal_then:
+    if cal_now is not None and cal_then is not None:
+        _check_calibration(cal_now, "document")
+        _check_calibration(cal_then, "baseline")
         machine_ratio = cal_now / cal_then
         expected = recorded * machine_ratio
     floor = expected * (1.0 - threshold)

@@ -71,6 +71,10 @@ class RunKey:
     instructions: int = DEFAULT_INSTRUCTIONS
     warmup: int = DEFAULT_WARMUP
     scale: int = DEFAULT_SCALE
+    #: Scenario-document digest when ``benchmark`` names a scenario, so
+    #: editing a scenario file invalidates its memoised results even
+    #: though the name is unchanged.  ``None`` for plain benchmarks.
+    scenario: Optional[str] = None
 
     @classmethod
     def make(cls, benchmark: str, config: Optional[SimConfig] = None,
@@ -91,15 +95,20 @@ class RunKey:
     @cached_property
     def digest(self) -> str:
         """Filename-safe identity covering every field."""
-        blob = json.dumps({
+        fields = {
             "benchmark": self.benchmark, "config": self.config_hash,
             "seed": self.seed, "instructions": self.instructions,
-            "warmup": self.warmup, "scale": self.scale}, sort_keys=True)
+            "warmup": self.warmup, "scale": self.scale}
+        if self.scenario is not None:
+            # Only present for scenario keys: plain-benchmark digests
+            # (and therefore existing cache entries) are unchanged.
+            fields["scenario"] = self.scenario
+        blob = json.dumps(fields, sort_keys=True)
         return hashlib.sha256(blob.encode()).hexdigest()
 
     def _identity(self):
         return (self.benchmark, self.config_hash, self.seed,
-                self.instructions, self.warmup, self.scale)
+                self.instructions, self.warmup, self.scale, self.scenario)
 
     def __eq__(self, other) -> bool:
         return (isinstance(other, RunKey)

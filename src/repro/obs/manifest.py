@@ -121,7 +121,23 @@ def build_manifest(benchmark: str, config: SimConfig, *,
             manifest["simulated"]["walk_cycles"] = h.mmu.walk_cycles_total
     if profiler is not None:
         manifest["wall_time"] = profiler.snapshot()
+    scenario = _describe_scenario(benchmark)
+    if scenario is not None:
+        manifest["scenario"] = scenario
     return manifest
+
+
+def _describe_scenario(benchmark: str) -> Optional[Dict]:
+    """Scenario provenance block when ``benchmark`` names a scenario.
+
+    Imported lazily so plain-benchmark manifests never pull in the
+    scenario engine; any lookup failure degrades to "not a scenario".
+    """
+    try:
+        from repro.scenarios.engine import describe_scenario
+        return describe_scenario(benchmark)
+    except Exception:
+        return None
 
 
 def build_batch_manifest(figures, runner_metrics=None,

@@ -1,0 +1,57 @@
+"""Scenario -> trace compilation.
+
+:func:`compile_scenario` turns a parsed :class:`~repro.scenarios.doc.
+ScenarioDoc` into one deterministic instruction trace: the phase
+schedule is apportioned over the requested instruction budget, each
+phase's weighted mix is interleaved by its arrival process (see
+:mod:`repro.workloads.mix`), and the segments are concatenated in
+schedule order.
+
+Determinism: a single-phase document compiles under the caller's seed
+verbatim; multi-phase documents derive one sub-seed per phase via
+:func:`~repro.workloads.mix.derive_seed`.  Together with the mix
+engine's single-component identity this makes a single-workload,
+single-phase scenario byte-identical to ``make_trace(benchmark, n,
+scale, seed)`` -- the property that lets scenario runs share the
+``RunKey``/``ResultCache`` machinery with direct runs.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.scenarios.doc import ScenarioDoc
+from repro.workloads.mix import apportion, derive_seed, interleave_traces
+from repro.workloads.trace import Trace
+
+
+def compile_scenario(doc: ScenarioDoc, instructions: Optional[int] = None,
+                     *, scale: Optional[int] = None,
+                     seed: Optional[int] = None) -> Trace:
+    """Compile one scenario into a trace of ``instructions`` records.
+
+    ``instructions`` / ``scale`` / ``seed`` default to the document's
+    own values (callers like :func:`repro.workloads.registry.make_trace`
+    pass the run geometry through explicitly).
+    """
+    n = doc.instructions if instructions is None else int(instructions)
+    sc = doc.scale if scale is None else int(scale)
+    sd = doc.seed if seed is None else int(seed)
+    if n <= 0:
+        raise ValueError("need a positive instruction count")
+
+    phases = doc.phases
+    budgets = apportion(n, [p.weight for p in phases]) \
+        if len(phases) > 1 else [n]
+    segments = []
+    for i, (phase, budget) in enumerate(zip(phases, budgets)):
+        phase_seed = sd if len(phases) == 1 \
+            else derive_seed(sd, "phase", i)
+        segments.append(interleave_traces(
+            phase.components, budget, scale=sc, seed=phase_seed,
+            arrival=phase.arrival.kind, quantum=phase.arrival.quantum,
+            burst_factor=phase.arrival.burst_factor,
+            name=f"{doc.name}.{i}" if len(phases) > 1 else doc.name))
+    if len(segments) == 1:
+        return segments[0]
+    return Trace.concatenate(segments, name=doc.name)

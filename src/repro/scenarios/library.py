@@ -1,0 +1,53 @@
+"""The checked-in scenario library (``src/repro/scenarios/library/``).
+
+``SYN-*`` documents are tightly controlled single-variable stress
+scenarios for capacity planning and CI regressions; ``RL-*`` documents
+are production-like blends (graph analytics + pointer chasing +
+streaming, with phase changes).  Every file is a ``repro.scenario/v1``
+document whose ``name`` matches its filename stem -- the name is how
+runs, RunKeys and worker processes resolve it (see
+:func:`repro.workloads.registry.make_trace`).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, Tuple
+
+from repro.scenarios.doc import ScenarioDoc, ScenarioError, \
+    load_scenario_file
+
+#: Directory holding the checked-in scenario documents.
+LIBRARY_DIR = Path(__file__).resolve().parent / "library"
+
+_SUFFIXES = (".yaml", ".yml", ".json")
+
+
+def library_paths() -> Dict[str, Path]:
+    """Scenario name -> document path, sorted by name."""
+    paths: Dict[str, Path] = {}
+    if not LIBRARY_DIR.is_dir():
+        return paths
+    for path in sorted(LIBRARY_DIR.iterdir()):
+        if path.suffix.lower() in _SUFFIXES:
+            paths[path.stem] = path
+    return paths
+
+
+def list_scenarios() -> Tuple[str, ...]:
+    """Every checked-in scenario name, sorted."""
+    return tuple(sorted(library_paths()))
+
+
+def load_scenario(name: str) -> ScenarioDoc:
+    """Load one library scenario by name."""
+    paths = library_paths()
+    if name not in paths:
+        raise ScenarioError(
+            f"unknown scenario {name!r}; available: {sorted(paths)}")
+    doc = load_scenario_file(paths[name])
+    if doc.name != name:
+        raise ScenarioError(
+            f"{paths[name].name}: document name {doc.name!r} does not "
+            f"match its filename stem {name!r}")
+    return doc

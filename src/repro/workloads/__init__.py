@@ -6,9 +6,13 @@ from repro.workloads.synthetic import SyntheticWorkload, PatternMix
 from repro.workloads.registry import (BENCHMARKS, benchmark, benchmark_names,
                                       make_trace, TABLE2_REFERENCE)
 from repro.workloads.io import save_trace, load_trace
+from repro.workloads.mix import (ARRIVAL_KINDS, MixComponent, apportion,
+                                 derive_seed, interleave_traces)
 from repro.workloads import analysis
 
 __all__ = ["Trace", "KIND_NONMEM", "KIND_LOAD", "KIND_STORE",
            "SyntheticWorkload", "PatternMix", "BENCHMARKS", "benchmark",
            "benchmark_names", "make_trace", "TABLE2_REFERENCE",
-           "save_trace", "load_trace", "analysis"]
+           "save_trace", "load_trace", "analysis",
+           "ARRIVAL_KINDS", "MixComponent", "apportion", "derive_seed",
+           "interleave_traces"]

@@ -1,0 +1,221 @@
+"""Deterministic multi-workload trace interleaving (the traffic-mix
+engine behind :mod:`repro.scenarios`).
+
+A *mix* is a weighted set of components -- registry benchmarks or inline
+:class:`~repro.workloads.synthetic.PatternMix` specs -- whose individual
+traces are generated independently and then woven into one instruction
+stream by an *arrival process*:
+
+* ``uniform`` -- fixed-size quanta, round-robin-ish weighted draws (a
+  fair scheduler);
+* ``poisson`` -- exponentially distributed quantum lengths (open-loop
+  arrivals, the default for production-like mixes);
+* ``bursty``  -- two-state on/off bursts: long monopolising runs from
+  one component interleaved with fine-grained sharing.
+
+Determinism contract (see ``docs/scenarios.md``): every random draw in
+this module comes from an explicitly seeded generator derived from the
+caller's seed via :func:`derive_seed` (stable SHA-256 splitting -- never
+Python's salted ``hash()`` and never the module-level ``random``
+global).  The same ``(components, instructions, scale, seed, arrival)``
+therefore produces a byte-identical trace in every process, regardless
+of what else was generated before it.  A single-component mix is the
+identity: it returns exactly the trace the component would generate on
+its own with the caller's seed, which is what makes single-workload
+scenarios bit-identical to direct :func:`repro.api.run` calls.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import random as _random_module
+from dataclasses import dataclass
+from typing import Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro.params import DEFAULT_SCALE
+from repro.workloads.trace import Trace
+
+#: Supported arrival-process kinds.
+ARRIVAL_KINDS = ("uniform", "poisson", "bursty")
+
+#: Default scheduling quantum (instructions per interleave chunk).
+DEFAULT_QUANTUM = 256
+
+#: Default long-burst multiplier for the ``bursty`` process.
+DEFAULT_BURST_FACTOR = 8
+
+
+def derive_seed(seed: int, *parts) -> int:
+    """Stable sub-seed derivation: SHA-256 over ``(seed, *parts)``.
+
+    Python's built-in ``hash()`` is salted per process and must never be
+    used for seed splitting; this keeps derived streams identical across
+    processes and machines.
+    """
+    blob = json.dumps([int(seed), *[str(p) for p in parts]],
+                      separators=(",", ":")).encode()
+    return int.from_bytes(hashlib.sha256(blob).digest()[:8], "big")
+
+
+@dataclass(frozen=True)
+class MixComponent:
+    """One weighted member of a traffic mix.
+
+    Exactly one of ``benchmark`` (a :mod:`repro.workloads.registry`
+    name) or ``pattern`` (inline :class:`PatternMix` fields) must be
+    set.  ``label`` names the component in manifests and exports.
+    """
+
+    label: str
+    weight: float
+    benchmark: Optional[str] = None
+    pattern: Optional[Mapping] = None
+
+    def __post_init__(self):
+        if not self.label:
+            raise ValueError("mix component needs a label")
+        if not (self.weight > 0):
+            raise ValueError(
+                f"mix component {self.label!r}: weight must be positive, "
+                f"got {self.weight!r}")
+        if (self.benchmark is None) == (self.pattern is None):
+            raise ValueError(
+                f"mix component {self.label!r}: set exactly one of "
+                f"benchmark= or pattern=")
+
+
+def apportion(total: int, weights: Sequence[float]) -> list:
+    """Split ``total`` into integer shares proportional to ``weights``.
+
+    Largest-remainder apportionment: deterministic, exact (shares sum to
+    ``total``) and every positive-weight share gets at least 1 when
+    ``total >= len(weights)``.
+    """
+    if total <= 0:
+        raise ValueError("need a positive total")
+    wsum = float(sum(weights))
+    if wsum <= 0:
+        raise ValueError("weights must sum to a positive value")
+    raw = [total * w / wsum for w in weights]
+    shares = [int(r) for r in raw]
+    # Give everyone a floor of 1 first (when the budget allows), then
+    # distribute the leftover by descending remainder (ties by index).
+    if total >= len(weights):
+        shares = [max(1, s) for s in shares]
+    while sum(shares) > total:
+        idx = max(range(len(shares)), key=lambda i: (shares[i], -i))
+        shares[idx] -= 1
+    leftovers = sorted(range(len(shares)),
+                       key=lambda i: (raw[i] - int(raw[i]), -i),
+                       reverse=True)
+    i = 0
+    while sum(shares) < total:
+        shares[leftovers[i % len(shares)]] += 1
+        i += 1
+    return shares
+
+
+def _generate_component(component: MixComponent, instructions: int,
+                        scale: int, seed: int) -> Trace:
+    """One component's standalone trace (registry or inline pattern)."""
+    if component.benchmark is not None:
+        from repro.workloads.registry import make_trace
+        return make_trace(component.benchmark, instructions, scale=scale,
+                          seed=seed)
+    from repro.workloads.synthetic import PatternMix, SyntheticWorkload
+    try:
+        mix = PatternMix(**dict(component.pattern))
+    except TypeError as exc:
+        raise ValueError(f"mix component {component.label!r}: bad "
+                         f"pattern field ({exc})") from None
+    workload = SyntheticWorkload(mix, name=component.label)
+    return workload.generate(instructions, scale=scale, seed=seed)
+
+
+def _chunk_length(rng: _random_module.Random, kind: str, quantum: int,
+                  burst_factor: int) -> int:
+    if kind == "uniform":
+        return quantum
+    if kind == "poisson":
+        # Exponential quantum lengths (mean = quantum), capped so one
+        # draw can never monopolise the whole trace.
+        return 1 + min(int(rng.expovariate(1.0 / quantum)), 64 * quantum)
+    if kind == "bursty":
+        # Two-state on/off process: occasional long monopolising bursts
+        # over a fine-grained baseline quantum.
+        if rng.random() < 1.0 / burst_factor:
+            return quantum * burst_factor
+        return max(1, quantum // 4)
+    raise ValueError(f"unknown arrival kind {kind!r}; "
+                     f"expected one of {ARRIVAL_KINDS}")
+
+
+def interleave_traces(components: Sequence[MixComponent],
+                      instructions: int, *,
+                      scale: int = DEFAULT_SCALE, seed: int = 1,
+                      arrival: str = "uniform",
+                      quantum: int = DEFAULT_QUANTUM,
+                      burst_factor: int = DEFAULT_BURST_FACTOR,
+                      name: str = "mix") -> Trace:
+    """Compile a weighted mix into one deterministic interleaved trace.
+
+    Component traces are generated independently (each from its own
+    derived seed) and consumed in scheduling quanta drawn by the arrival
+    process; the next component is picked with probability proportional
+    to its remaining instruction budget, so the realised mix matches the
+    weights even under bursty scheduling.
+    """
+    components = list(components)
+    if not components:
+        raise ValueError("need at least one mix component")
+    if instructions <= 0:
+        raise ValueError("need a positive instruction count")
+    if arrival not in ARRIVAL_KINDS:
+        raise ValueError(f"unknown arrival kind {arrival!r}; "
+                         f"expected one of {ARRIVAL_KINDS}")
+    if quantum <= 0:
+        raise ValueError("quantum must be positive")
+    if burst_factor < 2:
+        raise ValueError("burst_factor must be >= 2")
+
+    if len(components) == 1:
+        # Identity fast path: a 1-component mix IS that component's
+        # trace under the caller's seed (the bit-identical contract).
+        trace = _generate_component(components[0], instructions, scale,
+                                    seed)
+        return Trace(trace.ips, trace.kinds, trace.addrs, name=name,
+                     deps=trace.deps)
+
+    shares = apportion(instructions, [c.weight for c in components])
+    traces = [_generate_component(c, share, scale,
+                                  derive_seed(seed, "component", i,
+                                              c.label))
+              for i, (c, share) in enumerate(zip(components, shares))]
+
+    rng = _random_module.Random(derive_seed(seed, "arrival", arrival))
+    remaining = list(shares)
+    cursor = [0] * len(components)
+    slices = []
+    live = sum(1 for r in remaining if r > 0)
+    while live:
+        total = sum(remaining)
+        pick = rng.random() * total
+        idx = 0
+        acc = 0.0
+        for i, r in enumerate(remaining):
+            acc += r
+            if pick < acc:
+                idx = i
+                break
+        take = min(_chunk_length(rng, arrival, quantum, burst_factor),
+                   remaining[idx])
+        start = cursor[idx]
+        slices.append(traces[idx][start:start + take])
+        cursor[idx] += take
+        remaining[idx] -= take
+        if remaining[idx] == 0:
+            live -= 1
+    return Trace.concatenate(slices, name=name)

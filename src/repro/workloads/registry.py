@@ -126,7 +126,21 @@ def benchmark_names(include_controls: bool = False) -> List[str]:
 
 def make_trace(name: str, instructions: int, scale: int = DEFAULT_SCALE,
                seed: int = 1) -> Trace:
-    """Generate a trace for one named benchmark."""
-    info = benchmark(name)
-    workload = SyntheticWorkload(info.mix, name=name)
-    return workload.generate(instructions, scale=scale, seed=seed)
+    """Generate a trace for one named benchmark or registered scenario.
+
+    Registry benchmarks take priority.  Unknown names fall through to the
+    scenario engine (library documents plus process-local ad-hoc
+    registrations), so scenario traces flow through the exact same entry
+    point -- and therefore the same runner/cache plumbing -- as benchmarks.
+    """
+    if name in BENCHMARKS:
+        info = BENCHMARKS[name]
+        workload = SyntheticWorkload(info.mix, name=name)
+        return workload.generate(instructions, scale=scale, seed=seed)
+    # Imported lazily: repro.scenarios depends on this module.
+    from repro.scenarios.engine import resolve_trace
+    trace = resolve_trace(name, instructions, scale=scale, seed=seed)
+    if trace is not None:
+        return trace
+    raise ValueError(f"unknown benchmark or scenario {name!r}; "
+                     f"available benchmarks: {sorted(BENCHMARKS)}")

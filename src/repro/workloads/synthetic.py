@@ -101,7 +101,6 @@ class SyntheticWorkload:
 
         random_pages = max(64, mix.random_pages // scale)
         seq_pages = max(8, mix.seq_pages // scale)
-        self._scale = scale
 
         p_load = mix.loads_per_kilo / 1000.0
         p_store = mix.stores_per_kilo / 1000.0
@@ -121,7 +120,7 @@ class SyntheticWorkload:
         store_idx = np.flatnonzero(kinds == KIND_STORE)
         deps = np.zeros(n, dtype=np.int8)
         self._fill_loads(rng, load_idx, addrs, ips,
-                         random_pages, seq_pages, deps)
+                         random_pages, seq_pages, scale, deps)
         self._fill_stores(rng, store_idx, addrs, ips, random_pages)
         return Trace(ips, kinds, addrs, name=self.name, deps=deps)
 
@@ -155,7 +154,8 @@ class SyntheticWorkload:
 
     def _fill_loads(self, rng, load_idx: np.ndarray, addrs: np.ndarray,
                     ips: np.ndarray, random_pages: int,
-                    seq_pages: int, deps=None) -> None:
+                    seq_pages: int, scale: int = DEFAULT_SCALE,
+                    deps=None) -> None:
         mix = self.mix
         n_loads = len(load_idx)
         if n_loads == 0:
@@ -169,7 +169,7 @@ class SyntheticWorkload:
         # Random gathers.
         n_rand = int(is_random.sum())
         if n_rand:
-            window = max(0, mix.random_window_pages // self._scale)
+            window = max(0, mix.random_window_pages // scale)
             pages = self._random_page_sequence(rng, n_rand, random_pages,
                                                window)
             offsets = rng.integers(0, 4096 // 8, size=n_rand) * 8

@@ -1,0 +1,37 @@
+#!/usr/bin/env python
+"""Regenerate the golden scenario-result fixtures.
+
+Run from the repo root after an *intentional* behavioural change::
+
+    PYTHONPATH=src python tests/data/scenarios/regen.py
+
+The pinned geometry must match ``tests/test_scenarios.py``.
+"""
+
+import json
+import sys
+from pathlib import Path
+
+HERE = Path(__file__).resolve().parent
+sys.path.insert(0, str(HERE.parents[2] / "src"))
+
+GOLDEN_INSTRUCTIONS = 4_000
+GOLDEN_WARMUP = 500
+NAMES = ("SYN-01-STLB-THRASH", "RL-01-GRAPH-SOUP")
+
+
+def main() -> int:
+    from repro.scenarios import run_scenario
+    for name in NAMES:
+        result = run_scenario(name, instructions=GOLDEN_INSTRUCTIONS,
+                              warmup=GOLDEN_WARMUP)
+        record = result.jsonl_record(timestamp=False)
+        out = HERE / f"{name}.golden.json"
+        out.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+        print(f"wrote {out} (ipc={record['ipc']}, "
+              f"cycles={record['cycles']})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -104,7 +104,7 @@ def test_api_trace_diff_accepts_documents():
 # v1.1 additions: bench, frozen SimConfig, facade-only CLI
 # ----------------------------------------------------------------------
 def test_api_version_pinned():
-    assert api.__api_version__ == "1.1"
+    assert api.__api_version__ == "1.2"
     assert "__api_version__" in api.__all__
 
 
@@ -190,13 +190,63 @@ def test_bench_regression_verdict():
                 "calibration_ops_per_sec": cal,
                 "configs": [{"benchmark": b} for b in benchmarks]}
 
+    cal = 2_000_000.0  # plausible ops/sec for the calibration loop
     # Same machine speed: 10% drop passes, 20% drop fails at 15%.
-    assert compare_to_baseline(doc(900, 100), doc(1000, 100))["ok"]
-    assert not compare_to_baseline(doc(800, 100), doc(1000, 100))["ok"]
+    assert compare_to_baseline(doc(900, cal), doc(1000, cal))["ok"]
+    assert not compare_to_baseline(doc(800, cal), doc(1000, cal))["ok"]
     # Half-speed machine: the baseline expectation scales down with it.
-    verdict = compare_to_baseline(doc(500, 50), doc(1000, 100))
+    verdict = compare_to_baseline(doc(500, cal / 2), doc(1000, cal))
     assert verdict["ok"] and verdict["machine_ratio"] == 0.5
     # A different matrix always fails: numbers aren't comparable.
-    verdict = compare_to_baseline(doc(1000, 100),
-                                  doc(1000, 100, benchmarks=("pr",)))
+    verdict = compare_to_baseline(doc(1000, cal),
+                                  doc(1000, cal, benchmarks=("pr",)))
     assert not verdict["ok"] and verdict["matrix_mismatch"]
+
+
+# ----------------------------------------------------------------------
+# v1.2 additions: scenario DSL, calibration-gate guards
+# ----------------------------------------------------------------------
+def test_v12_exports_present():
+    assert {"run_scenario", "list_scenarios", "load_scenario",
+            "validate_scenario", "ScenarioDoc", "ScenarioError",
+            "ScenarioResult"} <= set(api.__all__)
+
+
+def test_bench_verdict_rejects_degenerate_calibration():
+    from repro.bench import compare_to_baseline
+
+    def doc(aps, cal, benchmarks=("tc",)):
+        return {"aggregate": {"accesses_per_sec": aps},
+                "calibration_ops_per_sec": cal,
+                "configs": [{"benchmark": b} for b in benchmarks]}
+
+    # Near-zero current calibration would scale the floor to ~0 and
+    # wave every regression through: must fail loudly instead.
+    with pytest.raises(ValueError, match="degenerate document"):
+        compare_to_baseline(doc(1, 1e-9), doc(1000, 2e6))
+    # Near-zero baseline calibration would inflate the floor and fail
+    # every run regardless of the code under test.
+    with pytest.raises(ValueError, match="degenerate baseline"):
+        compare_to_baseline(doc(1000, 2e6), doc(1000, 0.0))
+    # Non-positive recorded throughput makes the floor meaningless.
+    with pytest.raises(ValueError, match="accesses_per_sec"):
+        compare_to_baseline(doc(1000, 2e6), doc(0, 2e6))
+    # Calibration-free documents still compare unscaled.
+    assert compare_to_baseline(doc(1000, None), doc(1000, None))["ok"]
+
+
+def test_calibrate_guards_sub_resolution_timer(monkeypatch):
+    import repro.bench as bench_mod
+
+    # A perf_counter frozen in time models a sub-resolution delta: the
+    # old code divided by zero / returned inf; now it retries with a
+    # bigger loop and ultimately refuses.
+    monkeypatch.setattr(bench_mod.time, "perf_counter", lambda: 1.0)
+    with pytest.raises(RuntimeError, match="calibration unmeasurable"):
+        bench_mod.calibrate(iterations=1)
+
+
+def test_calibrate_returns_credible_score():
+    from repro.bench import MIN_CREDIBLE_CALIBRATION, calibrate
+    score = calibrate(iterations=50_000)
+    assert score >= MIN_CREDIBLE_CALIBRATION

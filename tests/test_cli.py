@@ -48,6 +48,15 @@ def test_invalid_benchmark_rejected():
         main(["run", "gcc"])
 
 
+def test_run_accepts_library_scenario_name(capsys):
+    rc = main(["run", "SYN-01-STLB-THRASH",
+               "--instructions", "2000", "--warmup", "500"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "SYN-01-STLB-THRASH" in out
+    assert "IPC" in out
+
+
 # ----------------------------------------------------------------------
 # Observability: run --metrics, stats subcommand
 # ----------------------------------------------------------------------
@@ -108,3 +117,82 @@ def test_stats_diff_two_runs(metrics_export, tmp_path, capsys):
     out = capsys.readouterr().out
     assert "summary diff" in out
     assert "ipc" in out
+
+
+# ----------------------------------------------------------------------
+# Argument validation: zero/negative counts must die at the parser
+# ----------------------------------------------------------------------
+
+@pytest.mark.parametrize("argv", [
+    ["run", "tc", "--sample-interval", "0"],
+    ["run", "tc", "--sample-interval", "-5"],
+    ["run", "tc", "--trace-sample", "0"],
+    ["run", "tc", "--trace-sample", "-1"],
+    ["figure", "fig3", "--jobs", "0"],
+    ["figure", "fig3", "--jobs", "-2"],
+    ["scenario", "run", "SYN-01-STLB-THRASH", "--jobs", "0"],
+    ["scenario", "run", "SYN-01-STLB-THRASH", "--instructions", "-1"],
+    ["scenario", "run", "SYN-01-STLB-THRASH", "--scale", "0"],
+    ["scenario", "run", "SYN-01-STLB-THRASH", "--seed", "-1"],
+])
+def test_nonpositive_counts_rejected_at_parser(argv, capsys):
+    with pytest.raises(SystemExit) as exc:
+        main(argv)
+    assert exc.value.code == 2  # argparse usage error
+    err = capsys.readouterr().err
+    assert "invalid" in err or "must be" in err
+
+
+def test_garbage_int_rejected_at_parser(capsys):
+    with pytest.raises(SystemExit) as exc:
+        main(["run", "tc", "--sample-interval", "lots"])
+    assert exc.value.code == 2
+
+
+# ----------------------------------------------------------------------
+# Scenario subcommand
+# ----------------------------------------------------------------------
+
+def test_scenario_list(capsys):
+    assert main(["scenario", "list"]) == 0
+    out = capsys.readouterr().out
+    assert "SYN-01-STLB-THRASH" in out
+    assert "RL-01-GRAPH-SOUP" in out
+
+
+def test_scenario_validate_library(capsys):
+    assert main(["scenario", "validate", "--all"]) == 0
+    out = capsys.readouterr().out
+    assert "OK" in out and "valid" in out
+
+
+def test_scenario_validate_rejects_bad_document(tmp_path, capsys):
+    bad = tmp_path / "bad.json"
+    bad.write_text('{"schema": "repro.scenario/v1", "name": "x", '
+                   '"mix": {"nope": 1.0}}')
+    assert main(["scenario", "validate", str(bad)]) == 1
+    err = capsys.readouterr().err
+    assert "INVALID" in err
+
+
+def test_scenario_run_emits_results(tmp_path, capsys):
+    out_path = tmp_path / "results.jsonl"
+    rc = main(["scenario", "run", "SYN-01-STLB-THRASH",
+               "--instructions", "4000", "--warmup", "500",
+               "--no-cache", "--out", str(out_path)])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "SYN-01-STLB-THRASH" in out and "ipc=" in out
+    lines = out_path.read_text().splitlines()
+    assert len(lines) == 1
+    import json
+    record = json.loads(lines[0])
+    assert record["schema"] == "repro.scenario-result/v1"
+    assert record["scenario"] == "SYN-01-STLB-THRASH"
+    assert record["cycles"] > 0
+
+
+def test_scenario_run_unknown_name(capsys):
+    assert main(["scenario", "run", "NO-SUCH-SCENARIO",
+                 "--no-cache"]) == 1
+    assert "scenario error" in capsys.readouterr().err
