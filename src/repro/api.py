@@ -58,10 +58,11 @@ from repro.experiments.parallel import configure as _configure_parallel
 from repro.experiments.runner import (DEFAULT_INSTRUCTIONS, DEFAULT_WARMUP,
                                       RunResult, run_benchmark)
 from repro.obs import DEFAULT_SAMPLE_INTERVAL, Profiler
-from repro.params import (DEFAULT_SCALE, ENHANCEMENT_PRESET_NAMES,
-                          CacheConfig, EnhancementConfig, IdealConfig,
-                          SimConfig, TLBConfig, canonical_policy,
-                          default_config, enhancement_preset, paper_config)
+from repro.params import (BACKENDS, DEFAULT_SCALE,
+                          ENHANCEMENT_PRESET_NAMES, CacheConfig,
+                          EnhancementConfig, IdealConfig, SimConfig,
+                          TLBConfig, canonical_policy, default_config,
+                          enhancement_preset, paper_config)
 from repro.scenarios import (ScenarioDoc, ScenarioError, ScenarioResult,
                              list_scenarios, load_scenario, run_scenario,
                              validate_scenario)
@@ -69,7 +70,7 @@ from repro.workloads.registry import benchmark_names
 
 #: Version of this facade.  Bumped on compatible additions (minor) and
 #: on breaking changes (major); ``tests/test_api_surface.py`` pins it.
-__api_version__ = "1.2"
+__api_version__ = "1.3"
 
 __all__ = [
     # entry points
@@ -87,8 +88,8 @@ __all__ = [
     "EnhancementConfig", "IdealConfig",
     # constants
     "DEFAULT_INSTRUCTIONS", "DEFAULT_WARMUP", "DEFAULT_SCALE",
-    "DEFAULT_SAMPLE_INTERVAL", "ENHANCEMENT_PRESET_NAMES", "Profiler",
-    "__api_version__",
+    "DEFAULT_SAMPLE_INTERVAL", "ENHANCEMENT_PRESET_NAMES", "BACKENDS",
+    "Profiler", "__api_version__",
 ]
 
 

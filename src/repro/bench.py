@@ -50,22 +50,34 @@ class BenchCase:
     scale: int = 16
     instructions: int = 200_000
     warmup: int = 20_000
+    #: Execution backend (``SimConfig.backend``): the scalar reference
+    #: core or the vectorized batch core.
+    backend: str = "python"
 
     @property
     def key(self) -> str:
         return (f"{self.benchmark}/{self.enhancements}"
-                f"/s{self.scale}/{self.instructions}")
+                f"/s{self.scale}/{self.instructions}/{self.backend}")
 
 
 #: The pinned matrix.  Memory-pressure workloads at reduced scale: small
 #: caches keep miss/eviction/walk rates high, so the run exercises the
 #: flat-store datapath, the MSHRs, the page-table walker and the
-#: recall trackers rather than idling in hit loops.  Changing this list
-#: invalidates the committed baseline (see docs/performance.md).
+#: recall trackers rather than idling in hit loops.  ``compute`` is the
+#: hit-friendly counterweight where the ``numpy`` backend's fast path
+#: engages most (see docs/performance.md for the per-backend numbers).
+#: Every entry runs under both backends so the regression gate covers
+#: the vectorized core too.  Changing this list invalidates the
+#: committed baseline (see docs/performance.md).
 WORKLOAD_MATRIX: Tuple[BenchCase, ...] = (
     BenchCase("pr"),
     BenchCase("radii"),
     BenchCase("canneal"),
+    BenchCase("compute"),
+    BenchCase("pr", backend="numpy"),
+    BenchCase("radii", backend="numpy"),
+    BenchCase("canneal", backend="numpy"),
+    BenchCase("compute", backend="numpy"),
 )
 
 
@@ -149,6 +161,8 @@ def _run_case(case: BenchCase, repeats: int) -> Dict:
     cfg = paper_config() if case.scale == 1 else default_config(case.scale)
     if case.enhancements != "none":
         cfg = cfg.with_(enhancements=case.enhancements)
+    if case.backend != "python":
+        cfg = cfg.with_(backend=case.backend)
     best: Optional[Dict] = None
     for _ in range(max(1, repeats)):
         profiler = Profiler()
@@ -166,6 +180,7 @@ def _run_case(case: BenchCase, repeats: int) -> Dict:
             "scale": case.scale,
             "instructions": case.instructions,
             "warmup": case.warmup,
+            "backend": case.backend,
             "wall_s": round(wall, 4),
             "accesses": accesses,
             "accesses_per_sec": round(accesses / wall, 1),
@@ -196,11 +211,23 @@ def run_bench(matrix: Sequence[BenchCase] = WORKLOAD_MATRIX,
     configs: List[Dict] = []
     total_wall = 0.0
     total_accesses = 0
+    per_backend: Dict[str, Dict[str, float]] = {}
     for case in matrix:
         entry = _run_case(case, repeats)
         configs.append(entry)
         total_wall += entry["wall_s"]
         total_accesses += entry["accesses"]
+        acc = per_backend.setdefault(case.backend,
+                                     {"wall_s": 0.0, "accesses": 0})
+        acc["wall_s"] += entry["wall_s"]
+        acc["accesses"] += entry["accesses"]
+    by_backend = {
+        backend: {
+            "wall_s": round(acc["wall_s"], 4),
+            "accesses": acc["accesses"],
+            "accesses_per_sec": round(acc["accesses"] / acc["wall_s"], 1),
+        }
+        for backend, acc in sorted(per_backend.items())}
     peak_rss_kb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
     document = {
         "schema": BENCH_SCHEMA,
@@ -216,6 +243,10 @@ def run_bench(matrix: Sequence[BenchCase] = WORKLOAD_MATRIX,
             "accesses": total_accesses,
             "accesses_per_sec": round(total_accesses / total_wall, 1),
             "peak_rss_kb": peak_rss_kb,
+            # Per-execution-backend breakdown, so the regression gate
+            # can hold the vectorized core to the same floor as the
+            # scalar reference (absent from pre-backend baselines).
+            "by_backend": by_backend,
         },
     }
     path = None
@@ -288,10 +319,40 @@ def compare_to_baseline(document: Dict, baseline: Dict,
         machine_ratio = cal_now / cal_then
         expected = recorded * machine_ratio
     floor = expected * (1.0 - threshold)
-    mismatched = [c["benchmark"] for c in document["configs"]] != \
-                 [c["benchmark"] for c in baseline["configs"]]
+
+    def _identity(cfg: Dict) -> Tuple[str, str]:
+        # Pre-backend documents carry no "backend" field; they ran the
+        # scalar reference core.
+        return cfg["benchmark"], cfg.get("backend", "python")
+
+    mismatched = [_identity(c) for c in document["configs"]] != \
+                 [_identity(c) for c in baseline["configs"]]
+
+    # Per-backend floors: when both documents break the aggregate down
+    # by execution backend, each backend must clear its own scaled
+    # floor -- a vectorized-core regression can't hide behind a fast
+    # scalar run (or vice versa).  Baselines predating the backend
+    # split skip this and gate on the aggregate alone.
+    backends = {}
+    backends_ok = True
+    doc_bb = document["aggregate"].get("by_backend") or {}
+    base_bb = baseline["aggregate"].get("by_backend") or {}
+    for backend in sorted(set(doc_bb) & set(base_bb)):
+        b_recorded = base_bb[backend]["accesses_per_sec"]
+        b_expected = b_recorded * (machine_ratio
+                                   if machine_ratio is not None else 1.0)
+        b_floor = b_expected * (1.0 - threshold)
+        b_current = doc_bb[backend]["accesses_per_sec"]
+        b_ok = b_current >= b_floor
+        backends_ok = backends_ok and b_ok
+        backends[backend] = {
+            "ok": b_ok,
+            "current_aps": b_current,
+            "baseline_aps": b_recorded,
+            "floor_aps": round(b_floor, 1),
+        }
     return {
-        "ok": current >= floor and not mismatched,
+        "ok": current >= floor and backends_ok and not mismatched,
         "current_aps": current,
         "baseline_aps": recorded,
         "machine_ratio": machine_ratio,
@@ -299,6 +360,7 @@ def compare_to_baseline(document: Dict, baseline: Dict,
         "floor_aps": round(floor, 1),
         "threshold": threshold,
         "matrix_mismatch": mismatched,
+        "backends": backends,
     }
 
 
@@ -327,7 +389,8 @@ def cmd_bench(args) -> int:
     doc = result.document
     for entry in doc["configs"]:
         print(f"{entry['benchmark']:>10}/{entry['enhancements']}"
-              f"/s{entry['scale']}/{entry['instructions']}: "
+              f"/s{entry['scale']}/{entry['instructions']}"
+              f"/{entry.get('backend', 'python')}: "
               f"{entry['accesses_per_sec']:>9.0f} acc/s "
               f"({entry['wall_s']:.2f}s wall, "
               f"sim {entry['phases'].get('simulate', 0.0):.2f}s, "
@@ -336,6 +399,9 @@ def cmd_bench(args) -> int:
     print(f"{'AGGREGATE':>10}: {agg['accesses_per_sec']:>9.0f} acc/s "
           f"({agg['wall_s']:.2f}s wall, {agg['accesses']} accesses, "
           f"peak RSS {agg['peak_rss_kb']} kB)")
+    for backend, entry in agg.get("by_backend", {}).items():
+        print(f"{backend:>10}: {entry['accesses_per_sec']:>9.0f} acc/s "
+              f"({entry['wall_s']:.2f}s wall)")
     if result.path is not None:
         print(f"wrote {result.path}")
 
@@ -355,6 +421,10 @@ def cmd_bench(args) -> int:
         print(f"baseline   : {verdict['baseline_aps']:.0f} acc/s"
               f"{scale_note} -> floor {verdict['floor_aps']:.0f}; "
               f"current {verdict['current_aps']:.0f} [{status}]")
+        for backend, sub in verdict["backends"].items():
+            sub_status = "OK" if sub["ok"] else "REGRESSION"
+            print(f"  {backend:>9}: floor {sub['floor_aps']:.0f}; "
+                  f"current {sub['current_aps']:.0f} [{sub_status}]")
         if args.check_regression and not verdict["ok"]:
             return 1
     elif args.check_regression:

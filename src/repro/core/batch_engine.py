@@ -1,0 +1,430 @@
+"""Vectorized batch-simulation backend (``SimConfig.backend == "numpy"``).
+
+:class:`BatchCore` is a drop-in replacement for
+:class:`repro.core.ooo_core.OOOCore` that processes the trace in windows.
+Each window is classified once with the numpy kernels in
+:mod:`repro.cache.batch` against start-of-window snapshots of the DTLB
+and L1D: set-index/VPN split, TLB probe, physical line computation and
+L1D tag match all happen as array operations, yielding a *fast-path
+candidate* mask plus per-access VPN/line columns.  The window then drains
+through one fused scalar loop:
+
+* a candidate access is revalidated with three O(1) probes (VPN still in
+  its DTLB set, line still resident, no MSHR fill in flight) and, when
+  they hold, takes an inlined hit path -- engine recurrences plus the
+  exact side-effect set of the scalar DTLB-hit/L1D-hit path (LRU/TLB
+  stamps, reused/dirty bits) with counters accumulated per window;
+* everything else (misses, walks, MSHR conflicts, accesses invalidated
+  by an earlier event in the window) goes through the *real*
+  ``hierarchy.load``/``store`` -- identical by construction.
+
+Bit-identity argument (pinned by ``tests/test_backend_parity.py`` and
+the ``repro.validate`` fuzz axis):
+
+* Page-table mappings are immutable once allocated, so the physical line
+  computed at classification time stays correct for the whole window;
+  only *residency* can change, and the revalidation probes check exactly
+  that against live state.  A stale "candidate" therefore falls through
+  to the scalar path rather than mis-simulating.
+* The inlined hit path reproduces the scalar side effects exactly: the
+  DTLB/LRU clocks advance by one per touch (kept in locals, synced
+  around every scalar excursion), dict stamp assignment preserves
+  insertion order, reused/dirty writes are idempotent, and the deferred
+  counter adds are plain integer arithmetic whose total is
+  order-independent.
+* Configurations with per-hit side effects the fast path does not model
+  (frontend, huge pages, L1D prefetchers, non-LRU L1D policy, comparison
+  modes, attached checkers/samplers/tracers, instance-patched hot
+  methods) are refused wholesale: :func:`vector_ineligibility` routes
+  the entire run through an ordinary :class:`OOOCore`.
+
+The engine recurrences below are verbatim copies of ``OOOCore.run`` --
+divergence there is divergence in cycles, which the parity suite pins.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional
+
+import numpy as np
+
+from repro.cache.batch import TLBMirror, flag_view
+from repro.core.ooo_core import CoreResult, OOOCore
+from repro.core.rob import StallAccounting
+from repro.params import LINE_SHIFT, PAGE_SHIFT, SimConfig
+from repro.uncore.hierarchy import MemoryHierarchy
+from repro.workloads.trace import KIND_LOAD, KIND_NONMEM
+
+#: Classification window (instructions).  Large enough to amortize the
+#: numpy call overhead (~tens of microseconds per window), small enough
+#: that start-of-window residency snapshots stay mostly fresh.
+DEFAULT_WINDOW = 1024
+
+_PAGE_OFF_MASK = (1 << PAGE_SHIFT) - 1
+_PFN_TO_LINE = PAGE_SHIFT - LINE_SHIFT
+
+
+def vector_ineligibility(config: SimConfig,
+                         hierarchy: MemoryHierarchy) -> Optional[str]:
+    """Why this machine cannot take the vectorized fast path (or None).
+
+    Every condition here names scalar state or a per-hit side effect the
+    fast path does not model; ineligible runs execute on the scalar core
+    and remain bit-identical by construction.
+    """
+    if config.model_frontend or hierarchy.frontend is not None:
+        return "frontend modelled (per-instruction fetch path)"
+    if config.huge_page_policy != "none" \
+            or hierarchy.page_table.huge_page_predicate is not None:
+        return "huge-page policy active (per-access key/sub split)"
+    if config.comparison != "none" \
+            or hierarchy.mmu.dead_page_predictor is not None:
+        return "comparison mode active (predictor side effects)"
+    l1d = hierarchy.l1d
+    if config.l1d_prefetcher != "none" or l1d.prefetcher is not None \
+            or hierarchy.ipcp is not None:
+        return "L1D prefetcher attached (per-hit training)"
+    if l1d.policy.name != "lru":
+        return f"L1D policy {l1d.policy.name!r} (fast path models LRU)"
+    if l1d.recall_translation is not None:
+        return "L1D recall tracking attached"
+    dtlb = hierarchy.mmu.dtlb
+    if dtlb.recall is not None or dtlb.observer is not None:
+        return "DTLB recall/observer attached"
+    return None
+
+
+class BatchCore:
+    """Windowed vectorized core, bit-identical to :class:`OOOCore`."""
+
+    backend = "numpy"
+
+    def __init__(self, config: SimConfig, hierarchy: MemoryHierarchy,
+                 cpu_id: int = 0, window: int = DEFAULT_WINDOW):
+        self.config = config
+        self.hierarchy = hierarchy
+        self.cpu_id = cpu_id
+        self.window = window
+        core = config.core
+        self.rob_entries = core.rob_entries
+        self.dispatch_width = core.dispatch_width
+        self.retire_width = core.retire_width
+        self.nonmem_latency = core.nonmem_latency
+        #: Why the last ``run`` fell back to the scalar core (or None).
+        self.last_fallback_reason: Optional[str] = None
+        self._static_reason = vector_ineligibility(config, hierarchy)
+        self._scalar_core: Optional[OOOCore] = None
+        self._dtlb_mirror: Optional[TLBMirror] = None
+
+    # ------------------------------------------------------------------
+    def _scalar(self) -> OOOCore:
+        if self._scalar_core is None:
+            self._scalar_core = OOOCore(self.config, self.hierarchy,
+                                        self.cpu_id)
+        return self._scalar_core
+
+    def _runtime_reason(self) -> Optional[str]:
+        h = self.hierarchy
+        if h.checker is not None:
+            return "runtime checkers attached (per-event hooks)"
+        if h.sampler is not None or h.tracer is not None \
+                or h.mmu.tracer is not None:
+            return "sampler/tracer attached (per-event hooks)"
+        # The oracle and some tests shadow bound methods on *instances*;
+        # a shadowed hot method means per-access hooks we must honour.
+        for obj, name in ((h, "load"), (h, "store"), (h.l1d, "access"),
+                          (h.mmu, "translate"), (h.mmu.dtlb, "lookup")):
+            if name in getattr(obj, "__dict__", {}):
+                return f"instance-patched {type(obj).__name__}.{name}"
+        return None
+
+    # ------------------------------------------------------------------
+    def run(self, trace, warmup: int = 0,
+            limit: Optional[int] = None) -> CoreResult:
+        """Execute ``trace``; same contract as :meth:`OOOCore.run`."""
+        reason = self._static_reason or self._runtime_reason()
+        if reason is not None:
+            self.last_fallback_reason = reason
+            return self._scalar().run(trace, warmup, limit)
+        self.last_fallback_reason = None
+
+        hierarchy = self.hierarchy
+        trace_ips, trace_kinds = trace.ips, trace.kinds
+        trace_addrs, trace_deps = trace.addrs, trace.deps
+        # Kernels want arrays; the drain loop wants plain lists (native
+        # ints -- np.int64 leaking into cycle arithmetic would poison
+        # JSON exports downstream).
+        kinds_np = np.asarray(trace_kinds, dtype=np.int8)
+        addrs_np = np.asarray(trace_addrs, dtype=np.int64)
+        ips_l = (trace_ips.tolist() if hasattr(trace_ips, "tolist")
+                 else list(trace_ips))
+        kinds_l = kinds_np.tolist()
+        addrs_l = addrs_np.tolist()
+        deps_l = (trace_deps.tolist() if hasattr(trace_deps, "tolist")
+                  else list(trace_deps))
+
+        l1d = hierarchy.l1d
+        mmu = hierarchy.mmu
+        dtlb = mmu.dtlb
+        if self._dtlb_mirror is None or self._dtlb_mirror.tlb is not dtlb:
+            self._dtlb_mirror = TLBMirror(dtlb)
+        dtlb_mirror = self._dtlb_mirror
+        store = l1d.store
+        pref_view = flag_view(store.is_prefetch)
+        dead_view = flag_view(store.dead_on_hit)
+
+        # Live scalar structures the fast path touches directly.
+        dtlb_sets = dtlb._sets
+        dtlb_num_sets = dtlb.num_sets
+        slot_of_get = store.slot_of.get
+        inflight = l1d.mshr._inflight
+        reused_col = store.reused
+        dirty_col = store.dirty
+        policy = l1d.policy
+        pstamp = policy._stamp
+        dtlb_lat = dtlb.latency
+        l1d_lat = l1d.latency
+        hierarchy_load = hierarchy.load
+        hierarchy_store = hierarchy.store
+        stats = l1d.stats
+        resp_counts = hierarchy.response_distribution.counts["non_replay"]
+
+        total = len(ips_l)
+        if limit is not None:
+            total = min(limit, total)
+
+        stalls = StallAccounting()
+        record_load = stalls.record_load_stall
+        record_other = stalls.record_other_stall
+        rob_entries = self.rob_entries
+        dispatch_width = self.dispatch_width
+        retire_width = self.retire_width
+        nonmem_latency = self.nonmem_latency
+        kind_load, kind_nonmem = KIND_LOAD, KIND_NONMEM
+
+        chain_completion = 0
+        dispatch_cycle = 0
+        dispatch_slots = 0
+        retire_cycle = 0
+        retire_slots = 0
+        retire_times: Deque[int] = deque()
+        popleft = retire_times.popleft
+        append = retire_times.append
+        n_rt = 0
+        roi_start_cycle = 0
+        counting = warmup == 0
+        window = self.window
+
+        lo = 0
+        while lo < total:
+            if not counting and lo == warmup:
+                counting = True
+                roi_start_cycle = retire_cycle
+                hierarchy.reset_stats()
+                # reset_stats rebinds these objects; re-capture them.
+                stats = l1d.stats
+                resp_counts = hierarchy.response_distribution.counts[
+                    "non_replay"]
+            hi = lo + window
+            if hi > total:
+                hi = total
+            if not counting and hi > warmup:
+                hi = warmup  # windows never straddle the ROI boundary
+
+            # -- classify window [lo, hi) with the array kernels --------
+            # The DTLB probe is the workhorse: it yields both the hit
+            # mask and the PFNs, letting the physical line addresses be
+            # computed vectorially for the whole window.  L1D residency
+            # and MSHR conflicts are *not* pre-screened here -- the drain
+            # loop's O(1) dict probes decide those authoritatively, and
+            # a vector pre-screen would only duplicate them against a
+            # snapshot that same-window fills/evictions invalidate.
+            addrs_w = addrs_np[lo:hi]
+            kinds_w = kinds_np[lo:hi]
+            vpns_w = addrs_w >> PAGE_SHIFT
+            dhit, pfns = dtlb_mirror.probe(vpns_w)
+            lines_w = (pfns << _PFN_TO_LINE) | ((addrs_w & _PAGE_OFF_MASK)
+                                                >> LINE_SHIFT)
+            cand = (kinds_w != kind_nonmem) & dhit
+            # ATP/TEMPO-style fills would set these columns; eligible
+            # configs never do, but a live check keeps the path honest.
+            if pref_view.any() or dead_view.any():
+                cand &= False
+            cand_l = cand.tolist()
+            vpns_l = vpns_w.tolist()
+            lines_l = lines_w.tolist()
+
+            # Per-window deferred counters (flushed after the loop).
+            n_fast_mem = 0
+            n_fast_loads = 0
+            clock_d = dtlb._clock
+            clock_p = policy._clock
+
+            # -- fused drain loop ---------------------------------------
+            for i in range(lo, hi):
+                # dispatch (verbatim OOOCore recurrence)
+                dc = dispatch_cycle
+                if n_rt >= rob_entries:
+                    free_at = popleft()
+                    n_rt -= 1
+                    if free_at > dc:
+                        dc = free_at
+                        dispatch_slots = 0
+                if dc > dispatch_cycle:
+                    dispatch_cycle = dc
+                    dispatch_slots = 0
+                dispatch_slots += 1
+                if dispatch_slots >= dispatch_width:
+                    dispatch_cycle += 1
+                    dispatch_slots = 0
+
+                kind = kinds_l[i]
+                is_load = kind == kind_load
+                if kind == kind_nonmem:
+                    completion = dc + nonmem_latency
+                    # retire (shared epilogue below)
+                    earliest = retire_cycle
+                    if retire_slots >= retire_width:
+                        earliest += 1
+                    if earliest < dc + 1:
+                        earliest = dc + 1
+                    if completion > earliest:
+                        if counting:
+                            record_other(completion - earliest)
+                        rt = completion
+                    else:
+                        rt = earliest
+                    if rt > retire_cycle:
+                        retire_cycle = rt
+                        retire_slots = 1
+                    else:
+                        retire_slots += 1
+                    append(rt)
+                    n_rt += 1
+                    continue
+
+                j = i - lo
+                if cand_l[j]:
+                    vpn = vpns_l[j]
+                    line = lines_l[j]
+                    entries = dtlb_sets[vpn % dtlb_num_sets]
+                    slot = slot_of_get(line)
+                    if vpn in entries and slot is not None \
+                            and line not in inflight:
+                        # -- inlined DTLB-hit/L1D-hit path --------------
+                        if is_load:
+                            issue_at = dc
+                            if deps_l[i] and chain_completion > issue_at:
+                                issue_at = chain_completion
+                            translation_done = issue_at + dtlb_lat
+                            completion = translation_done + l1d_lat
+                            if deps_l[i]:
+                                chain_completion = completion
+                            n_fast_loads += 1
+                        else:
+                            completion = dc + nonmem_latency
+                        n_fast_mem += 1
+                        clock_d += 1
+                        entries[vpn] = clock_d
+                        reused_col[slot] = 1
+                        if not is_load:
+                            dirty_col[slot] = 1
+                        clock_p += 1
+                        pstamp[slot] = clock_p
+
+                        earliest = retire_cycle
+                        if retire_slots >= retire_width:
+                            earliest += 1
+                        if earliest < dc + 1:
+                            earliest = dc + 1
+                        if completion > earliest:
+                            if counting:
+                                if is_load:
+                                    record_load(
+                                        completion - earliest, False,
+                                        translation_pending=translation_done
+                                        - earliest)
+                                else:
+                                    record_other(completion - earliest)
+                            rt = completion
+                        else:
+                            rt = earliest
+                        if rt > retire_cycle:
+                            retire_cycle = rt
+                            retire_slots = 1
+                        else:
+                            retire_slots += 1
+                        append(rt)
+                        n_rt += 1
+                        continue
+
+                # -- full scalar excursion (misses, walks, conflicts,
+                #    revalidation failures) ----------------------------
+                dtlb._clock = clock_d
+                policy._clock = clock_p
+                is_replay = False
+                translation_done = dc
+                if is_load:
+                    issue_at = dc
+                    if deps_l[i] and chain_completion > issue_at:
+                        issue_at = chain_completion
+                    res = hierarchy_load(addrs_l[i], issue_at, ips_l[i])
+                    completion = res.data_done
+                    is_replay = res.is_replay
+                    translation_done = res.translation_done
+                    if deps_l[i]:
+                        chain_completion = completion
+                else:
+                    hierarchy_store(addrs_l[i], dc, ips_l[i])
+                    completion = dc + nonmem_latency
+                clock_d = dtlb._clock
+                clock_p = policy._clock
+
+                earliest = retire_cycle
+                if retire_slots >= retire_width:
+                    earliest += 1
+                if earliest < dc + 1:
+                    earliest = dc + 1
+                if completion > earliest:
+                    if counting:
+                        if is_load:
+                            record_load(
+                                completion - earliest, is_replay,
+                                translation_pending=translation_done
+                                - earliest)
+                        else:
+                            record_other(completion - earliest)
+                    rt = completion
+                else:
+                    rt = earliest
+                if rt > retire_cycle:
+                    retire_cycle = rt
+                    retire_slots = 1
+                else:
+                    retire_slots += 1
+                append(rt)
+                n_rt += 1
+
+            # -- flush deferred fast-path state -------------------------
+            dtlb._clock = clock_d
+            policy._clock = clock_p
+            if n_fast_mem:
+                n_fast_stores = n_fast_mem - n_fast_loads
+                hierarchy.loads += n_fast_loads
+                hierarchy.stores += n_fast_stores
+                if n_fast_loads:
+                    # Only loads record a response-distribution sample
+                    # (stores are buffered; see MemoryHierarchy.store).
+                    resp_counts["L1D"] += n_fast_loads
+                mmu.translations += n_fast_mem
+                dtlb.accesses += n_fast_mem
+                dtlb.hits += n_fast_mem
+                stats.accesses["non_replay"] += n_fast_mem
+                stats.hits["non_replay"] += n_fast_mem
+            lo = hi
+
+        instructions = total - warmup if warmup < total else 0
+        cycles = max(1, retire_cycle - roi_start_cycle)
+        return CoreResult(instructions=instructions, cycles=cycles,
+                          stalls=stalls, hierarchy=hierarchy)

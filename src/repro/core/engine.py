@@ -18,6 +18,23 @@ from repro.uncore.hierarchy import MemoryHierarchy
 from repro.workloads.trace import KIND_LOAD, KIND_STORE
 
 
+def make_core(config, hierarchy: MemoryHierarchy, cpu_id: int = 0):
+    """Backend-selecting core factory (``config.backend``).
+
+    ``"python"`` builds the reference scalar :class:`OOOCore`;
+    ``"numpy"`` builds the window-draining vectorized
+    :class:`repro.core.batch_engine.BatchCore`, which itself falls back
+    to the scalar core whenever the configuration or attached
+    instrumentation demands per-event fidelity.  Multi-stream execution
+    (SMT, multicore) always uses the scalar :class:`ThreadState` path.
+    """
+    if config.backend == "numpy":
+        from repro.core.batch_engine import BatchCore
+        return BatchCore(config, hierarchy, cpu_id)
+    from repro.core.ooo_core import OOOCore
+    return OOOCore(config, hierarchy, cpu_id)
+
+
 class ThreadState:
     """One instruction stream executing on (a partition of) a core."""
 

@@ -10,7 +10,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
-from repro.core.ooo_core import CoreResult, OOOCore
+from repro.core.engine import make_core
+from repro.core.ooo_core import CoreResult
 from repro.core.rob import StallCategory
 from repro.params import DEFAULT_SCALE, SimConfig, default_config
 from repro.uncore.hierarchy import MemoryHierarchy
@@ -226,7 +227,7 @@ def run_benchmark(name: str, config: Optional[SimConfig] = None,
                            seed=seed)
     with _phase(profiler, "build"):
         hierarchy = MemoryHierarchy(cfg)
-        core = OOOCore(cfg, hierarchy)
+        core = make_core(cfg, hierarchy)
     sampler = None
     if sample_interval is not None:
         from repro.obs import IntervalSampler

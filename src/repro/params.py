@@ -29,6 +29,13 @@ VA_BITS = 57
 #: Capacity divisor used by :func:`default_config`.
 DEFAULT_SCALE = 16
 
+#: Simulation backends selectable via ``SimConfig.with_(backend=...)``.
+#: ``python`` is the reference scalar interpreter loop; ``numpy`` batch-
+#: processes access windows against the flat column arrays of
+#: :class:`repro.cache.store.CacheStore` and is required to be
+#: bit-identical (``tests/test_backend_parity.py``, ``repro.validate``).
+BACKENDS = ("python", "numpy")
+
 
 # ----------------------------------------------------------------------
 # Public-name normalisation
@@ -353,7 +360,17 @@ class SimConfig:
     stlb_fill_latency: int = 2
     #: Track recall distances (Figs 5/7/18); small runtime cost.
     track_recall: bool = True
+    #: Simulation backend: "python" (reference scalar loop) or "numpy"
+    #: (vectorized batch windows with a scalar fallback for complex
+    #: events).  Both are bit-identical by construction and by test.
+    backend: str = "python"
     seed: int = 1
+
+    def __post_init__(self):
+        if self.backend not in BACKENDS:
+            raise ValueError(
+                f"unknown backend {self.backend!r}; known: "
+                f"{' '.join(BACKENDS)}")
 
     def with_(self, **overrides) -> "SimConfig":
         """Return a copy with the given fields overridden.

@@ -11,6 +11,13 @@ ready-to-paste regression test.
 Everything is seeded: the same seed always produces the same stream,
 variant and outcome, so CI failures replay locally with
 ``python -m repro.validate.fuzz <seed>`` or by pasting the generated test.
+
+The execution backend (``SimConfig.backend``) is a fuzzed dimension too:
+every stream additionally runs as a cross-backend differential --
+scalar ``python`` vs vectorized ``numpy``, checkers *off* so the vector
+fast path actually engages -- and any counter divergence
+(:func:`repro.validate.oracle.diff_counters`) shrinks through the same
+ddmin reducer as an invariant violation.
 """
 
 from __future__ import annotations
@@ -152,18 +159,51 @@ def run_case(case: FuzzCase) -> HierarchyChecker:
     return checker
 
 
-def shrink(case: FuzzCase, max_probes: int = 400) -> FuzzCase:
+def compare_backends(case: FuzzCase) -> dict:
+    """Cross-backend differential: run one stream under both execution
+    backends and return the counter divergence (empty dict == parity).
+
+    Unlike :func:`run_case`, no checker stack is attached -- attached
+    per-event hooks force :class:`repro.core.batch_engine.BatchCore`
+    into its scalar fallback, which would reduce this comparison to
+    scalar-vs-scalar.  The comparison surface is the full flattened
+    counter dict of :func:`repro.validate.oracle.hierarchy_counters`
+    plus retired-instruction/cycle/stall accounting.
+    """
+    from repro.core.engine import make_core
+    from repro.uncore.hierarchy import MemoryHierarchy
+    from repro.validate.oracle import diff_counters, hierarchy_counters
+
+    trace = ops_to_trace(case.ops)
+    counters = {}
+    for backend in ("python", "numpy"):
+        cfg = build_config(case.variant).with_(backend=backend)
+        hierarchy = MemoryHierarchy(cfg)
+        result = make_core(cfg, hierarchy).run(trace)
+        counters[backend] = hierarchy_counters(hierarchy, result)
+    return diff_counters(counters["python"], counters["numpy"])
+
+
+def shrink(case: FuzzCase, max_probes: int = 400,
+           fails_predicate=None) -> FuzzCase:
     """ddmin-style reduction: drop chunks of the stream while the
-    violation persists, halving the chunk size until single ops remain."""
+    failure persists, halving the chunk size until single ops remain.
+
+    ``fails_predicate`` (FuzzCase -> bool) selects what counts as a
+    failure; the default is the invariant-checker stack.  The backend
+    axis passes ``lambda sub: bool(compare_backends(sub))`` so the same
+    reducer shrinks cross-backend divergence."""
     ops = list(case.ops)
     probes = 0
+    predicate = fails_predicate or \
+        (lambda sub: bool(run_case(sub).violations))
 
     def fails(candidate: List[Op]) -> bool:
         nonlocal probes
         probes += 1
         sub = FuzzCase(seed=case.seed, variant=case.variant,
                        ops=tuple(candidate))
-        return bool(run_case(sub).violations)
+        return predicate(sub)
 
     if not fails(ops):
         return case  # not reproducible: return untouched for inspection
@@ -204,19 +244,51 @@ def test_fuzz_regression_seed_{case.seed}():
 '''
 
 
+def format_divergence(case: FuzzCase, diff: dict) -> str:
+    """A ready-to-paste pytest regression test for a backend divergence."""
+    ops_lines = "\n".join(f"        {op!r}," for op in case.ops)
+    keys = "; ".join(f"{k}: python={a} numpy={b}"
+                     for k, (a, b) in list(diff.items())[:3])
+    return f'''
+# --- auto-generated minimal reproducer (paste into tests/) -------------
+def test_fuzz_backend_divergence_seed_{case.seed}():
+    """Shrunk from fuzz seed {case.seed} ({case.variant} variant).
+
+    Diverging counter(s): {keys}
+    """
+    from repro.validate.fuzz import FuzzCase, compare_backends
+
+    case = FuzzCase(seed={case.seed}, variant={case.variant!r}, ops=(
+{ops_lines}
+    ))
+    assert compare_backends(case) == {{}}
+# ----------------------------------------------------------------------
+'''
+
+
 def fuzz_range(first_seed: int, count: int,
                shrink_failures: bool = True) -> List[str]:
     """Run ``count`` seeded streams; returns formatted reproducers for
-    every failure (empty list when all streams are clean)."""
+    every failure (empty list when all streams are clean).
+
+    Each seed runs twice: once through the invariant-checker + oracle
+    stack, and once as a scalar-vs-vectorized backend differential."""
     reports: List[str] = []
     for seed in range(first_seed, first_seed + count):
         case = make_case(seed)
         checker = run_case(case)
         if checker.violations:
             violations = list(checker.violations)
+            shrunk = shrink(case) if shrink_failures else case
+            reports.append(format_regression(shrunk, violations))
+        diff = compare_backends(case)
+        if diff:
+            shrunk = case
             if shrink_failures:
-                case = shrink(case)
-            reports.append(format_regression(case, violations))
+                shrunk = shrink(
+                    case,
+                    fails_predicate=lambda sub: bool(compare_backends(sub)))
+            reports.append(format_divergence(shrunk, diff))
     return reports
 
 

@@ -21,7 +21,7 @@ reporting false violations.  The exact-page-walker half of the oracle
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 from repro.memsys.request import AccessType, MemoryRequest
 from repro.validate.invariants import CheckContext
@@ -162,3 +162,83 @@ class CacheOracle:
                 f"set {set_idx} residency diverges: timed-only "
                 f"{sorted(map(hex, real - ref))}, reference-only "
                 f"{sorted(map(hex, ref - real))}")
+
+
+# ----------------------------------------------------------------------
+# Cross-backend differential comparison
+# ----------------------------------------------------------------------
+def hierarchy_counters(hierarchy, core_result=None) -> Dict[str, int]:
+    """Flatten every architectural counter into one ``{name: int}`` dict.
+
+    This is the comparison surface of the cross-backend oracle: two
+    simulations of the same trace under different execution backends
+    (``SimConfig.backend``) must produce *identical* dicts -- the batch
+    backend's contract is bit-identity, not statistical closeness.  Used
+    by ``tests/test_backend_parity.py`` and the ``backend`` axis of
+    :mod:`repro.validate.fuzz`.
+
+    ``core_result`` (a :class:`repro.core.ooo_core.CoreResult`) extends
+    the dict with retired-instruction/cycle counts and per-category
+    stall accounting.
+    """
+    out: Dict[str, int] = {
+        "loads": hierarchy.loads,
+        "stores": hierarchy.stores,
+        "mmu.translations": hierarchy.mmu.translations,
+        "mmu.walk_cycles_total": hierarchy.mmu.walk_cycles_total,
+        "walker.walks": hierarchy.mmu.walker.walks,
+        "walker.pte_reads": hierarchy.mmu.walker.pte_reads,
+        "dram.accesses": hierarchy.dram.accesses,
+        "dram.row_hits": hierarchy.dram.row_hits,
+        "dram.row_misses": hierarchy.dram.row_misses,
+    }
+    for tlb_name in ("dtlb", "stlb"):
+        tlb = getattr(hierarchy.mmu, tlb_name)
+        for ctr in ("accesses", "hits", "misses", "evictions"):
+            out[f"{tlb_name}.{ctr}"] = getattr(tlb, ctr)
+    for level in ("l1d", "l2c", "llc"):
+        cache = getattr(hierarchy, level)
+        stats = cache.stats
+        for table_name, table in (("accesses", stats.accesses),
+                                  ("hits", stats.hits),
+                                  ("misses", stats.misses)):
+            for cat, value in sorted(table.items()):
+                if value:
+                    out[f"{level}.{table_name}.{cat}"] = value
+        out[f"{level}.leaf_accesses"] = stats.leaf_accesses
+        out[f"{level}.leaf_hits"] = stats.leaf_hits
+        out[f"{level}.leaf_misses"] = stats.leaf_misses
+        out[f"{level}.prefetch_useful"] = stats.prefetch_useful
+        out[f"{level}.prefetch_fills"] = stats.prefetch_fills
+        out[f"{level}.writebacks_issued"] = cache.writebacks_issued
+        out[f"{level}.fills_bypassed"] = cache.fills_bypassed
+        out[f"{level}.back_invalidations"] = cache.back_invalidations
+        out[f"{level}.mshr.merges"] = cache.mshr.merges
+        out[f"{level}.mshr.allocations"] = cache.mshr.allocations
+        out[f"{level}.mshr.peak_occupancy"] = cache.mshr.peak_occupancy
+    for cat, levels in hierarchy.response_distribution.counts.items():
+        for lvl, value in sorted(levels.items()):
+            if value:
+                out[f"response.{cat}.{lvl}"] = value
+    if core_result is not None:
+        out["core.instructions"] = core_result.instructions
+        out["core.cycles"] = core_result.cycles
+        for cat, cstats in core_result.stalls.by_category.items():
+            out[f"stall.{cat.value}.total"] = cstats.total_cycles
+            out[f"stall.{cat.value}.events"] = cstats.events
+            out[f"stall.{cat.value}.max"] = cstats.max_cycles
+    return out
+
+
+def diff_counters(a: Dict[str, int], b: Dict[str, int]) -> Dict[str, tuple]:
+    """Keys on which two counter dicts disagree: ``{key: (a, b)}``.
+
+    Keys missing from one side compare against ``None``.  An empty dict
+    means the two runs were bit-identical on the compared surface.
+    """
+    out = {}
+    for key in sorted(set(a) | set(b)):
+        va, vb = a.get(key), b.get(key)
+        if va != vb:
+            out[key] = (va, vb)
+    return out

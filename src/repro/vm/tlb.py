@@ -7,7 +7,6 @@ than 40% of STLB entries are "dead", recall distance > 50).
 
 from __future__ import annotations
 
-import itertools
 from typing import Dict, List, Optional
 
 from repro.params import TLBConfig
@@ -26,7 +25,13 @@ class TLB:
         # Per-set: vpn -> lru timestamp; capacity num_ways.
         self._sets: List[Dict[int, int]] = [dict() for _ in range(self.num_sets)]
         self._frames: List[Dict[int, int]] = [dict() for _ in range(self.num_sets)]
-        self._clock = itertools.count(1)
+        # Plain int so the batch backend can bulk fast-forward it; the
+        # increment-then-stamp sequence below yields the exact values the
+        # old ``itertools.count(1)`` produced.
+        self._clock = 0
+        #: Set whenever residency changes; tells the numpy backend its
+        #: key/frame mirror (repro.cache.batch.TLBMirror) needs a rebuild.
+        self._mirror_stale = True
         self.accesses = 0
         self.hits = 0
         self.misses = 0
@@ -59,7 +64,8 @@ class TLB:
                 self.hits += 1
             if self.observer is not None:
                 self.observer.on_stlb_reuse(vpn)
-            entries[vpn] = next(self._clock)
+            self._clock += 1
+            entries[vpn] = self._clock
             return self._frames[set_idx][vpn]
         if count:
             self.misses += 1
@@ -83,8 +89,13 @@ class TLB:
                 self.recall.on_evict(set_idx, victim)
             if self.observer is not None:
                 self.observer.on_stlb_evict(victim)
-        entries[vpn] = 0 if bypass else next(self._clock)
+        if bypass:
+            entries[vpn] = 0
+        else:
+            self._clock += 1
+            entries[vpn] = self._clock
         frames[vpn] = pfn
+        self._mirror_stale = True
         if self.observer is not None:
             self.observer.on_stlb_fill(vpn, ip)
 
@@ -101,6 +112,7 @@ class TLB:
         for entries, frames in zip(self._sets, self._frames):
             entries.clear()
             frames.clear()
+        self._mirror_stale = True
 
     @property
     def miss_rate(self) -> float:

@@ -104,7 +104,7 @@ def test_api_trace_diff_accepts_documents():
 # v1.1 additions: bench, frozen SimConfig, facade-only CLI
 # ----------------------------------------------------------------------
 def test_api_version_pinned():
-    assert api.__api_version__ == "1.2"
+    assert api.__api_version__ == "1.3"
     assert "__api_version__" in api.__all__
 
 
@@ -233,6 +233,65 @@ def test_bench_verdict_rejects_degenerate_calibration():
         compare_to_baseline(doc(1000, 2e6), doc(0, 2e6))
     # Calibration-free documents still compare unscaled.
     assert compare_to_baseline(doc(1000, None), doc(1000, None))["ok"]
+
+
+# ----------------------------------------------------------------------
+# v1.3 additions: execution backends (scalar reference vs vectorized)
+# ----------------------------------------------------------------------
+def test_v13_exports_present():
+    assert "BACKENDS" in api.__all__
+    assert api.BACKENDS == ("python", "numpy")
+
+
+def test_build_config_accepts_backend_override():
+    cfg = api.build_config(backend="numpy")
+    assert cfg.backend == "numpy"
+    with pytest.raises(ValueError, match="backend"):
+        api.build_config(backend="fortran")
+
+
+def test_bench_entries_record_backend(tmp_path):
+    from repro.bench import BenchCase
+    tiny = (BenchCase("tc", instructions=2_000, warmup=500),
+            BenchCase("tc", instructions=2_000, warmup=500,
+                      backend="numpy"))
+    result = api.bench(matrix=tiny, out_dir=tmp_path)
+    doc = result.document
+    assert [e["backend"] for e in doc["configs"]] == ["python", "numpy"]
+    by_backend = doc["aggregate"]["by_backend"]
+    assert set(by_backend) == {"python", "numpy"}
+    assert all(e["accesses_per_sec"] > 0 for e in by_backend.values())
+    # Same trace, same simulated work under both backends.
+    assert doc["configs"][0]["accesses"] == doc["configs"][1]["accesses"]
+    assert doc["configs"][0]["cycles"] == doc["configs"][1]["cycles"]
+
+
+def test_bench_verdict_gates_each_backend():
+    from repro.bench import compare_to_baseline
+
+    def doc(aps, by_backend):
+        return {"aggregate": {"accesses_per_sec": aps,
+                              "by_backend": by_backend},
+                "calibration_ops_per_sec": None,
+                "configs": [{"benchmark": "tc"}]}
+
+    def bb(python, numpy):
+        return {"python": {"accesses_per_sec": python},
+                "numpy": {"accesses_per_sec": numpy}}
+
+    base = doc(1000, bb(1000, 1000))
+    assert compare_to_baseline(doc(1000, bb(1000, 1000)), base)["ok"]
+    # A numpy-only collapse fails even when the aggregate still clears.
+    verdict = compare_to_baseline(doc(950, bb(1100, 700)), base)
+    assert not verdict["ok"]
+    assert verdict["backends"]["numpy"]["ok"] is False
+    assert verdict["backends"]["python"]["ok"] is True
+    # Pre-backend baselines (no by_backend) gate on the aggregate only.
+    legacy = {"aggregate": {"accesses_per_sec": 1000},
+              "calibration_ops_per_sec": None,
+              "configs": [{"benchmark": "tc"}]}
+    verdict = compare_to_baseline(doc(950, bb(1100, 700)), legacy)
+    assert verdict["ok"] and verdict["backends"] == {}
 
 
 def test_calibrate_guards_sub_resolution_timer(monkeypatch):

@@ -11,13 +11,24 @@ from repro.experiments.runner import run_benchmark
 from repro.params import paper_config
 
 
+@pytest.mark.parametrize("backend", ["python", "numpy"])
 @pytest.mark.parametrize("name", ["pr", "xalancbmk"])
-def test_paper_config_runs(name):
-    cfg = paper_config()
+def test_paper_config_runs(name, backend):
+    cfg = paper_config().with_(backend=backend)
     r = run_benchmark(name, config=cfg, instructions=6000, warmup=1500,
                       scale=16)  # workload footprints stay reduced
     assert r.cycles > 0
     assert 0.0 < r.ipc < cfg.core.retire_width
+
+
+def test_paper_config_backends_agree():
+    """Full-size Table I machine: both backends report identical runs."""
+    results = {
+        backend: run_benchmark(
+            "pr", config=paper_config().with_(backend=backend),
+            instructions=6000, warmup=1500, scale=16)
+        for backend in ("python", "numpy")}
+    assert results["python"].summary() == results["numpy"].summary()
 
 
 def test_full_size_caches_absorb_reduced_footprints():
