@@ -1,7 +1,8 @@
 # Convenience targets for the reproduction repo.
 
 .PHONY: install test bench bench-baseline accuracy figures figures-fast \
-	figures-check figures-observed scenarios fuzz calibrate all
+	figures-check figures-observed scenarios serve-smoke fuzz \
+	calibrate all
 
 install:
 	pip install -e . --no-build-isolation
@@ -84,6 +85,14 @@ scenarios:
 		RL-02-PHASED-PIPELINE \
 		--instructions 12000 --warmup 2000 --no-cache \
 		--out scenario-artifacts/scenario-results.jsonl
+
+# End-to-end sweep-service smoke (docs/service.md): boot the HTTP
+# service on an ephemeral port, submit a tiny run + one scenario,
+# wait on their event streams, assert the identical resubmission is a
+# store hit, and write the store manifest to service-artifacts/
+# (CI uploads it).
+serve-smoke:
+	PYTHONPATH=src python tools/serve_smoke.py
 
 # 200 deterministic fuzz streams through the checked hierarchy
 # (seed range 0..199; failures print ready-to-paste regression tests).

@@ -16,7 +16,7 @@ SEEDS = [1, 2, 3]
 
 def _study():
     speedups = {}
-    cfg = default_config().replace(enhancements=EnhancementConfig.full())
+    cfg = default_config().with_(enhancements=EnhancementConfig.full())
     for name in BENCHMARKS:
         base = run_benchmark_multi(name, SEEDS, instructions=20_000,
                                    warmup=WARMUP)

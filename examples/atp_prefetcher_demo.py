@@ -20,7 +20,7 @@ from repro.vm.address import make_va
 def replay_timeline(enable_atp: bool) -> None:
     enh = EnhancementConfig(t_drrip=True, t_ship=True, newsign=True,
                             atp=enable_atp)
-    cfg = default_config().replace(enhancements=enh)
+    cfg = default_config().with_(enhancements=enh)
     hierarchy = MemoryHierarchy(cfg)
 
     # Touch a set of pages so their leaf PTEs are resident at the L2C

@@ -26,7 +26,7 @@ def analyze(name, llc_policy="ship", enhancements=None, instructions=50_000):
     cfg = default_config()
     cfg.llc.replacement = llc_policy
     if enhancements:
-        cfg = cfg.replace(enhancements=enhancements)
+        cfg = cfg.with_(enhancements=enhancements)
     hierarchy = MemoryHierarchy(cfg)
     recorder = AccessRecorder(hierarchy.llc).attach()
     trace = make_trace(name, instructions, seed=1)

@@ -31,7 +31,7 @@ def run_multicore(mix, config, instructions, warmup):
 
 def compare(label, runner, mix, instructions=18_000, warmup=4_500):
     base_cfg = default_config()
-    enh_cfg = base_cfg.replace(enhancements=EnhancementConfig.full())
+    enh_cfg = base_cfg.with_(enhancements=EnhancementConfig.full())
     base = runner(mix, base_cfg, instructions, warmup)
     enh = runner(mix, enh_cfg, instructions, warmup)
     per_thread = [b.cycles / e.cycles for b, e in zip(base, enh)]

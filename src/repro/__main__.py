@@ -16,6 +16,11 @@ Subcommands::
     python -m repro scenario list                     # traffic-mix library
     python -m repro scenario validate --all           # lint the library
     python -m repro scenario run SYN-01-STLB-THRASH   # simulate a scenario
+    python -m repro serve                             # HTTP sweep service
+    python -m repro submit run pr --enhancements full --wait
+    python -m repro status <job-id>                   # job status
+    python -m repro result <job-id>                   # job payload
+    python -m repro cancel <job-id>                   # cancel pending job
     python -m repro list                              # what's available
 
 Figures come from the decorator registry
@@ -169,6 +174,13 @@ def _cmd_scenario(args) -> int:
     return cmd_scenario(args)
 
 
+def _cmd_service(args) -> int:
+    # The job-service subcommands (serve/submit/status/result/cancel)
+    # carry their body in repro.service.cli, imported lazily like the
+    # scenario tree.
+    return args.service_func(args)
+
+
 def _cmd_list(_args) -> int:
     print("benchmarks :", " ".join(api.list_benchmarks()))
     specs = api.figure_spec(None)
@@ -297,6 +309,12 @@ def main(argv=None) -> int:
     from repro.scenarios.cli import add_scenario_parser
     add_scenario_parser(sub)
     sub.choices["scenario"].set_defaults(func=_cmd_scenario)
+
+    # Job-service subcommands (docs/service.md), same lazy pattern.
+    from repro.service.cli import add_service_parsers
+    add_service_parsers(sub)
+    for name in ("serve", "submit", "status", "result", "cancel"):
+        sub.choices[name].set_defaults(func=_cmd_service)
 
     p_list = sub.add_parser("list", help="list benchmarks and figures")
     p_list.set_defaults(func=_cmd_list)

@@ -1,13 +1,18 @@
-"""Stable public facade for the reproduction.
+"""Stable public facade for the reproduction (v2).
 
 Everything a caller needs lives here; the deep module paths
-(``repro.experiments.runner``, ``repro.experiments.figures``, ...) remain
+(``repro.experiments.runner``, ``repro.service.core``, ...) remain
 importable but are implementation detail and may move between releases.
-The surface is intentionally small:
+The v2 surface promotes *job submission* to the front door:
 
-* :func:`run` -- simulate one benchmark, optionally observed
-  (``metrics=...`` exports a ``repro.obs/v1`` document) and/or traced
-  (``trace=...`` exports a ``repro.obs/trace-v1`` span trace);
+* :func:`submit` / :class:`JobHandle` / :class:`JobStatus` -- the async
+  in-process client of the sweep service: runs, scenarios, sweeps,
+  figures, benches and traces submitted as deduplicated, memoised jobs
+  (``await api.submit("run", benchmark="pr")``; see ``docs/service.md``);
+* :func:`serve` -- the HTTP sweep service (``python -m repro serve``:
+  ``POST /jobs``, ``GET /jobs/<id>/events``, ``GET /store/<digest>``);
+* :func:`run` -- simulate one benchmark synchronously, optionally
+  observed (``metrics=...``) and/or traced (``trace=...``);
 * :func:`trace` / :func:`trace_diff` -- request-level causal tracing:
   run-and-export, and cycle-delta attribution between two traced runs;
 * :func:`figure` / :func:`list_figures` -- regenerate any registered
@@ -15,28 +20,36 @@ The surface is intentionally small:
 * :func:`bench` -- the pinned performance-benchmark matrix
   (``python -m repro bench``; see ``docs/performance.md``);
 * :func:`run_scenario` / :func:`list_scenarios` / :func:`load_scenario`
-  -- the ``repro.scenario/v1`` traffic-mix DSL (``python -m repro
-  scenario``; see ``docs/scenarios.md``);
+  -- the ``repro.scenario/v1`` traffic-mix DSL (see ``docs/scenarios.md``);
 * :func:`build_config` / :func:`enhancement_preset` -- config builders
   around the frozen :class:`SimConfig` (derive variants with
   ``cfg.with_(...)``);
 * :class:`RunResult` / :class:`RunSummary` -- what runs return (live
   object vs. picklable snapshot);
 * :func:`configure_parallel` -- fan figure batches out over worker
-  processes with on-disk memoisation.
+  processes with on-disk memoisation (the CLI ``--jobs`` path).
 
 Quickstart::
 
+    import asyncio
     from repro import api
 
     base = api.run("pr")
     enhanced = api.run("pr", enhancements="full")
     print(enhanced.speedup_over(base))
 
-    observed = api.run("pr", enhancements="full", metrics="out.json")
-    print(len(observed.intervals), "intervals")
+    async def sweep():
+        handle = await api.submit("run", benchmark="pr",
+                                  enhancements="full")
+        await handle.wait()
+        return handle.summary()
+    print(asyncio.run(sweep()).ipc)
 
-    print(api.figure("fig14"))
+v1 -> v2: ``ParallelRunner`` / ``ResultCache`` / ``RunKey`` are demoted
+to internals.  They remain importable from here for compatibility but
+emit a one-time ``DeprecationWarning`` pointing at :func:`submit`; the
+shims ``JourneyTracer`` and ``SimConfig.replace`` are removed outright
+(see README "Migrating to api v2").
 
 ``tests/test_api_surface.py`` pins this module's exports; extend
 ``__all__`` deliberately, never remove from it within a major version.
@@ -52,8 +65,7 @@ from repro.bench import run_bench as _run_bench
 from repro.core.rob import StallCategory
 from repro.experiments import registry
 from repro.experiments.figures import FigureResult
-from repro.experiments.parallel import (ParallelRunner, ResultCache, RunKey,
-                                        RunSummary)
+from repro.experiments.parallel import RunSummary
 from repro.experiments.parallel import configure as _configure_parallel
 from repro.experiments.runner import (DEFAULT_INSTRUCTIONS, DEFAULT_WARMUP,
                                       RunResult, run_benchmark)
@@ -61,27 +73,31 @@ from repro.obs import DEFAULT_SAMPLE_INTERVAL, Profiler
 from repro.params import (BACKENDS, DEFAULT_SCALE,
                           ENHANCEMENT_PRESET_NAMES, CacheConfig,
                           EnhancementConfig, IdealConfig, SimConfig,
-                          TLBConfig, canonical_policy, default_config,
-                          enhancement_preset, paper_config)
+                          TLBConfig, _warn_once, canonical_policy,
+                          default_config, enhancement_preset, paper_config)
 from repro.scenarios import (ScenarioDoc, ScenarioError, ScenarioResult,
                              list_scenarios, load_scenario, run_scenario,
                              validate_scenario)
+from repro.service import (JobHandle, JobStatus, configure_service, serve,
+                           submit)
 from repro.workloads.registry import benchmark_names
 
 #: Version of this facade.  Bumped on compatible additions (minor) and
 #: on breaking changes (major); ``tests/test_api_surface.py`` pins it.
-__api_version__ = "1.3"
+__api_version__ = "2.0"
 
 __all__ = [
     # entry points
     "run", "figure", "figure_spec", "list_figures", "list_benchmarks",
     "configure_parallel", "trace", "trace_diff", "bench",
+    # jobs (the v2 front door; see docs/service.md)
+    "submit", "serve", "JobHandle", "JobStatus", "configure_service",
     # scenarios (repro.scenario/v1; see docs/scenarios.md)
     "run_scenario", "list_scenarios", "load_scenario", "validate_scenario",
     "ScenarioDoc", "ScenarioError", "ScenarioResult",
     # results
-    "RunResult", "RunSummary", "FigureResult", "RunKey",
-    "ParallelRunner", "ResultCache", "StallCategory", "BenchResult",
+    "RunResult", "RunSummary", "FigureResult",
+    "StallCategory", "BenchResult",
     # config builders
     "build_config", "enhancement_preset", "default_config", "paper_config",
     "canonical_policy", "SimConfig", "CacheConfig", "TLBConfig",
@@ -90,7 +106,24 @@ __all__ = [
     "DEFAULT_INSTRUCTIONS", "DEFAULT_WARMUP", "DEFAULT_SCALE",
     "DEFAULT_SAMPLE_INTERVAL", "ENHANCEMENT_PRESET_NAMES", "BACKENDS",
     "Profiler", "__api_version__",
+    # v1 compatibility re-exports (deprecated; DeprecationWarning on
+    # first access -- the job surface above replaces them)
+    "RunKey", "ParallelRunner", "ResultCache",
 ]
+
+#: Names demoted to internals in v2: still importable, but the first
+#: access warns.  ``repro.params.reset_deprecation_warnings`` (and the
+#: autouse fixture in ``tests/conftest.py``) resets the warn-once state.
+_V1_INTERNALS = ("ParallelRunner", "ResultCache", "RunKey")
+
+
+def __getattr__(name: str):
+    if name in _V1_INTERNALS:
+        import repro.experiments.parallel as _parallel
+        _warn_once(f"api.{name}", "api.submit (repro.service)",
+                   "api export")
+        return getattr(_parallel, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 def _resolve_enhancements(

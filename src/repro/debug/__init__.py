@@ -1,5 +1,8 @@
-"""Debugging aids: request-journey tracing and timeline rendering."""
+"""Debugging aids.
 
-from repro.debug.tracer import JourneyTracer, JourneyEvent
+The ``JourneyTracer`` that used to live here was removed in api v2;
+importing :mod:`repro.debug.tracer` raises with a pointer to its
+successor, :mod:`repro.obs.trace`.
+"""
 
-__all__ = ["JourneyTracer", "JourneyEvent"]
+__all__: list = []

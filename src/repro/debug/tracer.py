@@ -1,114 +1,26 @@
-"""Request-journey tracing (deprecated shim over :mod:`repro.obs.trace`).
+"""Removed in api v2: request-journey tracing moved to
+:mod:`repro.obs.trace`.
 
-:class:`JourneyTracer` predates the span tracer: it wrapped the access
-methods of selected hierarchy components and recorded flat
-(component, line, category, arrival, completion) events.  The span
-tracer subsumes it -- same per-level probe records, plus walk/stall
-structure, causality links, sampling and schema'd export -- so this
-module is now a thin compatibility facade: entering a
-:class:`JourneyTracer` attaches a :class:`~repro.obs.trace.SpanTracer`
-and exiting converts the component-probe spans back into
-:class:`JourneyEvent` rows.  The query/render surface is unchanged.
+``JourneyTracer`` was demoted to a warn-once compatibility facade over
+the span tracer in PR 4 and is retired under the v2 major bump.  The
+span tracer provides a superset of the journey surface: per-level probe
+records plus walk/stall structure, causality links, sampling and
+schema'd export.  Migrate::
 
-New code should use :mod:`repro.obs.trace` directly (``attach`` +
-``SpanTracer``, or ``repro.api.trace``); see ``docs/observability.md``.
+    # before                              # after
+    from repro.debug import JourneyTracer
+    with JourneyTracer(hierarchy) as t:   from repro.obs.trace import (
+        hierarchy.load(va, cycle)             SpanTracer, attach, detach)
+    print(t.render())                     tracer = SpanTracer(sample_every=1)
+                                          attach(hierarchy, tracer)
+                                          hierarchy.load(va, cycle)
+                                          detach(hierarchy)
+
+or, one level up, ``repro.api.trace("pr")`` for a validated
+``repro.obs/trace-v1`` document.  See ``docs/observability.md``.
 """
 
-from __future__ import annotations
-
-import warnings
-from dataclasses import dataclass
-from typing import Dict, List, Optional
-
-from repro.obs.trace import SpanTracer, attach, detach
-
-#: Component-probe span names that map onto journey events.
-_CACHE_NAMES = ("L1D", "L2C", "LLC")
-
-_warned = False
-
-
-def _warn_deprecated() -> None:
-    global _warned
-    if not _warned:
-        _warned = True
-        warnings.warn(
-            "JourneyTracer is deprecated; use repro.obs.trace "
-            "(SpanTracer + attach, or repro.api.trace) instead",
-            DeprecationWarning, stacklevel=3)
-
-
-@dataclass
-class JourneyEvent:
-    """One component's handling of one request."""
-
-    component: str
-    line_addr: int
-    category: str
-    arrival: int
-    completion: int
-    served_by: str
-
-    @property
-    def latency(self) -> int:
-        return self.completion - self.arrival
-
-
-class JourneyTracer:
-    """Records request events across hierarchy components (deprecated).
-
-    Use as a context manager::
-
-        with JourneyTracer(hierarchy) as tracer:
-            hierarchy.load(va, cycle)
-        print(tracer.render())
-    """
-
-    def __init__(self, hierarchy, include_dram: bool = True):
-        _warn_deprecated()
-        self.hierarchy = hierarchy
-        self.include_dram = include_dram
-        self.events: List[JourneyEvent] = []
-        self._tracer: Optional[SpanTracer] = None
-
-    # -- wiring -----------------------------------------------------------
-    def __enter__(self) -> "JourneyTracer":
-        self._tracer = SpanTracer(sample_every=1)
-        attach(self.hierarchy, self._tracer)
-        return self
-
-    def __exit__(self, *exc) -> None:
-        tracer, self._tracer = self._tracer, None
-        detach(self.hierarchy)
-        names = _CACHE_NAMES + (("DRAM",) if self.include_dram else ())
-        for span in tracer.iter_spans():
-            if span.name not in names:
-                continue
-            self.events.append(JourneyEvent(
-                component=span.name, line_addr=span.args.get("line", 0),
-                category=span.cat, arrival=span.start, completion=span.end,
-                served_by=span.args.get("served_by", "")))
-
-    # -- queries ----------------------------------------------------------
-    def events_for_line(self, line_addr: int) -> List[JourneyEvent]:
-        return [e for e in self.events if e.line_addr == line_addr]
-
-    def by_component(self) -> Dict[str, int]:
-        counts: Dict[str, int] = {}
-        for e in self.events:
-            counts[e.component] = counts.get(e.component, 0) + 1
-        return counts
-
-    def render(self, limit: Optional[int] = None) -> str:
-        """Human-readable timeline, in event order."""
-        lines = ["component  line                category      "
-                 "arrival    done       latency"]
-        events = self.events[:limit] if limit else self.events
-        for e in events:
-            lines.append(
-                f"{e.component:<10} {e.line_addr:#14x}  {e.category:<12}"
-                f"  {e.arrival:<9}  {e.completion:<9}  {e.latency}")
-        return "\n".join(lines)
-
-    def clear(self) -> None:
-        self.events.clear()
+raise RuntimeError(
+    "repro.debug.tracer (JourneyTracer) was removed in repro.api v2; "
+    "use repro.obs.trace (SpanTracer + attach, or repro.api.trace) "
+    "instead -- see docs/observability.md")

@@ -308,9 +308,21 @@ _CODE_FINGERPRINT: Optional[str] = None
 #: Default memo location (override with $REPRO_CACHE_DIR).
 DEFAULT_CACHE_ROOT = "~/.cache/repro-runs"
 
+#: Hex digits of the digest used as the fan-out subdirectory.  256
+#: shards keep directory listings short when sweeps store tens of
+#: thousands of results in one cache dir.
+SHARD_WIDTH = 2
+
 
 class ResultCache:
-    """JSON memo of completed runs under ``<root>/v<schema>-<code>/``."""
+    """Content-addressed JSON memo of completed runs.
+
+    Layout: ``<root>/v<schema>-<code>/<digest[:2]>/<digest>.json`` --
+    every entry is addressed purely by its :class:`RunKey` digest, with
+    a :data:`SHARD_WIDTH`-wide fan-out subdirectory.  Pre-sharding
+    caches (flat ``<digest>.json`` files) are still read, so a warm
+    cache survives the upgrade.
+    """
 
     def __init__(self, root=None, fingerprint: Optional[str] = None):
         root = Path(root or os.environ.get("REPRO_CACHE_DIR")
@@ -322,30 +334,85 @@ class ResultCache:
         self.misses = 0
         self.stores = 0
 
-    def path_for(self, key: RunKey) -> Path:
-        return self.dir / f"{key.digest}.json"
+    @staticmethod
+    def _digest_of(key) -> str:
+        return key.digest if isinstance(key, RunKey) else str(key)
 
-    def get(self, key: RunKey) -> Optional[RunSummary]:
+    def path_for(self, key) -> Path:
+        """Sharded path for a :class:`RunKey` or a raw digest string."""
+        digest = self._digest_of(key)
+        return self.dir / digest[:SHARD_WIDTH] / f"{digest}.json"
+
+    def _read(self, key) -> Optional[Dict]:
+        digest = self._digest_of(key)
+        for path in (self.path_for(digest),
+                     self.dir / f"{digest}.json"):  # pre-sharding layout
+            try:
+                with open(path) as f:
+                    return json.load(f)
+            except (OSError, ValueError):
+                continue
+        return None
+
+    def contains(self, key) -> bool:
+        """Whether a result for this key/digest is on disk (no counter
+        side effects -- probes are not hits)."""
+        digest = self._digest_of(key)
+        return (self.path_for(digest).is_file()
+                or (self.dir / f"{digest}.json").is_file())
+
+    def get(self, key) -> Optional[RunSummary]:
+        data = self._read(key)
+        if data is None:
+            self.misses += 1
+            return None
         try:
-            with open(self.path_for(key)) as f:
-                summary = RunSummary.from_dict(json.load(f))
-        except (OSError, ValueError, TypeError, KeyError):
+            summary = RunSummary.from_dict(data)
+        except (ValueError, TypeError, KeyError):
             self.misses += 1
             return None
         self.hits += 1
         return summary
 
-    def put(self, key: RunKey, summary: RunSummary) -> None:
+    def get_raw(self, key) -> Optional[Dict]:
+        """The stored JSON document, schema-agnostic (the sweep service
+        stores non-``RunSummary`` payloads through the same shards)."""
+        data = self._read(key)
+        if data is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return data
+
+    def _write(self, digest: str, document: Dict) -> None:
+        path = self.path_for(digest)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        with os.fdopen(fd, "w") as f:
+            json.dump(document, f)
+        os.replace(tmp, path)
+        self.stores += 1
+
+    def put(self, key, summary: RunSummary) -> None:
         """Atomic write (temp file + rename); IO failures are non-fatal."""
         try:
-            self.dir.mkdir(parents=True, exist_ok=True)
-            fd, tmp = tempfile.mkstemp(dir=self.dir, suffix=".tmp")
-            with os.fdopen(fd, "w") as f:
-                json.dump(summary.to_dict(), f)
-            os.replace(tmp, self.path_for(key))
-            self.stores += 1
+            self._write(self._digest_of(key), summary.to_dict())
         except OSError:
             pass
+
+    def put_raw(self, key, document: Dict) -> None:
+        """Store an arbitrary JSON document under a key/digest."""
+        try:
+            self._write(self._digest_of(key), document)
+        except OSError:
+            pass
+
+    def digests(self) -> List[str]:
+        """Every stored digest, sorted (shards walked, flat layout
+        included)."""
+        if not self.dir.is_dir():
+            return []
+        return sorted(p.stem for p in self.dir.glob("**/*.json"))
 
     def prune_stale(self) -> int:
         """Delete result dirs for other schema versions / code states."""

@@ -25,11 +25,12 @@ from repro.obs.export import (CSV_COLUMNS, ExportSchemaError,
                               validate_strict)
 from repro.obs.manifest import (SCHEMA, Profiler, build_batch_manifest,
                                 build_manifest, config_digest)
-from repro.obs.progress import Heartbeat
+from repro.obs.progress import EventStream, Heartbeat
 from repro.obs.sampler import DEFAULT_SAMPLE_INTERVAL, IntervalSampler
 
 __all__ = [
-    "CSV_COLUMNS", "DEFAULT_SAMPLE_INTERVAL", "ExportSchemaError",
+    "CSV_COLUMNS", "DEFAULT_SAMPLE_INTERVAL", "EventStream",
+    "ExportSchemaError",
     "Heartbeat", "IntervalSampler", "Profiler", "SCHEMA",
     "batch_document", "build_batch_manifest", "build_manifest",
     "config_digest", "export_csv", "export_json", "load",

@@ -1,24 +1,109 @@
-"""Progress / heartbeat channel for long figure batches.
+"""Progress / heartbeat channel for long figure batches and jobs.
 
 A :class:`Heartbeat` subscribes to the parallel runner's per-job progress
 events, keeps the full event list in memory (for the batch export), and
 optionally streams each event as one JSON line to a file -- so an external
 watcher (CI, a dashboard, ``tail -f``) can see a multi-minute batch making
 progress without parsing stderr.
+
+An :class:`EventStream` is the subscribable generalisation the sweep
+service (:mod:`repro.service`) hangs off every job: an append-only,
+thread-safe sequence of dict events that consumers can snapshot or
+block-follow from any index.  ``GET /jobs/<id>/events`` streams one, and
+a :class:`Heartbeat` can mirror into one (``stream=...``) so batch
+progress is visible over the same channel.
 """
 
 from __future__ import annotations
 
 import json
+import threading
 import time
-from typing import Dict, List, Optional
+from typing import Dict, Iterator, List, Optional
+
+
+class EventStream:
+    """Append-only, subscribable sequence of progress events.
+
+    Producers call :meth:`emit` (from any thread, including the asyncio
+    loop thread of the sweep service); consumers either :meth:`snapshot`
+    the history or :meth:`follow` it -- a blocking iterator that yields
+    every event exactly once, in order, until the stream is
+    :meth:`close`'d.  Events are plain dicts stamped with a
+    monotonically increasing ``seq``.
+    """
+
+    def __init__(self):
+        self._events: List[Dict] = []
+        self._cond = threading.Condition()
+        self._closed = False
+
+    def emit(self, **fields) -> Dict:
+        """Append one event; returns the stamped record."""
+        with self._cond:
+            record = dict(fields)
+            record["seq"] = len(self._events)
+            self._events.append(record)
+            self._cond.notify_all()
+        return record
+
+    def close(self) -> None:
+        """No further events; wakes every follower."""
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def snapshot(self, start: int = 0) -> List[Dict]:
+        """The events from index ``start`` onward, as a copy."""
+        with self._cond:
+            return list(self._events[start:])
+
+    def wait_for(self, index: int, timeout: Optional[float] = None) -> bool:
+        """Block until event ``index`` exists or the stream closes.
+
+        Returns ``True`` when the event is available, ``False`` on
+        close-before-available or timeout.
+        """
+        with self._cond:
+            return self._cond.wait_for(
+                lambda: len(self._events) > index or self._closed,
+                timeout=timeout) and len(self._events) > index
+
+    def follow(self, start: int = 0,
+               timeout: Optional[float] = None) -> Iterator[Dict]:
+        """Yield events from ``start`` until the stream closes.
+
+        ``timeout`` bounds each individual wait (the iterator stops
+        quietly when it expires -- callers polling a live service can
+        loop around :meth:`snapshot` instead if they need to
+        distinguish)."""
+        index = start
+        while True:
+            for event in self.snapshot(index):
+                index += 1
+                yield event
+            with self._cond:
+                if self._closed and len(self._events) <= index:
+                    return
+                if not self._cond.wait_for(
+                        lambda: len(self._events) > index or self._closed,
+                        timeout=timeout):
+                    return
 
 
 class Heartbeat:
     """Collects (and optionally streams) batch progress events."""
 
-    def __init__(self, path=None):
+    def __init__(self, path=None, stream: Optional[EventStream] = None):
         self.events: List[Dict] = []
+        self.stream = stream
         self._started = time.time()
         self._file = open(path, "w") if path is not None else None
 
@@ -35,6 +120,8 @@ class Heartbeat:
             "wall_time": event.wall_time,
         }
         self.events.append(record)
+        if self.stream is not None:
+            self.stream.emit(kind="heartbeat", **record)
         if self._file is not None:
             self._file.write(json.dumps(record) + "\n")
             self._file.flush()

@@ -70,6 +70,17 @@ def _warn_once(old: str, new: str, kind: str) -> None:
         DeprecationWarning, stacklevel=3)
 
 
+def reset_deprecation_warnings() -> None:
+    """Clear the warn-once state (every deprecation warns again).
+
+    Warn-once state is process-global; without a reset, whichever test
+    touches a deprecated name first steals the warning from every later
+    assertion, making ``pytest.warns`` order-dependent.  The autouse
+    fixture in ``tests/conftest.py`` calls this around each test.
+    """
+    _warned_names.clear()
+
+
 def canonical_policy(name: str) -> str:
     """Map a replacement-policy string to its canonical registry name.
 
@@ -311,8 +322,8 @@ class SimConfig:
     Instances are frozen: deriving a variant goes through
     :meth:`with_`, which returns a new config with the given fields
     overridden (``enhancements`` additionally accepts a preset name).
-    The old mutable-style ``.replace(...)`` spelling still works as a
-    deprecated alias.  Sub-configs (:class:`CacheConfig`,
+    The pre-1.1 ``.replace(...)`` spelling was removed in api v2 and
+    raises with a pointer here.  Sub-configs (:class:`CacheConfig`,
     :class:`EnhancementConfig`, ...) remain plain mutable dataclasses --
     freezing applies to the top-level field bindings that identify a
     machine, which is what result memoisation hashes.
@@ -392,9 +403,16 @@ class SimConfig:
         return dataclasses.replace(self, **overrides)
 
     def replace(self, **kwargs) -> "SimConfig":
-        """Deprecated alias of :meth:`with_` (pre-1.1 spelling)."""
-        _warn_once("SimConfig.replace", "SimConfig.with_", "config API")
-        return self.with_(**kwargs)
+        """Removed in api v2 -- use :meth:`with_`.
+
+        Deprecated (warn-once) through v1.1-v1.3; the v2 major bump
+        retires it.  The body stays only to name the successor loudly
+        instead of raising a bare ``AttributeError``.
+        """
+        raise RuntimeError(
+            "SimConfig.replace() was removed in repro.api v2; use "
+            "SimConfig.with_(...) instead (same signature, and "
+            "enhancements= additionally accepts a preset name)")
 
 
 def paper_config() -> SimConfig:

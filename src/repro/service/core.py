@@ -1,0 +1,528 @@
+"""The asyncio sweep service: queue, dedupe, workers, sweeps.
+
+One :class:`SweepService` owns a bounded priority queue of
+:class:`~repro.service.jobs.Job` and a pool of worker processes.  The
+interesting properties, all pinned by ``tests/test_service.py``:
+
+* **Dedupe, three horizons.**  A submitted spec whose digest is already
+  on disk completes instantly as a *store hit*; one that matches an
+  in-flight job attaches to that job (*dedup* -- concurrent identical
+  submissions execute the simulation exactly once and fan the result
+  out); otherwise it queues and executes.
+* **Back-pressure.**  The queue is bounded: ``submit(..., wait=True)``
+  (the in-process client) suspends the submitter until a slot frees;
+  ``wait=False`` (the HTTP server) raises :class:`ServiceSaturated`,
+  which surfaces as ``503 Retry-After``.
+* **Priorities.**  Lower numbers run first; ties resolve in submission
+  order (a deterministic total order, relied on by tests).
+* **Worker loss is not job loss.**  A job whose worker process dies
+  (``BrokenExecutor``) is re-queued up to ``max_attempts``; the pool is
+  rebuilt lazily.
+* **Resumable sweeps.**  A ``sweep`` job expands into child run specs;
+  children whose digests are already stored are skipped, so
+  resubmitting a partially-completed sweep only executes the remainder.
+
+Execution is ``execute_spec`` -- a module-level, picklable function --
+either inline (``workers=0``: synchronous, deterministic, what the
+tests drive) or via ``ProcessPoolExecutor``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import os
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.experiments.parallel import ParallelRunner, RunSummary
+from repro.service.jobs import (DEFAULT_PRIORITY, Job, JobError, JobSpec,
+                                JobStatus)
+from repro.service.store import JobStore
+
+#: Default queue bound; small enough that a runaway sweep generator
+#: feels back-pressure quickly, large enough to keep a pool busy.
+DEFAULT_QUEUE_SIZE = 256
+
+
+class ServiceSaturated(RuntimeError):
+    """Bounded queue is full and the caller declined to wait."""
+
+
+class _WorkerLost(RuntimeError):
+    """Internal: the worker process executing a job died."""
+
+
+# ----------------------------------------------------------------------
+# Spec execution (module-level: must pickle into worker processes)
+# ----------------------------------------------------------------------
+def execute_spec(spec_dict: Dict) -> Dict:
+    """Execute one job spec; returns its JSON payload.
+
+    Run/scenario payloads are bare
+    :class:`~repro.experiments.parallel.RunSummary` dicts -- the exact
+    document :class:`~repro.experiments.parallel.ResultCache` memoises,
+    so service store entries and runner cache entries are
+    interchangeable.
+    """
+    from repro import api
+    from repro.experiments.runner import run_benchmark
+    from repro.service.jobs import run_config, scenario_base_config
+
+    spec = JobSpec.from_dict(spec_dict)
+    p = spec.to_dict()
+    kind = spec.kind
+    if kind == "run":
+        key = spec.run_key()
+        run = run_benchmark(key.benchmark, config=key.config,
+                            instructions=key.instructions,
+                            warmup=key.warmup, scale=key.scale,
+                            seed=key.seed)
+        return RunSummary.from_run(run, seed=key.seed).to_dict()
+    if kind == "scenario":
+        from repro.scenarios import run_scenario
+        scale = p.get("scale")
+        base = None
+        if p.get("backend"):
+            from repro.scenarios import load_scenario
+            doc = load_scenario(p["scenario"])
+            base = scenario_base_config(
+                p, int(scale if scale is not None else doc.scale))
+        result = run_scenario(
+            p["scenario"], instructions=p.get("instructions"),
+            warmup=p.get("warmup"), scale=scale, seed=p.get("seed"),
+            config=base, runner=ParallelRunner(jobs=1))
+        return result.summary.to_dict()
+    if kind == "figure":
+        kwargs = {k: p[k] for k in ("instructions", "warmup")
+                  if k in p}
+        if p.get("benchmarks"):
+            kwargs["benchmarks"] = list(p["benchmarks"])
+        result = api.figure(p["figure"], **kwargs)
+        return {"kind": "figure", "figure": p["figure"],
+                "result": result.to_dict()}
+    if kind == "bench":
+        from repro.bench import BenchCase, WORKLOAD_MATRIX
+        if p.get("benchmarks"):
+            matrix = tuple(
+                BenchCase(b, instructions=p.get("instructions", 20_000),
+                          warmup=p.get("warmup", 4_000))
+                for b in p["benchmarks"])
+        else:
+            matrix = WORKLOAD_MATRIX
+        result = api.bench(matrix=matrix, repeats=p.get("repeats", 1))
+        return {"kind": "bench", "document": result.document}
+    if kind == "trace":
+        scale = int(p.get("scale", api.DEFAULT_SCALE))
+        kwargs = {k: p[k] for k in ("instructions", "warmup", "seed")
+                  if k in p}
+        doc = api.trace(p["benchmark"], sample=p.get("sample", 1),
+                        config=run_config(p, scale), scale=scale,
+                        **kwargs)
+        return {"kind": "trace", "benchmark": p["benchmark"],
+                "document": doc}
+    raise JobError(f"unknown job kind {kind!r}")
+
+
+# ----------------------------------------------------------------------
+# Metrics
+# ----------------------------------------------------------------------
+@dataclass
+class ServiceMetrics:
+    """Cumulative counters (the smoke test's acceptance surface)."""
+
+    submitted: int = 0
+    executed: int = 0
+    store_hits: int = 0
+    dedup_hits: int = 0
+    requeues: int = 0
+    failures: int = 0
+    cancelled: int = 0
+
+    def to_dict(self) -> Dict:
+        return dict(self.__dict__)
+
+
+# ----------------------------------------------------------------------
+# The service
+# ----------------------------------------------------------------------
+class SweepService:
+    """Asyncio job-queue service over a content-addressed store.
+
+    ``workers=0`` executes inline on the event loop (deterministic --
+    the test mode and the in-process default); ``workers=N`` fans out
+    over a ``ProcessPoolExecutor`` that is rebuilt on worker loss.
+    ``execute`` injects the spec executor (tests substitute stubs that
+    fail deterministically).
+    """
+
+    def __init__(self, store: Optional[JobStore] = None,
+                 workers: int = 0,
+                 queue_size: int = DEFAULT_QUEUE_SIZE,
+                 max_attempts: int = 2,
+                 execute: Optional[Callable[[Dict], Dict]] = None):
+        if queue_size <= 0:
+            raise ValueError("queue_size must be positive")
+        if max_attempts <= 0:
+            raise ValueError("max_attempts must be positive")
+        self.store = store if store is not None else JobStore()
+        self.workers = max(0, int(workers))
+        self.queue_size = queue_size
+        self.max_attempts = max_attempts
+        self.metrics = ServiceMetrics()
+        self._execute = execute or execute_spec
+        self._jobs: Dict[str, Job] = {}
+        self._inflight: Dict[str, Job] = {}
+        self._queue: Optional[asyncio.PriorityQueue] = None
+        self._seq = itertools.count()
+        self._pool: Optional[ProcessPoolExecutor] = None
+        self._tasks: List[asyncio.Task] = []
+        self._sweeps: List[asyncio.Task] = []
+        self._done_events: Dict[str, asyncio.Event] = {}
+        self.loop: Optional[asyncio.AbstractEventLoop] = None
+
+    # -- lifecycle -------------------------------------------------------
+    async def start(self) -> "SweepService":
+        """Bind to the running loop and spawn the drain tasks."""
+        if self._queue is not None:
+            return self
+        self.loop = asyncio.get_running_loop()
+        self._queue = asyncio.PriorityQueue(maxsize=self.queue_size)
+        for _ in range(max(1, self.workers)):
+            self._tasks.append(asyncio.ensure_future(self._drain()))
+        return self
+
+    async def close(self) -> None:
+        """Cancel drain tasks and shut the pool down."""
+        for task in self._tasks + self._sweeps:
+            task.cancel()
+        for task in self._tasks + self._sweeps:
+            try:
+                await task
+            except (asyncio.CancelledError, Exception):
+                pass
+        self._tasks.clear()
+        self._sweeps.clear()
+        if self._pool is not None:
+            self._pool.shutdown(wait=False, cancel_futures=True)
+            self._pool = None
+        self._queue = None
+        self.loop = None
+
+    @property
+    def started(self) -> bool:
+        return self._queue is not None
+
+    # -- submission ------------------------------------------------------
+    async def submit(self, kind: str = "run", *,
+                     priority: int = DEFAULT_PRIORITY,
+                     wait: bool = True, **params) -> Job:
+        """Admit one job; returns the (possibly pre-existing) job.
+
+        Dedupe order: store hit > in-flight attach > queue.  With
+        ``wait=False`` a full queue raises :class:`ServiceSaturated`
+        instead of suspending.
+        """
+        spec = JobSpec.make(kind, **params)
+        return await self.submit_spec(spec, priority=priority, wait=wait)
+
+    async def submit_spec(self, spec: JobSpec, *,
+                          priority: int = DEFAULT_PRIORITY,
+                          wait: bool = True) -> Job:
+        if self._queue is None:
+            await self.start()
+        self.metrics.submitted += 1
+        digest = spec.digest
+
+        existing = self._inflight.get(digest)
+        if existing is not None:
+            existing.dedup_hits += 1
+            self.metrics.dedup_hits += 1
+            existing.events.emit(kind="dedup", job=existing.id)
+            return existing
+
+        stored = self.store.get_payload(digest)
+        if stored is not None:
+            job = Job(spec=spec, priority=priority, digest=digest)
+            job.source = "store"
+            job.payload = stored
+            self._register(job)
+            self.metrics.store_hits += 1
+            job.transition(JobStatus.DONE, source="store")
+            self._finish(job)
+            return job
+
+        job = Job(spec=spec, priority=priority, digest=digest)
+        self._register(job)
+        self._inflight[digest] = job
+        job.events.emit(kind="status", status="pending", job=job.id)
+        if spec.kind == "sweep":
+            self._sweeps.append(
+                asyncio.ensure_future(self._run_sweep(job)))
+            return job
+        await self._enqueue(job, wait=wait)
+        return job
+
+    def _register(self, job: Job) -> None:
+        self._jobs[job.id] = job
+        self._done_events[job.id] = asyncio.Event()
+
+    async def _enqueue(self, job: Job, *, wait: bool) -> None:
+        item = (job.priority, next(self._seq), job)
+        if wait:
+            await self._queue.put(item)
+        else:
+            try:
+                self._queue.put_nowait(item)
+            except asyncio.QueueFull:
+                self._drop(job, JobStatus.CANCELLED,
+                           error="queue full (back-pressure)")
+                raise ServiceSaturated(
+                    f"queue full ({self.queue_size} jobs); retry later"
+                ) from None
+
+    # -- queries ---------------------------------------------------------
+    def get_job(self, job_id: str) -> Optional[Job]:
+        return self._jobs.get(job_id)
+
+    def jobs(self) -> List[Job]:
+        return list(self._jobs.values())
+
+    def describe(self) -> Dict:
+        """Service status document (``GET /health``)."""
+        return {
+            "workers": self.workers,
+            "queue_size": self.queue_size,
+            "queued": self._queue.qsize() if self._queue else 0,
+            "jobs": len(self._jobs),
+            "inflight": len(self._inflight),
+            "metrics": self.metrics.to_dict(),
+            "store": {"dir": str(self.store.dir),
+                      "hits": self.store.hits,
+                      "stores": self.store.stores},
+        }
+
+    async def wait(self, job: Job,
+                   timeout: Optional[float] = None) -> Job:
+        """Suspend until the job reaches a terminal status."""
+        event = self._done_events.get(job.id)
+        if event is None or job.status.terminal:
+            return job
+        await asyncio.wait_for(event.wait(), timeout)
+        return job
+
+    def cancel(self, job: Job) -> bool:
+        """Cancel a pending job (running jobs finish; sweeps cancel
+        their pending children)."""
+        if job.status is not JobStatus.PENDING \
+                and not (job.spec.kind == "sweep"
+                         and job.status is JobStatus.RUNNING):
+            return False
+        if job.spec.kind == "sweep":
+            for child in self._inflight.values():
+                if child is not job and child.status is JobStatus.PENDING \
+                        and child.dedup_hits == 0:
+                    self._drop(child, JobStatus.CANCELLED,
+                               error="sweep cancelled")
+        self._drop(job, JobStatus.CANCELLED)
+        return True
+
+    def _drop(self, job: Job, status: JobStatus,
+              error: Optional[str] = None) -> None:
+        job.error = error
+        self.metrics.cancelled += 1
+        job.transition(status, **({"error": error} if error else {}))
+        self._finish(job)
+
+    def _finish(self, job: Job) -> None:
+        if self._inflight.get(job.digest) is job:
+            del self._inflight[job.digest]
+        event = self._done_events.get(job.id)
+        if event is not None:
+            event.set()
+
+    # -- execution -------------------------------------------------------
+    async def _drain(self) -> None:
+        while True:
+            _, _, job = await self._queue.get()
+            try:
+                if job.status is not JobStatus.PENDING:
+                    continue  # cancelled while queued
+                await self._run_one(job)
+            finally:
+                self._queue.task_done()
+
+    async def _run_one(self, job: Job) -> None:
+        job.attempts += 1
+        job.transition(JobStatus.RUNNING, attempt=job.attempts)
+        try:
+            payload = await self._execute_job(job)
+        except _WorkerLost as exc:
+            if job.attempts < self.max_attempts:
+                self.metrics.requeues += 1
+                job.status = JobStatus.PENDING
+                job.events.emit(kind="requeue", job=job.id,
+                                attempt=job.attempts, error=str(exc))
+                await self._queue.put(
+                    (job.priority, next(self._seq), job))
+            else:
+                self.metrics.failures += 1
+                job.error = f"worker lost x{job.attempts}: {exc}"
+                job.transition(JobStatus.FAILED, error=job.error)
+                self._finish(job)
+        except asyncio.CancelledError:
+            raise
+        except Exception as exc:  # job error: terminal, not retried
+            self.metrics.failures += 1
+            job.error = f"{type(exc).__name__}: {exc}"
+            job.transition(JobStatus.FAILED, error=job.error)
+            self._finish(job)
+        else:
+            self.store.put_payload(job.digest, payload)
+            job.payload = payload
+            self.metrics.executed += 1
+            job.transition(JobStatus.DONE, source="run")
+            self._finish(job)
+
+    async def _execute_job(self, job: Job) -> Dict:
+        spec_dict = job.spec.to_dict()
+        if self.workers <= 0:
+            # Inline mode: synchronous and deterministic.  Worker-loss
+            # simulation (tests) still surfaces as requeue-able.
+            try:
+                return self._execute(spec_dict)
+            except BrokenExecutor as exc:
+                raise _WorkerLost(str(exc) or "broken executor") from exc
+        loop = asyncio.get_running_loop()
+        pool = self._get_pool()
+        try:
+            return await loop.run_in_executor(
+                pool, self._execute, spec_dict)
+        except BrokenExecutor as exc:
+            # The process died (OOM-killed, signalled, ...): poison the
+            # pool so the next job rebuilds it, and requeue this one.
+            self._pool = None
+            pool.shutdown(wait=False, cancel_futures=True)
+            raise _WorkerLost(str(exc) or "worker process died") from exc
+
+    def _get_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(
+                max_workers=max(1, self.workers))
+        return self._pool
+
+    # -- sweeps ----------------------------------------------------------
+    async def _run_sweep(self, job: Job) -> None:
+        try:
+            children = job.spec.sweep_children()
+        except (JobError, TypeError, ValueError) as exc:
+            self.metrics.failures += 1
+            job.error = f"bad sweep: {exc}"
+            job.transition(JobStatus.FAILED, error=job.error)
+            self._finish(job)
+            return
+        job.transition(JobStatus.RUNNING, total=len(children))
+        skipped: List[str] = []
+        waiting: List[Job] = []
+        for spec in children:
+            digest = spec.digest
+            if job.status is JobStatus.CANCELLED:
+                return
+            if self.store.contains(digest):
+                # Already completed (possibly by an earlier, partial
+                # attempt at this sweep): resume by skipping it.
+                skipped.append(digest)
+                self.metrics.store_hits += 1
+                job.events.emit(kind="sweep-skip", digest=digest,
+                                source="store")
+                continue
+            child = await self.submit_spec(spec, priority=job.priority)
+            waiting.append(child)
+            job.events.emit(kind="sweep-child", digest=digest,
+                            child=child.id)
+        failed: List[str] = []
+        completed: List[str] = list(skipped)
+        for child in waiting:
+            await self.wait(child)
+            if child.status is JobStatus.DONE:
+                completed.append(child.digest)
+            else:
+                failed.append(child.digest)
+            job.events.emit(kind="sweep-progress",
+                            done=len(completed), failed=len(failed),
+                            total=len(children))
+        if job.status is JobStatus.CANCELLED:
+            return
+        payload = {"kind": "sweep", "total": len(children),
+                   "skipped": skipped, "completed": completed,
+                   "failed": failed}
+        job.payload = payload
+        if failed:
+            self.metrics.failures += 1
+            job.error = f"{len(failed)}/{len(children)} children failed"
+            job.transition(JobStatus.FAILED, error=job.error)
+        else:
+            # Only a fully-completed sweep is stored: a partial one must
+            # re-expand (and skip per-child) on resubmission.
+            self.store.put_payload(job.digest, payload)
+            self.metrics.executed += 1
+            job.transition(JobStatus.DONE, source="run")
+        self._finish(job)
+
+
+# ----------------------------------------------------------------------
+# In-process client handle
+# ----------------------------------------------------------------------
+class JobHandle:
+    """What :func:`repro.api.submit` returns: a thin async view of one
+    job inside an in-process :class:`SweepService`."""
+
+    def __init__(self, service: SweepService, job: Job):
+        self._service = service
+        self._job = job
+
+    # -- identity --------------------------------------------------------
+    @property
+    def id(self) -> str:
+        return self._job.id
+
+    @property
+    def digest(self) -> str:
+        return self._job.digest
+
+    @property
+    def status(self) -> JobStatus:
+        return self._job.status
+
+    @property
+    def source(self) -> str:
+        return self._job.source
+
+    def describe(self) -> Dict:
+        return self._job.describe()
+
+    def events(self, start: int = 0) -> List[Dict]:
+        return self._job.events.snapshot(start)
+
+    # -- outcome ---------------------------------------------------------
+    async def wait(self, timeout: Optional[float] = None) -> "JobHandle":
+        await self._service.wait(self._job, timeout)
+        return self
+
+    def result(self) -> Dict:
+        """The payload; raises if the job is not DONE."""
+        job = self._job
+        if job.status is not JobStatus.DONE:
+            raise RuntimeError(
+                f"{job.id} is {job.status.value}"
+                + (f": {job.error}" if job.error else ""))
+        return job.payload
+
+    def summary(self) -> RunSummary:
+        """The payload as a RunSummary (run/scenario jobs)."""
+        self.result()
+        return self._job.summary()
+
+    async def cancel(self) -> bool:
+        return self._service.cancel(self._job)

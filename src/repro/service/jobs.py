@@ -1,0 +1,284 @@
+"""Job model for the sweep service.
+
+A :class:`JobSpec` is the declarative description of one unit of work
+-- a simulation run, a scenario, a whole sweep, a figure, a bench
+matrix or a span trace.  Specs are plain data (JSON round-trippable,
+picklable) so they can cross the HTTP API and the worker-pool boundary
+unchanged.  Every spec has a stable content digest:
+
+* ``run`` / ``scenario`` specs reduce to the existing
+  :class:`~repro.experiments.parallel.RunKey` and reuse *its* digest,
+  so service-store entries, ``ResultCache`` memo entries and dedupe all
+  agree on run identity;
+* other kinds hash their canonical JSON form.
+
+A :class:`Job` is one accepted spec inside the service: status,
+priority, attempt counter, event stream and (eventually) the digest of
+its stored payload.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import json
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, List, Optional, Tuple
+
+from repro.experiments.parallel import RunKey, RunSummary
+from repro.experiments.runner import DEFAULT_INSTRUCTIONS, DEFAULT_WARMUP
+from repro.obs.progress import EventStream
+from repro.params import DEFAULT_SCALE, default_config
+
+JOB_KINDS = ("run", "scenario", "sweep", "figure", "bench", "trace")
+
+#: Default job priority; smaller numbers run sooner.
+DEFAULT_PRIORITY = 10
+
+
+class JobStatus(str, Enum):
+    """Lifecycle of one job (see ``docs/service.md``)."""
+
+    PENDING = "pending"      # accepted, waiting in the queue
+    RUNNING = "running"
+    DONE = "done"
+    FAILED = "failed"
+    CANCELLED = "cancelled"
+
+    @property
+    def terminal(self) -> bool:
+        return self in (JobStatus.DONE, JobStatus.FAILED,
+                        JobStatus.CANCELLED)
+
+
+class JobError(ValueError):
+    """A spec the service cannot accept (unknown kind, bad params)."""
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One unit of submittable work.
+
+    ``params`` carries the kind-specific fields (``benchmark``,
+    ``enhancements``, ``instructions``, ... for runs; ``scenario`` for
+    scenarios; ``runs: [...]`` for sweeps; ``figure`` / ``benchmark``
+    for figures and traces).  It is stored as a sorted item tuple so the
+    spec is hashable; use :meth:`make` / :meth:`from_dict` rather than
+    constructing directly.
+    """
+
+    kind: str
+    params: Tuple[Tuple[str, object], ...] = ()
+
+    @classmethod
+    def make(cls, kind: str, **params) -> "JobSpec":
+        if kind not in JOB_KINDS:
+            raise JobError(f"unknown job kind {kind!r}; known: "
+                           f"{' '.join(JOB_KINDS)}")
+        clean = {k: v for k, v in params.items() if v is not None}
+        _validate(kind, clean)
+        return cls(kind=kind, params=_freeze(clean))
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "JobSpec":
+        if not isinstance(data, dict) or "kind" not in data:
+            raise JobError("job document must be an object with a 'kind'")
+        params = {k: v for k, v in data.items()
+                  if k not in ("kind", "priority")}
+        return cls.make(data["kind"], **params)
+
+    # -- views -----------------------------------------------------------
+    def to_dict(self) -> Dict:
+        return {"kind": self.kind, **_thaw(self.params)}
+
+    def param(self, name: str, default=None):
+        return dict(self.params).get(name, default)
+
+    # -- identity --------------------------------------------------------
+    def run_key(self) -> Optional[RunKey]:
+        """The :class:`RunKey` for ``run``/``scenario`` specs (``None``
+        for the coarse kinds)."""
+        p = _thaw(self.params)
+        if self.kind == "run":
+            return _run_key(p["benchmark"], p)
+        if self.kind == "scenario":
+            # Resolving the document pins its digest into the key, so a
+            # scenario edit changes the job identity.
+            from repro.scenarios import load_scenario
+            doc = load_scenario(p["scenario"])
+            scale = int(p.get("scale", doc.scale))
+            # Mirrors run_scenario: base config (+ backend override),
+            # then the document's own config block on top.
+            cfg = scenario_base_config(p, scale)
+            if doc.config:
+                cfg = cfg.with_(**doc.config)
+            return RunKey(
+                benchmark=doc.name, config=cfg,
+                seed=int(p.get("seed", doc.seed)),
+                instructions=int(p.get("instructions", doc.instructions)),
+                warmup=int(p.get("warmup", doc.warmup)),
+                scale=int(p.get("scale", doc.scale)),
+                scenario=doc.digest)
+        return None
+
+    @property
+    def digest(self) -> str:
+        key = self.run_key()
+        if key is not None:
+            return key.digest
+        blob = json.dumps(self.to_dict(), sort_keys=True, default=str)
+        return hashlib.sha256(blob.encode()).hexdigest()
+
+    def sweep_children(self) -> List["JobSpec"]:
+        """Expand a ``sweep`` spec into its child ``run`` specs."""
+        if self.kind != "sweep":
+            raise JobError(f"not a sweep: {self.kind}")
+        p = _thaw(self.params)
+        shared = {k: v for k, v in p.items() if k != "runs"}
+        children = []
+        for entry in p["runs"]:
+            if isinstance(entry, str):
+                entry = {"benchmark": entry}
+            children.append(JobSpec.make("run", **{**shared, **entry}))
+        return children
+
+
+def _validate(kind: str, params: Dict) -> None:
+    required = {"run": ("benchmark",), "scenario": ("scenario",),
+                "sweep": ("runs",), "figure": ("figure",),
+                "bench": (), "trace": ("benchmark",)}[kind]
+    for name in required:
+        if name not in params:
+            raise JobError(f"{kind} job needs {name!r}")
+    for name in ("instructions", "warmup", "scale", "seed"):
+        if name in params:
+            value = params[name]
+            if not isinstance(value, int) or isinstance(value, bool) \
+                    or value <= 0:
+                raise JobError(f"{name} must be a positive integer, "
+                               f"got {value!r}")
+    if kind == "sweep":
+        runs = params["runs"]
+        if not isinstance(runs, (list, tuple)) or not runs:
+            raise JobError("sweep job needs a non-empty 'runs' list")
+    if kind == "scenario":
+        for name in ("config", "enhancements"):
+            if name in params:
+                # The document owns its config block; layering a second
+                # one would make job identity order-dependent.
+                raise JobError(f"scenario jobs do not accept {name!r}; "
+                               "edit the scenario document instead")
+
+
+def _freeze(value):
+    """Recursively convert dicts/lists to hashable sorted tuples."""
+    if isinstance(value, dict):
+        return tuple(sorted((k, _freeze(v)) for k, v in value.items()))
+    if isinstance(value, (list, tuple)):
+        return tuple(_freeze(v) for v in value)
+    return value
+
+
+def _thaw(value):
+    """Inverse of :func:`_freeze` (item tuples back to dicts)."""
+    if isinstance(value, tuple):
+        if all(isinstance(v, tuple) and len(v) == 2
+               and isinstance(v[0], str) for v in value):
+            return {k: _thaw(v) for k, v in value}
+        return [_thaw(v) for v in value]
+    return value
+
+
+def scenario_base_config(params: Dict, scale: int):
+    """The base config a ``scenario`` spec hands to ``run_scenario``
+    (the document's own ``config:`` block applies on top of it)."""
+    cfg = default_config(scale)
+    if params.get("backend"):
+        cfg = cfg.with_(backend=params["backend"])
+    return cfg
+
+
+def run_config(params: Dict, scale: int):
+    """The full SimConfig a ``run``/``trace`` spec describes."""
+    from repro.api import build_config
+    cfg = build_config(scale, enhancements=params.get("enhancements"))
+    overrides = params.get("config") or {}
+    if overrides:
+        cfg = cfg.with_(**overrides)
+    if params.get("backend"):
+        cfg = cfg.with_(backend=params["backend"])
+    return cfg
+
+
+def _run_key(benchmark: str, params: Dict) -> RunKey:
+    scale = int(params.get("scale", DEFAULT_SCALE))
+    cfg = run_config(params, scale)
+    return RunKey(
+        benchmark=benchmark, config=cfg,
+        seed=int(params.get("seed", 1)),
+        instructions=int(params.get("instructions",
+                                    DEFAULT_INSTRUCTIONS)),
+        warmup=int(params.get("warmup", DEFAULT_WARMUP)),
+        scale=scale)
+
+
+# ----------------------------------------------------------------------
+# Jobs
+# ----------------------------------------------------------------------
+_job_ids = itertools.count(1)
+
+
+@dataclass
+class Job:
+    """One accepted spec inside the service."""
+
+    spec: JobSpec
+    priority: int = DEFAULT_PRIORITY
+    id: str = field(default="")
+    digest: str = field(default="")
+    status: JobStatus = JobStatus.PENDING
+    #: Where the payload came from: "run" (executed), "store"
+    #: (content-addressed hit) or "dedup" (attached to an identical
+    #: in-flight job).
+    source: str = "run"
+    attempts: int = 0
+    error: Optional[str] = None
+    payload: Optional[Dict] = None
+    events: EventStream = field(default_factory=EventStream)
+    #: Submissions that were folded into this job (identical digest).
+    dedup_hits: int = 0
+
+    def __post_init__(self):
+        if not self.digest:
+            self.digest = self.spec.digest
+        if not self.id:
+            self.id = f"job-{next(_job_ids):06d}-{self.digest[:8]}"
+
+    def transition(self, status: JobStatus, **extra) -> None:
+        self.status = status
+        self.events.emit(kind="status", status=status.value,
+                         job=self.id, **extra)
+        if status.terminal:
+            self.events.close()
+
+    def describe(self) -> Dict:
+        """The JSON status document (``GET /jobs/<id>``)."""
+        doc = {
+            "id": self.id, "kind": self.spec.kind,
+            "digest": self.digest, "status": self.status.value,
+            "priority": self.priority, "source": self.source,
+            "attempts": self.attempts, "dedup_hits": self.dedup_hits,
+            "events": len(self.events),
+        }
+        if self.error is not None:
+            doc["error"] = self.error
+        return doc
+
+    def summary(self) -> RunSummary:
+        """The payload as a :class:`RunSummary` (run/scenario jobs)."""
+        if self.payload is None:
+            raise ValueError(f"{self.id}: no payload (status "
+                             f"{self.status.value})")
+        data = self.payload.get("summary", self.payload)
+        return RunSummary.from_dict(data)

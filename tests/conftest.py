@@ -1,0 +1,20 @@
+"""Shared fixtures.
+
+Warn-once deprecation state (``repro.params._warned_names``, also used
+by the ``repro.api`` v1-compatibility re-exports) is process-global;
+left alone it makes ``pytest.warns(DeprecationWarning)`` assertions
+order-dependent -- whichever test touches a deprecated name first
+steals the warning from every later one.  The autouse fixture resets it
+around each test so every test observes first-touch behaviour.
+"""
+
+import pytest
+
+from repro import params
+
+
+@pytest.fixture(autouse=True)
+def _reset_warn_once_state():
+    params.reset_deprecation_warnings()
+    yield
+    params.reset_deprecation_warnings()

@@ -109,8 +109,8 @@ def test_mlp_bounded_by_l1d_mshrs():
 
     def run(mshr):
         cfg = default_config()
-        cfg = cfg.replace(l1d=dataclasses.replace(cfg.l1d,
-                                                  mshr_entries=mshr))
+        cfg = cfg.with_(l1d=dataclasses.replace(cfg.l1d,
+                                                mshr_entries=mshr))
         n = 400
         # Independent cold loads to distinct pages: pure MLP.
         addrs = np.array([make_va([5, 0, 0, i // 512, i % 512])

@@ -1,12 +1,17 @@
 """Pins the public ``repro.api`` surface.
 
 Every name in ``api.__all__`` must resolve; removing or breaking a
-re-export is a compatibility break and should fail here first.
+re-export is a compatibility break and should fail here first.  v2
+promoted job submission (``submit``/``JobHandle``/``JobStatus``/
+``serve``) to the front door and demoted ``ParallelRunner``/
+``ResultCache``/``RunKey`` to warn-once compatibility re-exports.
 """
 
 import ast
+import asyncio
 import dataclasses
 import inspect
+import warnings
 
 import pytest
 
@@ -104,7 +109,7 @@ def test_api_trace_diff_accepts_documents():
 # v1.1 additions: bench, frozen SimConfig, facade-only CLI
 # ----------------------------------------------------------------------
 def test_api_version_pinned():
-    assert api.__api_version__ == "1.3"
+    assert api.__api_version__ == "2.0"
     assert "__api_version__" in api.__all__
 
 
@@ -137,13 +142,9 @@ def test_simconfig_with_resolves_preset_names():
         cfg.with_(no_such_field=1)
 
 
-def test_simconfig_replace_is_deprecated_alias():
-    from repro import params
-    params._warned_names.discard("SimConfig.replace")  # warn-once reset
-    cfg = api.build_config()
-    with pytest.warns(DeprecationWarning, match="SimConfig.with_"):
-        out = cfg.replace(llc_inclusion="inclusive")
-    assert out.llc_inclusion == "inclusive"
+# SimConfig.replace was removed under the v2 major bump; its removal
+# (RuntimeError naming SimConfig.with_) is pinned in
+# tests/test_removed_shims.py alongside the JourneyTracer retirement.
 
 
 def test_cli_routes_through_api_only():
@@ -309,3 +310,76 @@ def test_calibrate_returns_credible_score():
     from repro.bench import MIN_CREDIBLE_CALIBRATION, calibrate
     score = calibrate(iterations=50_000)
     assert score >= MIN_CREDIBLE_CALIBRATION
+
+
+# ----------------------------------------------------------------------
+# v2.0: job surface promoted, v1 internals demoted (docs/service.md)
+# ----------------------------------------------------------------------
+def test_v2_job_surface_present():
+    assert {"submit", "serve", "JobHandle", "JobStatus",
+            "configure_service"} <= set(api.__all__)
+    import repro.service
+    assert api.JobHandle is repro.service.JobHandle
+    assert api.JobStatus is repro.service.JobStatus
+    assert asyncio.iscoroutinefunction(api.submit)
+    assert callable(api.serve)
+
+
+def test_v2_jobstatus_values():
+    values = {s.value for s in api.JobStatus}
+    assert values == {"pending", "running", "done", "failed",
+                      "cancelled"}
+    assert api.JobStatus.DONE.terminal
+    assert not api.JobStatus.RUNNING.terminal
+
+
+def test_v1_internals_still_importable_with_one_warning():
+    """``api.RunKey``/``ParallelRunner``/``ResultCache`` keep working in
+    v2 but direct callers to the job surface, once per name."""
+    from repro.experiments import parallel
+    for name in ("RunKey", "ParallelRunner", "ResultCache"):
+        assert name in api.__all__
+        with pytest.warns(DeprecationWarning, match="api.submit"):
+            obj = getattr(api, name)
+        assert obj is getattr(parallel, name)
+        # Second access is silent (warn-once).
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert getattr(api, name) is obj
+
+
+def test_unknown_api_attribute_still_raises():
+    with pytest.raises(AttributeError, match="no_such_name"):
+        api.no_such_name
+
+
+def test_submit_roundtrip_matches_direct_run(tmp_path):
+    """Acceptance: a job-submitted run's RunSummary is bit-identical to
+    the direct api.run summary on the same config/seed, and an
+    identical resubmission is served from the store without executing."""
+    from repro.service import JobStore, SweepService
+
+    service = SweepService(store=JobStore(root=tmp_path), workers=0)
+
+    async def scenario():
+        h1 = await api.submit("run", benchmark="tc",
+                              instructions=2_000, warmup=500,
+                              service=service)
+        await h1.wait()
+        h2 = await api.submit("run", benchmark="tc",
+                              instructions=2_000, warmup=500,
+                              service=service)
+        await h2.wait()
+        await service.close()
+        return h1, h2
+
+    h1, h2 = asyncio.run(scenario())
+    assert h1.status is api.JobStatus.DONE and h1.source == "run"
+    assert h2.status is api.JobStatus.DONE and h2.source == "store"
+    assert service.metrics.executed == 1
+    assert service.metrics.store_hits == 1
+
+    direct = api.run("tc", instructions=2_000, warmup=500)
+    expected = api.RunSummary.from_run(direct, seed=1)
+    assert h1.summary().to_dict() == expected.to_dict()
+    assert h2.summary().to_dict() == expected.to_dict()

@@ -165,7 +165,7 @@ def test_tempo_fallback_inside_full_hierarchy():
     from repro.uncore.hierarchy import MemoryHierarchy
     from repro.vm.address import make_va
 
-    cfg = default_config(16).replace(
+    cfg = default_config(16).with_(
         enhancements=EnhancementConfig.full())
     h = MemoryHierarchy(cfg)
     h.load(make_va([1, 2, 3, 4, 5]), cycle=0)  # cold: leaf PTE from DRAM

@@ -66,7 +66,7 @@ def test_dirty_translation_eviction_writes_back():
 def test_ideal_mode_with_atp_does_not_double_serve():
     """Fig 2's ideal LLC plus ATP: both paths answer translations; the
     combination must still be self-consistent (no crash, sane timing)."""
-    cfg = default_config().replace(
+    cfg = default_config().with_(
         ideal=IdealConfig(llc_translations=True),
         enhancements=EnhancementConfig(t_drrip=True, t_ship=True,
                                        newsign=True, atp=True))
@@ -85,7 +85,7 @@ def test_multichannel_dram_distributes_rows():
 
 
 def test_ipcp_prefetch_to_unmapped_page_dropped():
-    cfg = default_config().replace(l1d_prefetcher="ipcp")
+    cfg = default_config().with_(l1d_prefetcher="ipcp")
     h = MemoryHierarchy(cfg)
     va = make_va([1, 2, 3, 4, 0])
     # Strided loads marching toward unmapped territory: cross-page

@@ -63,7 +63,7 @@ def test_dead_block_bypass_only_demand_data():
 
 
 def test_cbpred_hierarchy_wiring():
-    cfg = default_config().replace(comparison="cbpred")
+    cfg = default_config().with_(comparison="cbpred")
     h = MemoryHierarchy(cfg)
     assert h.dead_page_predictor is not None
     assert h.mmu.stlb.observer is h.dead_page_predictor
@@ -73,13 +73,13 @@ def test_cbpred_hierarchy_wiring():
 
 
 def test_unknown_comparison_mode_rejected():
-    cfg = default_config().replace(comparison="mockingjay")
+    cfg = default_config().with_(comparison="mockingjay")
     with pytest.raises(ValueError):
         MemoryHierarchy(cfg)
 
 
 def test_llc_bypass_skips_install():
-    cfg = default_config().replace(comparison="cbpred")
+    cfg = default_config().with_(comparison="cbpred")
     h = MemoryHierarchy(cfg)
     # Make every prediction dead.
     h.dead_page_predictor._counters = [0] * len(
@@ -134,7 +134,7 @@ def test_csalt_quota_adapts():
 
 
 def test_csalt_hierarchy_wiring():
-    cfg = default_config().replace(comparison="csalt")
+    cfg = default_config().with_(comparison="csalt")
     h = MemoryHierarchy(cfg)
     assert h.llc.policy.name == "csalt"
     h.load(make_va([1, 2, 3, 4, 5]), cycle=0)

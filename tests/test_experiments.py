@@ -33,7 +33,7 @@ def test_run_benchmark_produces_metrics():
 
 
 def test_run_benchmark_respects_config():
-    cfg = default_config().replace(enhancements=EnhancementConfig.full())
+    cfg = default_config().with_(enhancements=EnhancementConfig.full())
     r = run_benchmark("pr", config=cfg, **TINY)
     assert r.hierarchy.atp is not None
 

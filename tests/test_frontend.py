@@ -11,7 +11,7 @@ from repro.workloads.trace import KIND_NONMEM, Trace
 
 
 def build(model_frontend=True):
-    cfg = default_config().replace(model_frontend=model_frontend)
+    cfg = default_config().with_(model_frontend=model_frontend)
     return MemoryHierarchy(cfg), cfg
 
 
@@ -48,7 +48,7 @@ def test_fetch_categorized_as_ifetch():
 
 
 def test_core_with_frontend_runs_and_is_slower_when_code_misses():
-    cfg_on = default_config().replace(model_frontend=True)
+    cfg_on = default_config().with_(model_frontend=True)
     cfg_off = default_config()
     n = 3000
     # A code footprint far beyond the scaled L1I: every line fetch misses.
@@ -64,7 +64,7 @@ def test_core_with_frontend_runs_and_is_slower_when_code_misses():
 def test_small_code_footprint_barely_costs():
     """Once the loop body is resident in the L1I, fetch is pipeline-hidden
     (measured post-warmup to exclude the cold fills)."""
-    cfg_on = default_config().replace(model_frontend=True)
+    cfg_on = default_config().with_(model_frontend=True)
     cfg_off = default_config()
     n = 6000
     ips = 0x400000 + (np.arange(n, dtype=np.int64) * 4) % 512

@@ -48,7 +48,7 @@ def build_trace(records):
 @settings(max_examples=20, deadline=None)
 @given(records=RECORDS)
 def test_hierarchy_invariants_under_fuzz(enh_idx, records):
-    cfg = default_config().replace(enhancements=ENHANCEMENTS[enh_idx])
+    cfg = default_config().with_(enhancements=ENHANCEMENTS[enh_idx])
     hierarchy = MemoryHierarchy(cfg)
     core = OOOCore(cfg, hierarchy)
     result = core.run(build_trace(records))

@@ -13,9 +13,9 @@ VA = make_va([1, 2, 3, 4, 5], 0x40)
 def build(enh=None, **cfg_kwargs):
     cfg = default_config()
     if enh is not None:
-        cfg = cfg.replace(enhancements=enh)
+        cfg = cfg.with_(enhancements=enh)
     if cfg_kwargs:
-        cfg = cfg.replace(**cfg_kwargs)
+        cfg = cfg.with_(**cfg_kwargs)
     return MemoryHierarchy(cfg)
 
 
@@ -75,7 +75,7 @@ def test_newsign_only_variant():
 
 
 def test_t_hawkeye_when_llc_is_hawkeye():
-    cfg = default_config().replace(
+    cfg = default_config().with_(
         enhancements=EnhancementConfig(t_ship=True))
     cfg.llc.replacement = "hawkeye"
     h = MemoryHierarchy(cfg)
@@ -112,7 +112,7 @@ def test_ipcp_runs_on_loads():
 
 
 def test_ideal_llc_modes_wire_through():
-    cfg = default_config().replace(
+    cfg = default_config().with_(
         ideal=IdealConfig(llc_translations=True, llc_replays=True))
     h = MemoryHierarchy(cfg)
     assert h.llc.ideal_translations and h.llc.ideal_replays

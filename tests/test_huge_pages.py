@@ -108,7 +108,7 @@ def test_huge_leaf_read_flagged_for_atp():
 
 
 def test_hierarchy_gather_region_policy():
-    cfg = default_config().replace(huge_page_policy="gather_region")
+    cfg = default_config().with_(huge_page_policy="gather_region")
     h = MemoryHierarchy(cfg)
     from repro.workloads.synthetic import RANDOM_BASE, LOCAL_BASE
     assert h.page_table.is_huge(RANDOM_BASE + 123)
@@ -116,14 +116,14 @@ def test_hierarchy_gather_region_policy():
 
 
 def test_hierarchy_rejects_unknown_huge_policy():
-    cfg = default_config().replace(huge_page_policy="all_the_pages")
+    cfg = default_config().with_(huge_page_policy="all_the_pages")
     with pytest.raises(ValueError):
         MemoryHierarchy(cfg)
 
 
 def test_huge_pages_collapse_stlb_mpki():
     from repro.experiments.runner import run_benchmark
-    cfg = default_config().replace(huge_page_policy="gather_region")
+    cfg = default_config().with_(huge_page_policy="gather_region")
     base = run_benchmark("pr", instructions=6000, warmup=1500)
     huge = run_benchmark("pr", config=cfg, instructions=6000, warmup=1500)
     assert huge.stlb_mpki < 0.25 * base.stlb_mpki

@@ -40,7 +40,7 @@ def test_back_invalidation_on_eviction():
 
 
 def test_hierarchy_inclusive_wiring():
-    cfg = default_config().replace(llc_inclusion="inclusive")
+    cfg = default_config().with_(llc_inclusion="inclusive")
     h = MemoryHierarchy(cfg)
     assert h.l2c in h.llc.back_invalidate_targets
     assert h.l1d in h.llc.back_invalidate_targets
@@ -48,7 +48,7 @@ def test_hierarchy_inclusive_wiring():
 
 
 def test_hierarchy_rejects_unknown_inclusion():
-    cfg = default_config().replace(llc_inclusion="exclusive")
+    cfg = default_config().with_(llc_inclusion="exclusive")
     with pytest.raises(ValueError):
         MemoryHierarchy(cfg)
 
@@ -57,8 +57,8 @@ def test_inclusive_llc_still_benefits_from_enhancements():
     """The T-policies must survive inclusion: pinning translations at the
     LLC also *protects* their L2C copies from back-invalidation."""
     from repro.experiments.runner import run_benchmark
-    base_cfg = default_config().replace(llc_inclusion="inclusive")
-    enh_cfg = base_cfg.replace(enhancements=EnhancementConfig.full())
+    base_cfg = default_config().with_(llc_inclusion="inclusive")
+    enh_cfg = base_cfg.with_(enhancements=EnhancementConfig.full())
     base = run_benchmark("canneal", config=base_cfg, instructions=12_000,
                          warmup=3_000)
     enh = run_benchmark("canneal", config=enh_cfg, instructions=12_000,

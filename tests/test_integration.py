@@ -22,7 +22,7 @@ def baseline_pr():
 
 @pytest.fixture(scope="module")
 def full_pr():
-    cfg = default_config().replace(enhancements=EnhancementConfig.full())
+    cfg = default_config().with_(enhancements=EnhancementConfig.full())
     return run_benchmark("pr", config=cfg, **MID)
 
 
@@ -63,7 +63,7 @@ def test_translation_recall_is_short(baseline_pr):
 
 def test_tship_reduces_translation_mpki(baseline_pr):
     """Fig 12: T-SHiP cuts the leaf-translation MPKI at the LLC."""
-    cfg = default_config().replace(enhancements=EnhancementConfig(
+    cfg = default_config().with_(enhancements=EnhancementConfig(
         t_drrip=True, t_ship=True, newsign=True))
     enhanced = run_benchmark("pr", config=cfg, **MID)
     assert enhanced.leaf_mpki("llc") < baseline_pr.leaf_mpki("llc")
@@ -83,7 +83,7 @@ def test_enhancements_never_lose_badly():
     speedups = []
     for name in ("canneal", "mcf", "tc"):
         base = run_benchmark(name, **MID)
-        cfg = default_config().replace(
+        cfg = default_config().with_(
             enhancements=EnhancementConfig.full())
         enh = run_benchmark(name, config=cfg, **MID)
         speedups.append(enh.speedup_over(base))
@@ -94,9 +94,9 @@ def test_enhancements_never_lose_badly():
 
 def test_ideal_caches_upper_bound(baseline_pr):
     """Fig 2: the ideal-TR machine beats the real one, and TR >= T."""
-    cfg_t = default_config().replace(
+    cfg_t = default_config().with_(
         ideal=IdealConfig(llc_translations=True, l2c_translations=True))
-    cfg_tr = default_config().replace(
+    cfg_tr = default_config().with_(
         ideal=IdealConfig(llc_translations=True, llc_replays=True,
                           l2c_translations=True, l2c_replays=True))
     ideal_t = run_benchmark("pr", config=cfg_t, **MID)
@@ -120,9 +120,9 @@ def test_translation_hit_rate_near_one_with_enhancements(full_pr):
 def test_fig10_misconfiguration_is_worse_than_proposal():
     """Inserting replays at RRPV=0 must underperform the proper T-config
     (the point of Fig 10)."""
-    proper_cfg = default_config().replace(enhancements=EnhancementConfig(
+    proper_cfg = default_config().with_(enhancements=EnhancementConfig(
         t_drrip=True, t_ship=True, newsign=True))
-    wrong_cfg = default_config().replace(enhancements=EnhancementConfig(
+    wrong_cfg = default_config().with_(enhancements=EnhancementConfig(
         t_drrip=True, t_ship=True, newsign=True, replay_rrpv0=True))
     proper = run_benchmark("pr", config=proper_cfg, **MID)
     wrong = run_benchmark("pr", config=wrong_cfg, **MID)

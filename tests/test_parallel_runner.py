@@ -34,7 +34,7 @@ def test_runkey_equality_and_digest_follow_config():
     b = RunKey.make("pr", default_config(), TINY_N, TINY_W)
     assert a == b and hash(a) == hash(b) and a.digest == b.digest
 
-    full = default_config().replace(enhancements=EnhancementConfig.full())
+    full = default_config().with_(enhancements=EnhancementConfig.full())
     c = RunKey.make("pr", full, TINY_N, TINY_W)
     assert c != a and c.digest != a.digest
     assert config_digest(full) != config_digest(default_config())
@@ -79,7 +79,7 @@ def test_parallel_matches_serial_bit_identical(tmp_path):
     be served entirely from the ResultCache."""
     benchmarks = ("pr", "tc", "mcf")
     configs = (None,
-               default_config().replace(
+               default_config().with_(
                    enhancements=EnhancementConfig.full()))
     keys = [k for cfg in configs for k in keys_for(benchmarks, cfg)]
 
@@ -133,7 +133,7 @@ def test_cache_roundtrip_and_versioning(tmp_path):
 def test_corrupt_cache_entry_is_a_miss(tmp_path):
     cache = ResultCache(root=tmp_path, fingerprint="aaaa")
     key = RunKey.make("pr", None, TINY_N, TINY_W)
-    cache.dir.mkdir(parents=True)
+    cache.path_for(key).parent.mkdir(parents=True)
     cache.path_for(key).write_text("{not json")
     assert cache.get(key) is None
 

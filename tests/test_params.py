@@ -59,9 +59,9 @@ def test_default_config_scales_structures_under_study():
     assert cfg.l1d.size_bytes == paper.l1d.size_bytes // (DEFAULT_SCALE // 4)
 
 
-def test_replace_returns_new_config():
+def test_with_returns_new_config():
     cfg = default_config()
-    cfg2 = cfg.replace(l2c_prefetcher="spp")
+    cfg2 = cfg.with_(l2c_prefetcher="spp")
     assert cfg2.l2c_prefetcher == "spp"
     assert cfg.l2c_prefetcher == "none"
 
@@ -87,18 +87,11 @@ def test_ptes_per_line():
 # Name normalisation and deprecation shims
 # ----------------------------------------------------------------------
 
-@pytest.fixture
-def fresh_warnings():
-    """Reset the warn-once registry so each test sees its warning."""
-    import repro.params as params
-    saved = set(params._warned_names)
-    params._warned_names.clear()
-    yield
-    params._warned_names.clear()
-    params._warned_names.update(saved)
+# Warn-once state is reset around every test by the autouse fixture in
+# conftest.py (params.reset_deprecation_warnings), so each test observes
+# first-touch behaviour without a local fixture.
 
-
-def test_canonical_policy_passthrough(fresh_warnings):
+def test_canonical_policy_passthrough():
     import warnings
 
     with warnings.catch_warnings():
@@ -117,13 +110,13 @@ def test_canonical_policy_passthrough(fresh_warnings):
     ("new_sign_ship", "newsign_ship"),
     ("  LRU ", "lru"),
 ])
-def test_canonical_policy_maps_deprecated_spellings(fresh_warnings,
+def test_canonical_policy_maps_deprecated_spellings(
                                                     old, new):
     with pytest.warns(DeprecationWarning):
         assert canonical_policy(old) == new
 
 
-def test_canonical_policy_warns_once(fresh_warnings):
+def test_canonical_policy_warns_once():
     import warnings
 
     with pytest.warns(DeprecationWarning):
@@ -133,12 +126,12 @@ def test_canonical_policy_warns_once(fresh_warnings):
         assert canonical_policy("T-DRRIP") == "t_drrip"
 
 
-def test_canonical_policy_unknown_passes_through(fresh_warnings):
+def test_canonical_policy_unknown_passes_through():
     # The replacement registry reports unknown names with its own error.
     assert canonical_policy("plru") == "plru"
 
 
-def test_enhancement_deprecated_kwargs(fresh_warnings):
+def test_enhancement_deprecated_kwargs():
     with pytest.warns(DeprecationWarning, match="t_llc"):
         enh = EnhancementConfig(t_llc=True)
     assert enh.t_ship is True
@@ -147,7 +140,7 @@ def test_enhancement_deprecated_kwargs(fresh_warnings):
     assert enh.newsign is True
 
 
-def test_enhancement_deprecated_attribute_shims(fresh_warnings):
+def test_enhancement_deprecated_attribute_shims():
     enh = EnhancementConfig(t_ship=True, newsign=False)
     with pytest.warns(DeprecationWarning):
         assert enh.t_llc is True
@@ -160,7 +153,7 @@ def test_enhancement_unknown_flag_rejected():
         EnhancementConfig(frobnicate=True)
 
 
-def test_make_policy_accepts_deprecated_spelling(fresh_warnings):
+def test_make_policy_accepts_deprecated_spelling():
     from repro.cache.replacement import make_policy
 
     with pytest.warns(DeprecationWarning):

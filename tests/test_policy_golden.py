@@ -32,12 +32,12 @@ def config_for(policy):
     cfg = default_config(16)
     if policy == "t_drrip":
         # T-DRRIP is the L2C-side enhancement (LLC keeps its default).
-        return cfg.replace(enhancements=EnhancementConfig(t_drrip=True))
+        return cfg.with_(enhancements=EnhancementConfig(t_drrip=True))
     if policy in ("t_ship", "t_hawkeye"):
-        return cfg.replace(
+        return cfg.with_(
             llc=dataclasses.replace(cfg.llc, replacement=policy[2:]),
             enhancements=EnhancementConfig(t_ship=True))
-    return cfg.replace(llc=dataclasses.replace(cfg.llc, replacement=policy))
+    return cfg.with_(llc=dataclasses.replace(cfg.llc, replacement=policy))
 
 
 @pytest.mark.parametrize("policy", sorted(GOLDEN))

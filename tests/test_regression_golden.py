@@ -45,7 +45,7 @@ def test_simulation_is_deterministic():
 def test_enhancement_stack_golden_direction():
     """The full stack's effect on canneal stays in its known band."""
     base = run_benchmark("canneal", **KW)
-    cfg = default_config().replace(enhancements=EnhancementConfig.full())
+    cfg = default_config().with_(enhancements=EnhancementConfig.full())
     enh = run_benchmark("canneal", config=cfg, **KW)
     speedup = enh.speedup_over(base)
     assert 0.98 < speedup < 1.25

@@ -1,0 +1,56 @@
+"""Removal tests for the shims retired under the api v2 major bump.
+
+PR 4/5 demoted ``JourneyTracer`` and ``SimConfig.replace`` to warn-once
+deprecation shims; v2 removes them.  A removed name must fail *loudly*
+and name its successor -- not vanish into ``AttributeError``/
+``ImportError`` noise -- so these pin the error type and message.
+"""
+
+import importlib
+import sys
+
+import pytest
+
+from repro.params import default_config
+
+
+# ----------------------------------------------------------------------
+# JourneyTracer (successor: repro.obs.trace)
+# ----------------------------------------------------------------------
+def test_journey_tracer_module_raises_with_successor():
+    sys.modules.pop("repro.debug.tracer", None)
+    with pytest.raises(RuntimeError, match="repro.obs.trace"):
+        importlib.import_module("repro.debug.tracer")
+    # The message also names the facade-level alternative.
+    sys.modules.pop("repro.debug.tracer", None)
+    with pytest.raises(RuntimeError, match="repro.api.trace"):
+        importlib.import_module("repro.debug.tracer")
+
+
+def test_debug_package_no_longer_exports_tracer():
+    import repro.debug
+    assert not hasattr(repro.debug, "JourneyTracer")
+    assert not hasattr(repro.debug, "JourneyEvent")
+    assert repro.debug.__all__ == []
+
+
+def test_span_tracer_successor_importable():
+    # The successor named by the removal message must actually exist.
+    from repro.obs.trace import SpanTracer, attach, detach
+    assert callable(attach) and callable(detach) and SpanTracer
+
+
+# ----------------------------------------------------------------------
+# SimConfig.replace (successor: SimConfig.with_)
+# ----------------------------------------------------------------------
+def test_simconfig_replace_raises_with_successor():
+    cfg = default_config()
+    with pytest.raises(RuntimeError, match=r"SimConfig\.with_"):
+        cfg.replace(llc_inclusion="inclusive")
+
+
+def test_simconfig_with_still_works():
+    cfg = default_config()
+    out = cfg.with_(llc_inclusion="inclusive")
+    assert out.llc_inclusion == "inclusive"
+    assert cfg.llc_inclusion == "non_inclusive"

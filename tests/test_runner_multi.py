@@ -25,7 +25,7 @@ def test_enhancements_do_not_hurt_low_mpki_workloads():
     """Paper: 'our enhancements do not affect the performance of
     applications that do not see significant STLB misses'."""
     base = run_benchmark("compute", instructions=10_000, warmup=2_500)
-    cfg = default_config().replace(enhancements=EnhancementConfig.full())
+    cfg = default_config().with_(enhancements=EnhancementConfig.full())
     enh = run_benchmark("compute", config=cfg, instructions=10_000,
                         warmup=2_500)
     assert enh.speedup_over(base) == pytest.approx(1.0, abs=0.05)
@@ -50,7 +50,7 @@ def test_multi_seed_speedup_is_stable():
     """The enhancement speedup holds across seeds (not trace luck)."""
     base = run_benchmark_multi("canneal", seeds=[1, 2, 3],
                                instructions=10_000, warmup=2_500)
-    cfg = default_config().replace(enhancements=EnhancementConfig.full())
+    cfg = default_config().with_(enhancements=EnhancementConfig.full())
     enh = run_benchmark_multi("canneal", seeds=[1, 2, 3], config=cfg,
                               instructions=10_000, warmup=2_500)
     assert enh.speedup_over(base) > 0.99

@@ -1,0 +1,510 @@
+"""Tests for the asyncio sweep service (queue, dedupe, retries, sweeps).
+
+Everything here drives the service deterministically: ``workers=0``
+(inline execution on the event loop), injected ``execute`` stubs, and
+explicit ``await``s instead of wall-clock sleeps.  The three dedupe
+horizons, worker-loss requeueing and sweep resumption are the ISSUE's
+acceptance surface.
+"""
+
+import asyncio
+from concurrent.futures import BrokenExecutor
+
+import pytest
+
+from repro.service import (JobHandle, JobStore, ServiceSaturated,
+                           SweepService)
+from repro.service.jobs import JobError, JobSpec, JobStatus
+
+RUN = dict(benchmark="tc", instructions=2_000, warmup=500)
+
+
+class RecordingExecutor:
+    """Deterministic ``execute`` stub: records call order, can fail."""
+
+    def __init__(self, broken_for=(), broken_times=0, raises=None):
+        self.calls = []
+        self.broken_for = set(broken_for)
+        self.broken_times = broken_times
+        self.raises = raises
+
+    def __call__(self, spec_dict):
+        name = spec_dict.get("benchmark") or spec_dict.get("kind")
+        self.calls.append(name)
+        if self.raises is not None:
+            raise self.raises
+        if name in self.broken_for and self.broken_times > 0:
+            self.broken_times -= 1
+            raise BrokenExecutor(f"worker died on {name}")
+        return {"benchmark": name, "calls": len(self.calls)}
+
+
+def make_service(tmp_path, **kwargs):
+    kwargs.setdefault("store", JobStore(root=tmp_path))
+    kwargs.setdefault("execute", RecordingExecutor())
+    return SweepService(workers=0, **kwargs)
+
+
+def drive(coro_fn):
+    """Run an async test body to completion on a fresh loop."""
+    return asyncio.run(coro_fn())
+
+
+# ----------------------------------------------------------------------
+# Dedupe: store hit > in-flight attach > queue
+# ----------------------------------------------------------------------
+def test_concurrent_identical_submits_execute_once(tmp_path):
+    service = make_service(tmp_path)
+
+    async def body():
+        await service.start()
+        # Submitted back-to-back with no scheduling point in between:
+        # all five land before the drain task runs once.
+        jobs = await asyncio.gather(
+            *(service.submit("run", **RUN) for _ in range(5)))
+        await service.wait(jobs[0])
+        await service.close()
+        return jobs
+
+    jobs = drive(body)
+    assert len({job.id for job in jobs}) == 1  # all folded into one
+    assert jobs[0].status is JobStatus.DONE
+    assert jobs[0].dedup_hits == 4
+    assert service.metrics.executed == 1
+    assert service.metrics.dedup_hits == 4
+    assert service._execute.calls == ["tc"]
+    # Every handle fans out the same payload object.
+    assert all(j.payload == jobs[0].payload for j in jobs)
+
+
+def test_store_hit_survives_service_restart(tmp_path):
+    first = make_service(tmp_path)
+
+    async def warm():
+        job = await first.submit("run", **RUN)
+        await first.wait(job)
+        await first.close()
+        return job
+
+    warmed = drive(warm)
+    assert warmed.source == "run"
+
+    second = make_service(tmp_path)
+
+    async def resubmit():
+        job = await second.submit("run", **RUN)
+        await second.close()
+        return job
+
+    job = drive(resubmit)
+    assert job.status is JobStatus.DONE and job.source == "store"
+    assert job.payload == warmed.payload
+    assert second.metrics.store_hits == 1
+    assert second._execute.calls == []  # nothing executed
+
+
+def test_distinct_specs_execute_separately(tmp_path):
+    service = make_service(tmp_path)
+
+    async def body():
+        a = await service.submit("run", **RUN)
+        b = await service.submit("run", benchmark="mg",
+                                 instructions=2_000, warmup=500)
+        await service.wait(a)
+        await service.wait(b)
+        await service.close()
+        return a, b
+
+    a, b = drive(body)
+    assert a.digest != b.digest
+    assert service.metrics.executed == 2
+
+
+# ----------------------------------------------------------------------
+# Priorities
+# ----------------------------------------------------------------------
+def test_lower_priority_number_runs_first(tmp_path):
+    service = make_service(tmp_path)
+
+    async def body():
+        await service.start()
+        # Queued before the single drain task gets a scheduling point.
+        low = await service.submit("run", benchmark="tc", priority=20,
+                                   instructions=2_000, warmup=500)
+        high = await service.submit("run", benchmark="mg", priority=1,
+                                    instructions=2_000, warmup=500)
+        mid = await service.submit("run", benchmark="bfs", priority=10,
+                                   instructions=2_000, warmup=500)
+        for job in (low, high, mid):
+            await service.wait(job)
+        await service.close()
+
+    drive(body)
+    assert service._execute.calls == ["mg", "bfs", "tc"]
+
+
+# ----------------------------------------------------------------------
+# Back-pressure
+# ----------------------------------------------------------------------
+def test_nowait_submit_raises_when_saturated(tmp_path):
+    service = make_service(tmp_path, queue_size=1)
+
+    async def body():
+        await service.start()
+        ok = await service.submit("run", wait=False, **RUN)
+        with pytest.raises(ServiceSaturated, match="retry later"):
+            await service.submit("run", benchmark="mg", wait=False,
+                                 instructions=2_000, warmup=500)
+        await service.wait(ok)
+        await service.close()
+        return ok
+
+    ok = drive(body)
+    assert ok.status is JobStatus.DONE
+    # The rejected job is dropped terminally, not leaked in-flight.
+    dropped = [j for j in service.jobs() if j is not ok]
+    assert len(dropped) == 1
+    assert dropped[0].status is JobStatus.CANCELLED
+    assert "back-pressure" in dropped[0].error
+    assert service._inflight == {}
+
+
+def test_waiting_submit_suspends_until_slot_frees(tmp_path):
+    service = make_service(tmp_path, queue_size=1)
+
+    async def body():
+        await service.start()
+        first = await service.submit("run", wait=False, **RUN)
+        # The queue is full; a waiting submit must suspend, then land
+        # once the drain task frees the slot.
+        blocked = asyncio.ensure_future(
+            service.submit("run", benchmark="mg", instructions=2_000,
+                           warmup=500))
+        assert not blocked.done()
+        # Unlike wait=False this does not raise ServiceSaturated: it
+        # suspends until the drain task frees the slot.
+        second = await blocked
+        await service.wait(first)
+        await service.wait(second)
+        await service.close()
+        return first, second
+
+    first, second = drive(body)
+    assert first.status is JobStatus.DONE
+    assert second.status is JobStatus.DONE
+    assert service._execute.calls == ["tc", "mg"]
+
+
+# ----------------------------------------------------------------------
+# Worker loss: requeued, not lost
+# ----------------------------------------------------------------------
+def test_killed_worker_requeues_job(tmp_path):
+    service = make_service(
+        tmp_path, max_attempts=2,
+        execute=RecordingExecutor(broken_for={"tc"}, broken_times=1))
+
+    async def body():
+        job = await service.submit("run", **RUN)
+        await service.wait(job)
+        await service.close()
+        return job
+
+    job = drive(body)
+    assert job.status is JobStatus.DONE
+    assert job.attempts == 2
+    assert service.metrics.requeues == 1
+    assert service.metrics.executed == 1
+    assert service._execute.calls == ["tc", "tc"]
+    kinds = [e["kind"] for e in job.events.snapshot()]
+    assert "requeue" in kinds
+
+
+def test_worker_loss_exhausts_attempts_then_fails(tmp_path):
+    service = make_service(
+        tmp_path, max_attempts=2,
+        execute=RecordingExecutor(broken_for={"tc"}, broken_times=99))
+
+    async def body():
+        job = await service.submit("run", **RUN)
+        await service.wait(job)
+        await service.close()
+        return job
+
+    job = drive(body)
+    assert job.status is JobStatus.FAILED
+    assert "worker lost" in job.error
+    assert job.attempts == 2
+    assert service.metrics.requeues == 1
+    assert service.metrics.failures == 1
+    assert not service.store.contains(job.digest)  # nothing stored
+
+
+def test_job_exception_is_terminal_not_retried(tmp_path):
+    service = make_service(
+        tmp_path, execute=RecordingExecutor(
+            raises=ValueError("bad workload")))
+
+    async def body():
+        job = await service.submit("run", **RUN)
+        await service.wait(job)
+        await service.close()
+        return job
+
+    job = drive(body)
+    assert job.status is JobStatus.FAILED
+    assert job.attempts == 1
+    assert "bad workload" in job.error
+    assert service.metrics.requeues == 0
+
+
+# ----------------------------------------------------------------------
+# Cancellation
+# ----------------------------------------------------------------------
+def test_cancel_pending_job_skips_execution(tmp_path):
+    service = make_service(tmp_path)
+
+    async def body():
+        await service.start()
+        doomed = await service.submit("run", **RUN)
+        assert service.cancel(doomed)  # still queued: cancellable
+        kept = await service.submit("run", benchmark="mg",
+                                    instructions=2_000, warmup=500)
+        await service.wait(doomed)
+        await service.wait(kept)
+        await service.close()
+        return doomed, kept
+
+    doomed, kept = drive(body)
+    assert doomed.status is JobStatus.CANCELLED
+    assert kept.status is JobStatus.DONE
+    assert service._execute.calls == ["mg"]  # doomed never executed
+    assert service.metrics.cancelled == 1
+
+
+def test_cancel_terminal_job_is_refused(tmp_path):
+    service = make_service(tmp_path)
+
+    async def body():
+        job = await service.submit("run", **RUN)
+        await service.wait(job)
+        refused = service.cancel(job)
+        await service.close()
+        return job, refused
+
+    job, refused = drive(body)
+    assert job.status is JobStatus.DONE
+    assert refused is False
+
+
+# ----------------------------------------------------------------------
+# Sweeps: expansion, resumption, store skip
+# ----------------------------------------------------------------------
+SWEEP = dict(runs=["tc", "mg", "bfs"], instructions=2_000, warmup=500)
+
+
+def test_sweep_executes_children_and_stores_itself(tmp_path):
+    service = make_service(tmp_path)
+
+    async def body():
+        job = await service.submit("sweep", **SWEEP)
+        await service.wait(job)
+        await service.close()
+        return job
+
+    job = drive(body)
+    assert job.status is JobStatus.DONE
+    assert sorted(service._execute.calls) == ["bfs", "mg", "tc"]
+    assert job.payload["total"] == 3
+    assert job.payload["skipped"] == []
+    assert len(job.payload["completed"]) == 3
+    assert service.store.contains(job.digest)
+    # Every child digest is store-resident and JSON-addressable.
+    for digest in job.payload["completed"]:
+        assert service.store.contains(digest)
+
+
+def test_resumed_partial_sweep_skips_completed_digests(tmp_path):
+    # First attempt: the "mg" child's worker keeps dying, so the sweep
+    # fails but "tc" and "bfs" land in the store.
+    broken = make_service(
+        tmp_path, max_attempts=2,
+        execute=RecordingExecutor(broken_for={"mg"}, broken_times=99))
+
+    async def partial():
+        job = await broken.submit("sweep", **SWEEP)
+        await broken.wait(job)
+        await broken.close()
+        return job
+
+    failed = drive(partial)
+    assert failed.status is JobStatus.FAILED
+    assert len(failed.payload["failed"]) == 1
+    assert len(failed.payload["completed"]) == 2
+    # A partial sweep is NOT stored: resubmission must re-expand.
+    assert not broken.store.contains(failed.digest)
+
+    # Second attempt (fresh service, healed workers, same store): only
+    # the missing child executes; the rest are skipped from the store.
+    healed = make_service(tmp_path)
+
+    async def resume():
+        job = await healed.submit("sweep", **SWEEP)
+        await healed.wait(job)
+        await healed.close()
+        return job
+
+    resumed = drive(resume)
+    assert resumed.status is JobStatus.DONE
+    assert healed._execute.calls == ["mg"]  # only the gap
+    assert len(resumed.payload["skipped"]) == 2
+    assert len(resumed.payload["completed"]) == 3
+    assert healed.metrics.store_hits == 2
+    assert healed.metrics.executed == 2  # the child + the sweep itself
+    assert healed.store.contains(resumed.digest)
+    kinds = [e["kind"] for e in resumed.events.snapshot()]
+    assert kinds.count("sweep-skip") == 2
+
+    # Third attempt: the whole sweep is now a store hit.
+    warm = make_service(tmp_path)
+
+    async def rehit():
+        job = await warm.submit("sweep", **SWEEP)
+        await warm.close()
+        return job
+
+    hit = drive(rehit)
+    assert hit.status is JobStatus.DONE and hit.source == "store"
+    assert warm._execute.calls == []
+
+
+def test_bad_sweep_fails_loudly(tmp_path):
+    service = make_service(tmp_path)
+
+    async def body():
+        with pytest.raises(JobError, match="non-empty 'runs'"):
+            await service.submit("sweep", runs=[])
+        await service.close()
+
+    drive(body)
+
+
+# ----------------------------------------------------------------------
+# Spec validation and identity
+# ----------------------------------------------------------------------
+def test_unknown_kind_rejected():
+    with pytest.raises(JobError, match="unknown job kind"):
+        JobSpec.make("frobnicate")
+
+
+def test_missing_required_field_rejected():
+    with pytest.raises(JobError, match="needs 'benchmark'"):
+        JobSpec.make("run")
+
+
+def test_non_positive_int_rejected():
+    with pytest.raises(JobError, match="positive integer"):
+        JobSpec.make("run", benchmark="tc", instructions=0)
+
+
+def test_scenario_spec_rejects_config_overlay():
+    with pytest.raises(JobError, match="scenario document"):
+        JobSpec.make("scenario", scenario="baseline-vs-full",
+                     config={"stlb_entries": 64})
+
+
+def test_spec_roundtrips_through_dict():
+    spec = JobSpec.make("run", benchmark="tc", instructions=2_000,
+                        warmup=500, config={"l2c_prefetcher": "spp"})
+    again = JobSpec.from_dict(spec.to_dict())
+    assert again == spec
+    assert again.digest == spec.digest
+    assert hash(again) == hash(spec)  # frozen + hashable
+
+
+def test_run_spec_digest_is_runkey_digest():
+    spec = JobSpec.make("run", benchmark="tc", instructions=2_000,
+                        warmup=500)
+    assert spec.digest == spec.run_key().digest
+
+
+def test_sweep_children_inherit_shared_params():
+    spec = JobSpec.make("sweep", runs=["tc", {"benchmark": "mg",
+                                              "seed": 7}],
+                        instructions=2_000, warmup=500)
+    children = spec.sweep_children()
+    assert [c.kind for c in children] == ["run", "run"]
+    assert children[0].param("benchmark") == "tc"
+    assert children[0].param("instructions") == 2_000
+    assert children[1].param("seed") == 7
+    assert children[1].param("warmup") == 500
+
+
+# ----------------------------------------------------------------------
+# Real spec execution (the non-run branches; runs are covered by the
+# api-surface roundtrip test)
+# ----------------------------------------------------------------------
+def test_execute_spec_trace_branch():
+    from repro.service.core import execute_spec
+    doc = execute_spec(JobSpec.make("trace", benchmark="tc",
+                                    instructions=2_000,
+                                    warmup=500).to_dict())
+    assert doc["kind"] == "trace" and doc["benchmark"] == "tc"
+    assert doc["document"]
+
+
+def test_execute_spec_scenario_is_bare_summary():
+    from repro.service.core import execute_spec
+    spec = JobSpec.make("scenario", scenario="SYN-01-STLB-THRASH",
+                        instructions=3_000, warmup=500)
+    payload = execute_spec(spec.to_dict())
+    # Bare RunSummary dict: interchangeable with ResultCache entries.
+    assert payload["cycles"] > 0 and payload["instructions"] > 0
+    from repro.experiments.parallel import RunSummary
+    assert RunSummary.from_dict(payload).ipc > 0
+
+
+def test_execute_spec_rejects_unknown_kind():
+    from repro.service.core import execute_spec
+    with pytest.raises(JobError, match="unknown job kind"):
+        execute_spec({"kind": "warp", "benchmark": "tc"})
+
+
+# ----------------------------------------------------------------------
+# JobHandle surface
+# ----------------------------------------------------------------------
+def test_handle_result_raises_until_done(tmp_path):
+    service = make_service(tmp_path)
+
+    async def body():
+        await service.start()
+        job = await service.submit("run", **RUN)
+        handle = JobHandle(service, job)
+        with pytest.raises(RuntimeError, match="pending"):
+            handle.result()
+        await handle.wait()
+        payload = handle.result()
+        await service.close()
+        return handle, payload
+
+    handle, payload = drive(body)
+    assert handle.status is JobStatus.DONE
+    assert payload["benchmark"] == "tc"
+    kinds = [e["kind"] for e in handle.events()]
+    statuses = [e["status"] for e in handle.events() if "status" in e]
+    assert kinds[0] == "status"
+    assert statuses == ["pending", "running", "done"]
+
+
+def test_event_stream_is_ordered_and_closed(tmp_path):
+    service = make_service(tmp_path)
+
+    async def body():
+        job = await service.submit("run", **RUN)
+        await service.wait(job)
+        await service.close()
+        return job
+
+    job = drive(body)
+    events = job.events.snapshot()
+    assert [e["seq"] for e in events] == list(range(len(events)))
+    assert job.events.closed

@@ -16,7 +16,7 @@ from repro.vm.address import make_va
 def checked(monkeypatch):
     """A small hierarchy with the full checker stack attached."""
     monkeypatch.setenv("REPRO_CHECK", "1")
-    cfg = default_config(16).replace(
+    cfg = default_config(16).with_(
         enhancements=EnhancementConfig.full())
     hierarchy = MemoryHierarchy(cfg)
     assert hierarchy.checker is not None
@@ -116,7 +116,7 @@ def test_detects_mshr_leak(checked):
 
 def test_detects_inclusion_violation(monkeypatch):
     monkeypatch.setenv("REPRO_CHECK", "1")
-    cfg = default_config(16).replace(llc_inclusion="inclusive")
+    cfg = default_config(16).with_(llc_inclusion="inclusive")
     hierarchy = MemoryHierarchy(cfg)
     drive(hierarchy, 32)
     # Drop a line from the LLC behind the back-invalidation machinery's

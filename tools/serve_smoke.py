@@ -1,0 +1,116 @@
+#!/usr/bin/env python
+"""End-to-end smoke test of the sweep service (`make serve-smoke`).
+
+Boots the HTTP service on an ephemeral port against a throwaway store,
+then drives it exactly the way a user would:
+
+1. submit a tiny run over HTTP and wait on its event stream;
+2. submit a scenario the same way;
+3. resubmit the identical run and assert it is a *store hit* that
+   executed nothing (the same-RunKey-executes-once acceptance check);
+4. assert the run payload is bit-identical to a direct ``api.run``;
+5. write the store manifest to ``service-artifacts/`` (CI uploads it).
+
+Exits non-zero on any violated expectation.  Stdlib + repro only.
+"""
+
+import json
+import pathlib
+import sys
+import tempfile
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent
+                       / "src"))
+
+INSTRUCTIONS = 20_000
+WARMUP = 4_000
+RUN_SPEC = {"kind": "run", "benchmark": "tc",
+            "instructions": INSTRUCTIONS, "warmup": WARMUP}
+SCENARIO_SPEC = {"kind": "scenario", "scenario": "SYN-01-STLB-THRASH",
+                 "instructions": 6_000, "warmup": 1_000}
+
+
+def main() -> int:
+    import threading
+
+    from repro import api
+    from repro.service import JobStore, SweepService
+    from repro.service.cli import request, wait_for_job
+    from repro.service.http import build_server
+
+    store_root = tempfile.mkdtemp(prefix="repro-serve-smoke-")
+    service = SweepService(store=JobStore(root=store_root), workers=2)
+    httpd, runtime = build_server(service, port=0)
+    thread = threading.Thread(target=httpd.serve_forever, daemon=True)
+    thread.start()
+    host, port = httpd.server_address[:2]
+    url = f"http://{host}:{port}"
+    print(f"serve-smoke: service on {url} (store {store_root})")
+
+    failures = []
+
+    def check(label, ok):
+        print(f"serve-smoke: {'ok  ' if ok else 'FAIL'} {label}")
+        if not ok:
+            failures.append(label)
+
+    try:
+        # 1. tiny run over HTTP, wait on the event stream
+        run1 = request(url, "/jobs", method="POST", body=RUN_SPEC)
+        final1 = wait_for_job(url, run1["id"])
+        check("run completes", final1["status"] == "done")
+        check("run executed (not cached)", final1["source"] == "run")
+
+        # 2. one scenario through the same path
+        scen = request(url, "/jobs", method="POST", body=SCENARIO_SPEC)
+        final_scen = wait_for_job(url, scen["id"])
+        check("scenario completes", final_scen["status"] == "done")
+
+        # 3. identical resubmission must be a store hit: same digest,
+        #    nothing new executed.
+        run2 = request(url, "/jobs", method="POST", body=RUN_SPEC)
+        final2 = wait_for_job(url, run2["id"])
+        check("resubmission completes", final2["status"] == "done")
+        check("same RunKey, same digest",
+              final2["digest"] == final1["digest"])
+        check("resubmission is a store hit",
+              final2["source"] == "store")
+        health = request(url, "/health")
+        check("exactly 2 executions (run + scenario)",
+              health["metrics"]["executed"] == 2)
+        check("store-hit counter advanced",
+              health["metrics"]["store_hits"] == 1)
+
+        # 4. the job payload is bit-identical to the direct API run
+        payload = request(url, f"/jobs/{run1['id']}/result")
+        direct = api.RunSummary.from_run(
+            api.run("tc", instructions=INSTRUCTIONS, warmup=WARMUP),
+            seed=1).to_dict()
+        check("payload bit-identical to direct api.run",
+              payload == direct)
+
+        # 5. manifest artifact
+        manifest = request(url, "/store")
+        check("manifest lists both digests",
+              sorted(manifest["digests"]) == sorted(
+                  {final1["digest"], final_scen["digest"]}))
+        artifacts = pathlib.Path("service-artifacts")
+        artifacts.mkdir(exist_ok=True)
+        out = artifacts / "store-manifest.json"
+        out.write_text(json.dumps(manifest, indent=2, sort_keys=True))
+        print(f"serve-smoke: manifest -> {out}")
+    finally:
+        httpd.shutdown()
+        httpd.server_close()
+        runtime.stop()
+
+    if failures:
+        print(f"serve-smoke: {len(failures)} failure(s): "
+              + ", ".join(failures))
+        return 1
+    print("serve-smoke: all checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
