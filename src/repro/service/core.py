@@ -32,9 +32,10 @@ from __future__ import annotations
 import asyncio
 import itertools
 import os
+from collections import deque
 from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Deque, Dict, List, Optional
 
 from repro.experiments.parallel import ParallelRunner, RunSummary
 from repro.service.jobs import (DEFAULT_PRIORITY, Job, JobError, JobSpec,
@@ -44,6 +45,11 @@ from repro.service.store import JobStore
 #: Default queue bound; small enough that a runaway sweep generator
 #: feels back-pressure quickly, large enough to keep a pool busy.
 DEFAULT_QUEUE_SIZE = 256
+
+#: Terminal jobs kept in memory beyond this count are pruned (oldest
+#: first).  Their payloads stay addressable via the on-disk store by
+#: digest; only the in-memory Job (status doc + event history) goes.
+DEFAULT_RETENTION = 1024
 
 
 class ServiceSaturated(RuntimeError):
@@ -139,6 +145,9 @@ class ServiceMetrics:
     requeues: int = 0
     failures: int = 0
     cancelled: int = 0
+    #: Back-pressure drops (queue full, the 503 path) -- never accepted,
+    #: so counted apart from user/sweep cancellations.
+    rejected: int = 0
 
     def to_dict(self) -> Dict:
         return dict(self.__dict__)
@@ -161,19 +170,24 @@ class SweepService:
                  workers: int = 0,
                  queue_size: int = DEFAULT_QUEUE_SIZE,
                  max_attempts: int = 2,
+                 retention: int = DEFAULT_RETENTION,
                  execute: Optional[Callable[[Dict], Dict]] = None):
         if queue_size <= 0:
             raise ValueError("queue_size must be positive")
         if max_attempts <= 0:
             raise ValueError("max_attempts must be positive")
+        if retention <= 0:
+            raise ValueError("retention must be positive")
         self.store = store if store is not None else JobStore()
         self.workers = max(0, int(workers))
         self.queue_size = queue_size
         self.max_attempts = max_attempts
+        self.retention = retention
         self.metrics = ServiceMetrics()
         self._execute = execute or execute_spec
         self._jobs: Dict[str, Job] = {}
         self._inflight: Dict[str, Job] = {}
+        self._terminal: Deque[str] = deque()
         self._queue: Optional[asyncio.PriorityQueue] = None
         self._seq = itertools.count()
         self._pool: Optional[ProcessPoolExecutor] = None
@@ -230,6 +244,11 @@ class SweepService:
     async def submit_spec(self, spec: JobSpec, *,
                           priority: int = DEFAULT_PRIORITY,
                           wait: bool = True) -> Job:
+        if isinstance(priority, bool) or not isinstance(priority, int):
+            # Rejected before the job exists: a non-int would poison the
+            # priority heap's tuple ordering for every later submission.
+            raise JobError(
+                f"priority must be an integer, got {priority!r}")
         if self._queue is None:
             await self.start()
         self.metrics.submitted += 1
@@ -270,17 +289,26 @@ class SweepService:
 
     async def _enqueue(self, job: Job, *, wait: bool) -> None:
         item = (job.priority, next(self._seq), job)
-        if wait:
-            await self._queue.put(item)
-        else:
-            try:
+        try:
+            if wait:
+                await self._queue.put(item)
+            else:
                 self._queue.put_nowait(item)
-            except asyncio.QueueFull:
-                self._drop(job, JobStatus.CANCELLED,
-                           error="queue full (back-pressure)")
-                raise ServiceSaturated(
-                    f"queue full ({self.queue_size} jobs); retry later"
-                ) from None
+        except asyncio.QueueFull:
+            self._drop(job, JobStatus.CANCELLED,
+                       error="queue full (back-pressure)",
+                       metric="rejected")
+            raise ServiceSaturated(
+                f"queue full ({self.queue_size} jobs); retry later"
+            ) from None
+        except asyncio.CancelledError:
+            raise
+        except Exception as exc:
+            # Any other enqueue failure must not leave a pending zombie
+            # registered in _inflight that dedupes future submissions.
+            self._drop(job, JobStatus.FAILED,
+                       error=f"enqueue failed: {exc}", metric="failures")
+            raise
 
     # -- queries ---------------------------------------------------------
     def get_job(self, job_id: str) -> Optional[Job]:
@@ -297,6 +325,7 @@ class SweepService:
             "queued": self._queue.qsize() if self._queue else 0,
             "jobs": len(self._jobs),
             "inflight": len(self._inflight),
+            "retention": self.retention,
             "metrics": self.metrics.to_dict(),
             "store": {"dir": str(self.store.dir),
                       "hits": self.store.hits,
@@ -320,8 +349,10 @@ class SweepService:
                          and job.status is JobStatus.RUNNING):
             return False
         if job.spec.kind == "sweep":
-            for child in self._inflight.values():
-                if child is not job and child.status is JobStatus.PENDING \
+            # Only this sweep's own children -- a dedup-shared child
+            # (another submitter attached to it) keeps running.
+            for child in list(job.children):
+                if child.status is JobStatus.PENDING \
                         and child.dedup_hits == 0:
                     self._drop(child, JobStatus.CANCELLED,
                                error="sweep cancelled")
@@ -329,9 +360,10 @@ class SweepService:
         return True
 
     def _drop(self, job: Job, status: JobStatus,
-              error: Optional[str] = None) -> None:
+              error: Optional[str] = None, *,
+              metric: str = "cancelled") -> None:
         job.error = error
-        self.metrics.cancelled += 1
+        setattr(self.metrics, metric, getattr(self.metrics, metric) + 1)
         job.transition(status, **({"error": error} if error else {}))
         self._finish(job)
 
@@ -339,8 +371,13 @@ class SweepService:
         if self._inflight.get(job.digest) is job:
             del self._inflight[job.digest]
         event = self._done_events.get(job.id)
-        if event is not None:
+        if event is not None and not event.is_set():
             event.set()
+            self._terminal.append(job.id)
+            while len(self._terminal) > self.retention:
+                old = self._terminal.popleft()
+                self._jobs.pop(old, None)
+                self._done_events.pop(old, None)
 
     # -- execution -------------------------------------------------------
     async def _drain(self) -> None:
@@ -354,36 +391,46 @@ class SweepService:
                 self._queue.task_done()
 
     async def _run_one(self, job: Job) -> None:
-        job.attempts += 1
-        job.transition(JobStatus.RUNNING, attempt=job.attempts)
-        try:
-            payload = await self._execute_job(job)
-        except _WorkerLost as exc:
-            if job.attempts < self.max_attempts:
-                self.metrics.requeues += 1
-                job.status = JobStatus.PENDING
-                job.events.emit(kind="requeue", job=job.id,
-                                attempt=job.attempts, error=str(exc))
-                await self._queue.put(
-                    (job.priority, next(self._seq), job))
-            else:
+        while True:
+            job.attempts += 1
+            job.transition(JobStatus.RUNNING, attempt=job.attempts)
+            try:
+                payload = await self._execute_job(job)
+            except _WorkerLost as exc:
+                if job.attempts < self.max_attempts:
+                    self.metrics.requeues += 1
+                    job.status = JobStatus.PENDING
+                    job.events.emit(kind="requeue", job=job.id,
+                                    attempt=job.attempts, error=str(exc))
+                    try:
+                        # Never a blocking put: this coroutine IS the
+                        # consumer that would have to free the slot, so
+                        # awaiting a full queue here deadlocks.
+                        self._queue.put_nowait(
+                            (job.priority, next(self._seq), job))
+                    except asyncio.QueueFull:
+                        continue  # retry inline instead of requeueing
+                    return
                 self.metrics.failures += 1
                 job.error = f"worker lost x{job.attempts}: {exc}"
                 job.transition(JobStatus.FAILED, error=job.error)
                 self._finish(job)
-        except asyncio.CancelledError:
-            raise
-        except Exception as exc:  # job error: terminal, not retried
-            self.metrics.failures += 1
-            job.error = f"{type(exc).__name__}: {exc}"
-            job.transition(JobStatus.FAILED, error=job.error)
-            self._finish(job)
-        else:
-            self.store.put_payload(job.digest, payload)
-            job.payload = payload
-            self.metrics.executed += 1
-            job.transition(JobStatus.DONE, source="run")
-            self._finish(job)
+                return
+            except asyncio.CancelledError:
+                raise
+            except Exception as exc:  # job error: terminal, not retried
+                self.metrics.failures += 1
+                job.error = f"{type(exc).__name__}: {exc}"
+                job.transition(JobStatus.FAILED, error=job.error)
+                self._finish(job)
+                return
+            else:
+                self.store.put_payload(job.digest, payload)
+                job.payload = payload
+                self.metrics.executed += 1
+                job.transition(JobStatus.DONE, source="run")
+                self._finish(job)
+                return
 
     async def _execute_job(self, job: Job) -> Dict:
         spec_dict = job.spec.to_dict()
@@ -414,6 +461,8 @@ class SweepService:
 
     # -- sweeps ----------------------------------------------------------
     async def _run_sweep(self, job: Job) -> None:
+        if job.status.terminal:
+            return  # cancelled before expansion got to run
         try:
             children = job.spec.sweep_children()
         except (JobError, TypeError, ValueError) as exc:
@@ -438,6 +487,7 @@ class SweepService:
                                 source="store")
                 continue
             child = await self.submit_spec(spec, priority=job.priority)
+            job.children.append(child)
             waiting.append(child)
             job.events.emit(kind="sweep-child", digest=digest,
                             child=child.id)

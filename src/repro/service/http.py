@@ -225,6 +225,11 @@ class _Handler(BaseHTTPRequestHandler):
             return
         kind = document.pop("kind", None)
         priority = document.pop("priority", None)
+        if priority is not None and (isinstance(priority, bool)
+                                     or not isinstance(priority, int)):
+            self._send_json(400, {"error": "priority must be an "
+                                           f"integer, got {priority!r}"})
+            return
         kwargs = dict(document)
         if priority is not None:
             kwargs["priority"] = priority

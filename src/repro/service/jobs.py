@@ -248,6 +248,9 @@ class Job:
     events: EventStream = field(default_factory=EventStream)
     #: Submissions that were folded into this job (identical digest).
     dedup_hits: int = 0
+    #: Child jobs this sweep submitted (empty for non-sweeps).  Cancel
+    #: scopes to exactly these -- never to unrelated in-flight jobs.
+    children: List["Job"] = field(default_factory=list)
 
     def __post_init__(self):
         if not self.digest:

@@ -14,7 +14,7 @@ import pytest
 
 from repro.service import (JobHandle, JobStore, ServiceSaturated,
                            SweepService)
-from repro.service.jobs import JobError, JobSpec, JobStatus
+from repro.service.jobs import Job, JobError, JobSpec, JobStatus
 
 RUN = dict(benchmark="tc", instructions=2_000, warmup=500)
 
@@ -167,6 +167,9 @@ def test_nowait_submit_raises_when_saturated(tmp_path):
     assert dropped[0].status is JobStatus.CANCELLED
     assert "back-pressure" in dropped[0].error
     assert service._inflight == {}
+    # Saturation is a rejection, not a user cancellation.
+    assert service.metrics.rejected == 1
+    assert service.metrics.cancelled == 0
 
 
 def test_waiting_submit_suspends_until_slot_frees(tmp_path):
@@ -239,6 +242,37 @@ def test_worker_loss_exhausts_attempts_then_fails(tmp_path):
     assert not service.store.contains(job.digest)  # nothing stored
 
 
+def test_requeue_against_full_queue_retries_inline(tmp_path):
+    # The drain task is the queue's only consumer: a blocking put on
+    # requeue would deadlock when the queue is full.  The service must
+    # fall back to retrying the job inline instead.
+    service = make_service(
+        tmp_path, queue_size=1, max_attempts=3,
+        execute=RecordingExecutor(broken_for={"tc"}, broken_times=2))
+
+    async def body():
+        await service.start()
+        for task in service._tasks:  # park the drain: we drive by hand
+            task.cancel()
+        blocker = await service.submit("run", benchmark="mg",
+                                       instructions=2_000, warmup=500)
+        job = Job(spec=JobSpec.make("run", **RUN))
+        service._register(job)
+        service._inflight[job.digest] = job
+        # Queue full the whole time; bounded so a regression to a
+        # blocking put fails fast instead of hanging the suite.
+        await asyncio.wait_for(service._run_one(job), timeout=10)
+        await service.close()
+        return blocker, job
+
+    blocker, job = drive(body)
+    assert blocker.status is JobStatus.PENDING  # still queued, untouched
+    assert job.status is JobStatus.DONE
+    assert job.attempts == 3
+    assert service.metrics.requeues == 2
+    assert service._execute.calls == ["tc", "tc", "tc"]
+
+
 def test_job_exception_is_terminal_not_retried(tmp_path):
     service = make_service(
         tmp_path, execute=RecordingExecutor(
@@ -278,6 +312,62 @@ def test_cancel_pending_job_skips_execution(tmp_path):
     assert doomed.status is JobStatus.CANCELLED
     assert kept.status is JobStatus.DONE
     assert service._execute.calls == ["mg"]  # doomed never executed
+    assert service.metrics.cancelled == 1
+
+
+def test_sweep_cancel_spares_unrelated_jobs(tmp_path):
+    service = make_service(tmp_path)
+
+    async def body():
+        await service.start()
+        sweep = await service.submit("sweep", runs=["tc", "mg"],
+                                     instructions=2_000, warmup=500)
+        # One scheduling point: the sweep task expands its children
+        # into the queue, the drain task has not consumed them yet.
+        await asyncio.sleep(0)
+        bystander = await service.submit("run", benchmark="fft",
+                                         instructions=2_000, warmup=500)
+        assert bystander.status is JobStatus.PENDING
+        assert service.cancel(sweep)
+        # The sweep's own pending children die with it; the unrelated
+        # pending job does not.
+        assert bystander.status is JobStatus.PENDING
+        await service.wait(bystander)
+        await service.wait(sweep)
+        await service.close()
+        return sweep, bystander
+
+    sweep, bystander = drive(body)
+    assert sweep.status is JobStatus.CANCELLED
+    assert len(sweep.children) == 2
+    assert all(c.status is JobStatus.CANCELLED for c in sweep.children)
+    assert bystander.status is JobStatus.DONE
+    assert service._execute.calls == ["fft"]
+    assert service.metrics.cancelled == 3  # sweep + its two children
+
+
+def test_cancel_before_sweep_expansion_cancels_nothing_else(tmp_path):
+    service = make_service(tmp_path)
+
+    async def body():
+        await service.start()
+        bystander = await service.submit("run", **RUN)
+        sweep = await service.submit("sweep", runs=["mg", "bfs"],
+                                     instructions=2_000, warmup=500)
+        # No scheduling point yet: the sweep has not expanded, the
+        # bystander is still queued.  Cancelling must touch only the
+        # (childless) sweep.
+        assert service.cancel(sweep)
+        await service.wait(bystander)
+        await service.wait(sweep)
+        await service.close()
+        return sweep, bystander
+
+    sweep, bystander = drive(body)
+    assert sweep.status is JobStatus.CANCELLED
+    assert sweep.children == []
+    assert bystander.status is JobStatus.DONE
+    assert service._execute.calls == ["tc"]
     assert service.metrics.cancelled == 1
 
 
@@ -389,6 +479,39 @@ def test_bad_sweep_fails_loudly(tmp_path):
 
 
 # ----------------------------------------------------------------------
+# Retention: terminal jobs are pruned, results stay store-addressable
+# ----------------------------------------------------------------------
+def test_terminal_jobs_pruned_beyond_retention(tmp_path):
+    service = make_service(tmp_path, retention=2)
+
+    async def body():
+        jobs = []
+        for bench in ("tc", "mg", "bfs", "fft"):
+            job = await service.submit("run", benchmark=bench,
+                                       instructions=2_000, warmup=500)
+            await service.wait(job)
+            jobs.append(job)
+        await service.close()
+        return jobs
+
+    jobs = drive(body)
+    assert all(j.status is JobStatus.DONE for j in jobs)
+    kept = {jobs[-2].id, jobs[-1].id}
+    assert set(service._jobs) == kept
+    assert set(service._done_events) == kept
+    # Pruned jobs' payloads remain addressable by digest.
+    for job in jobs:
+        assert service.store.contains(job.digest)
+    # Waiting on a pruned job returns immediately (it is terminal).
+    assert drive(lambda: service.wait(jobs[0])) is jobs[0]
+
+
+def test_retention_must_be_positive(tmp_path):
+    with pytest.raises(ValueError, match="retention"):
+        SweepService(store=JobStore(root=tmp_path), retention=0)
+
+
+# ----------------------------------------------------------------------
 # Spec validation and identity
 # ----------------------------------------------------------------------
 def test_unknown_kind_rejected():
@@ -404,6 +527,27 @@ def test_missing_required_field_rejected():
 def test_non_positive_int_rejected():
     with pytest.raises(JobError, match="positive integer"):
         JobSpec.make("run", benchmark="tc", instructions=0)
+
+
+def test_non_int_priority_rejected_before_registration(tmp_path):
+    # A str (or bool) priority would poison the heap's tuple ordering;
+    # it must be rejected before the job lands in _inflight, or every
+    # later identical submission dedupe-attaches to a zombie.
+    service = make_service(tmp_path)
+
+    async def body():
+        for bad in ("high", 1.5, True):
+            with pytest.raises(JobError, match="priority"):
+                await service.submit("run", priority=bad, **RUN)
+        assert service._inflight == {}
+        assert service._jobs == {}
+        ok = await service.submit("run", **RUN)
+        await service.wait(ok)
+        await service.close()
+        return ok
+
+    ok = drive(body)
+    assert ok.status is JobStatus.DONE
 
 
 def test_scenario_spec_rejects_config_overlay():

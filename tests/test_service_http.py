@@ -88,6 +88,20 @@ def test_bad_spec_is_400(server):
     assert exc.value.status == 400
 
 
+def test_non_int_priority_is_400_not_zombie(server):
+    url, service = server
+    for bad in ("high", True, 2.5):
+        with pytest.raises(ServiceClientError) as exc:
+            request(url, "/jobs", method="POST",
+                    body={**RUN, "priority": bad})
+        assert exc.value.status == 400
+        assert "priority" in exc.value.document["error"]
+    # Nothing was registered: the same spec still submits and runs.
+    assert service._inflight == {}
+    ok = request(url, "/jobs", method="POST", body=RUN)
+    assert wait_for_job(url, ok["id"])["status"] == "done"
+
+
 def test_unknown_resources_are_404(server):
     url, _ = server
     for path in ("/jobs/job-999999-deadbeef", "/store/" + "f" * 64,
