@@ -21,6 +21,7 @@ Subcommands::
     python -m repro status <job-id>                   # job status
     python -m repro result <job-id>                   # job payload
     python -m repro cancel <job-id>                   # cancel pending job
+    python -m repro top                               # live dashboard
     python -m repro list                              # what's available
 
 Figures come from the decorator registry
@@ -313,7 +314,7 @@ def main(argv=None) -> int:
     # Job-service subcommands (docs/service.md), same lazy pattern.
     from repro.service.cli import add_service_parsers
     add_service_parsers(sub)
-    for name in ("serve", "submit", "status", "result", "cancel"):
+    for name in ("serve", "submit", "status", "result", "cancel", "top"):
         sub.choices[name].set_defaults(func=_cmd_service)
 
     p_list = sub.add_parser("list", help="list benchmarks and figures")

@@ -79,12 +79,13 @@ from repro.scenarios import (ScenarioDoc, ScenarioError, ScenarioResult,
                              list_scenarios, load_scenario, run_scenario,
                              validate_scenario)
 from repro.service import (JobHandle, JobStatus, configure_service, serve,
-                           submit)
+                           submit, telemetry_snapshot)
 from repro.workloads.registry import benchmark_names
 
 #: Version of this facade.  Bumped on compatible additions (minor) and
 #: on breaking changes (major); ``tests/test_api_surface.py`` pins it.
-__api_version__ = "2.0"
+#: 2.1: telemetry plane (telemetry_snapshot, JobHandle.watch, /metrics).
+__api_version__ = "2.1"
 
 __all__ = [
     # entry points
@@ -92,6 +93,7 @@ __all__ = [
     "configure_parallel", "trace", "trace_diff", "bench",
     # jobs (the v2 front door; see docs/service.md)
     "submit", "serve", "JobHandle", "JobStatus", "configure_service",
+    "telemetry_snapshot",
     # scenarios (repro.scenario/v1; see docs/scenarios.md)
     "run_scenario", "list_scenarios", "load_scenario", "validate_scenario",
     "ScenarioDoc", "ScenarioError", "ScenarioResult",

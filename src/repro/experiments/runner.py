@@ -209,7 +209,8 @@ def run_benchmark(name: str, config: Optional[SimConfig] = None,
                   scale: int = DEFAULT_SCALE, seed: int = 1,
                   sample_interval: Optional[int] = None,
                   profiler=None,
-                  trace_sample: Optional[int] = None) -> RunResult:
+                  trace_sample: Optional[int] = None,
+                  progress=None) -> RunResult:
     """Simulate one benchmark under one configuration.
 
     ``sample_interval`` attaches an interval metrics sampler (see
@@ -218,7 +219,11 @@ def run_benchmark(name: str, config: Optional[SimConfig] = None,
     :class:`repro.obs.Profiler`) attributes wall-clock time to the
     trace/build/simulate phases.  ``trace_sample`` attaches a 1-in-N
     request span tracer (see :mod:`repro.obs.trace`); the trace covers
-    the post-warmup ROI only.  All default to off and then cost
+    the post-warmup ROI only.  ``progress`` (a
+    :class:`repro.obs.ProgressForwarder`) forwards a condensed row per
+    interval to the sweep service -- purely observational; the sampler
+    it implies runs at ``sample_interval`` when both are given, else at
+    the forwarder's own interval.  All default to off and then cost
     nothing -- the same is-None-guard pattern :mod:`repro.validate` uses.
     """
     cfg = config or default_config(scale)
@@ -229,7 +234,13 @@ def run_benchmark(name: str, config: Optional[SimConfig] = None,
         hierarchy = MemoryHierarchy(cfg)
         core = make_core(cfg, hierarchy)
     sampler = None
-    if sample_interval is not None:
+    if progress is not None:
+        from repro.obs import ForwardingSampler
+        sampler = ForwardingSampler(
+            hierarchy, sample_interval or progress.interval,
+            forwarder=progress)
+        hierarchy.sampler = sampler
+    elif sample_interval is not None:
         from repro.obs import IntervalSampler
         sampler = IntervalSampler(hierarchy, sample_interval)
         hierarchy.sampler = sampler

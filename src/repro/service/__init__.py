@@ -35,7 +35,7 @@ __all__ = [
     "Job", "JobError", "JobHandle", "JobSpec", "JobStatus", "JobStore",
     "MANIFEST_SCHEMA", "ServiceMetrics", "ServiceSaturated",
     "SweepService", "configure_service", "execute_spec", "get_service",
-    "serve", "submit",
+    "serve", "submit", "telemetry_snapshot",
 ]
 
 # ----------------------------------------------------------------------
@@ -92,9 +92,22 @@ async def submit(kind: str = "run", *, priority: int = DEFAULT_PRIORITY,
     return JobHandle(svc, job)
 
 
+def telemetry_snapshot() -> dict:
+    """The ambient service's ``repro.obs/telemetry-v1`` document.
+
+    An empty-but-valid document (schema tag, no series) when no ambient
+    service has been built yet -- callers can validate unconditionally.
+    """
+    if _ambient is not None:
+        return _ambient.telemetry.snapshot()
+    from repro.obs.telemetry import TELEMETRY_SCHEMA
+    return {"schema": TELEMETRY_SCHEMA, "series": []}
+
+
 def serve(host: str = "127.0.0.1", port: int = 8765, *,
           store=None, workers: Optional[int] = None,
           queue_size: int = DEFAULT_QUEUE_SIZE,
+          progress_interval="default", log_json: bool = False,
           ready=None) -> None:
     """Run the HTTP sweep service until interrupted (blocking).
 
@@ -103,4 +116,5 @@ def serve(host: str = "127.0.0.1", port: int = 8765, *,
     """
     from repro.service.http import serve as _serve
     _serve(host=host, port=port, store=store, workers=workers,
-           queue_size=queue_size, ready=ready)
+           queue_size=queue_size, progress_interval=progress_interval,
+           log_json=log_json, ready=ready)

@@ -79,8 +79,15 @@ def cmd_serve(args) -> int:
     from repro.service import serve
     from repro.service.store import JobStore
     store = JobStore(root=args.store) if args.store else None
+    progress = "default"
+    if getattr(args, "no_progress", False):
+        progress = None
+    elif getattr(args, "progress_interval", None) is not None:
+        progress = args.progress_interval
     serve(host=args.host, port=args.port, store=store,
-          workers=args.workers, queue_size=args.queue_size)
+          workers=args.workers, queue_size=args.queue_size,
+          progress_interval=progress,
+          log_json=getattr(args, "log_json", False))
     return 0
 
 
@@ -188,6 +195,14 @@ def add_service_parsers(sub) -> None:
     p_serve.add_argument("--store", metavar="DIR", default=None,
                          help="job-store root (default "
                               "~/.cache/repro-runs or $REPRO_CACHE_DIR)")
+    p_serve.add_argument("--progress-interval", type=_positive_int,
+                         default=None,
+                         help="instructions between forwarded "
+                              "job-progress rows (default 5000)")
+    p_serve.add_argument("--no-progress", action="store_true",
+                         help="disable worker progress forwarding")
+    p_serve.add_argument("--log-json", action="store_true",
+                         help="structured JSON-lines logs on stderr")
     p_serve.set_defaults(service_func=cmd_serve)
 
     p_submit = sub.add_parser(
@@ -228,6 +243,24 @@ def add_service_parsers(sub) -> None:
     p_cancel.add_argument("job_id")
     _add_url(p_cancel)
     p_cancel.set_defaults(service_func=cmd_cancel)
+
+    p_top = sub.add_parser(
+        "top", help="live dashboard over a running service")
+    p_top.add_argument("--interval", type=float, default=1.0,
+                       help="seconds between redraws")
+    p_top.add_argument("--limit", type=_positive_int, default=20,
+                       help="max job rows shown")
+    p_top.add_argument("--width", type=_positive_int, default=None,
+                       help="frame width (default 100 columns)")
+    p_top.add_argument("--once", action="store_true",
+                       help="print one frame and exit (no ANSI)")
+    _add_url(p_top)
+    p_top.set_defaults(service_func=_dispatch_top)
+
+
+def _dispatch_top(args) -> int:
+    from repro.service.top import cmd_top
+    return cmd_top(args)
 
 
 def _dispatch_submit(args) -> int:

@@ -30,14 +30,20 @@ tests drive) or via ``ProcessPoolExecutor``.
 from __future__ import annotations
 
 import asyncio
+import functools
 import itertools
 import os
+import threading
+import time
 from collections import deque
 from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Callable, Deque, Dict, List, Optional
 
 from repro.experiments.parallel import ParallelRunner, RunSummary
+from repro.obs.log import get_logger
+from repro.obs.sampler import DEFAULT_SAMPLE_INTERVAL
+from repro.obs.telemetry import TelemetryRegistry
 from repro.service.jobs import (DEFAULT_PRIORITY, Job, JobError, JobSpec,
                                 JobStatus)
 from repro.service.store import JobStore
@@ -51,6 +57,11 @@ DEFAULT_QUEUE_SIZE = 256
 #: digest; only the in-memory Job (status doc + event history) goes.
 DEFAULT_RETENTION = 1024
 
+#: Job kinds whose workers forward live ``job-progress`` rows.  Only
+#: ``run`` for now: scenarios/figures/benches drive their own batching
+#: and would need per-component budgets to report a meaningful pct.
+PROGRESS_KINDS = ("run",)
+
 
 class ServiceSaturated(RuntimeError):
     """Bounded queue is full and the caller declined to wait."""
@@ -63,7 +74,8 @@ class _WorkerLost(RuntimeError):
 # ----------------------------------------------------------------------
 # Spec execution (module-level: must pickle into worker processes)
 # ----------------------------------------------------------------------
-def execute_spec(spec_dict: Dict) -> Dict:
+def execute_spec(spec_dict: Dict, progress: Optional[Callable] = None,
+                 progress_interval: Optional[int] = None) -> Dict:
     """Execute one job spec; returns its JSON payload.
 
     Run/scenario payloads are bare
@@ -71,6 +83,11 @@ def execute_spec(spec_dict: Dict) -> Dict:
     document :class:`~repro.experiments.parallel.ResultCache` memoises,
     so service store entries and runner cache entries are
     interchangeable.
+
+    ``progress`` is an optional per-interval row sink (see
+    :mod:`repro.obs.forward`); only ``run`` specs forward (the other
+    kinds ignore it).  Forwarding is observational -- the payload is
+    bit-identical with or without it.
     """
     from repro import api
     from repro.experiments.runner import run_benchmark
@@ -81,10 +98,16 @@ def execute_spec(spec_dict: Dict) -> Dict:
     kind = spec.kind
     if kind == "run":
         key = spec.run_key()
+        forwarder = None
+        if progress is not None and progress_interval:
+            from repro.obs.forward import ProgressForwarder
+            forwarder = ProgressForwarder(
+                progress, total_instructions=key.instructions,
+                interval=progress_interval)
         run = run_benchmark(key.benchmark, config=key.config,
                             instructions=key.instructions,
                             warmup=key.warmup, scale=key.scale,
-                            seed=key.seed)
+                            seed=key.seed, progress=forwarder)
         return RunSummary.from_run(run, seed=key.seed).to_dict()
     if kind == "scenario":
         from repro.scenarios import run_scenario
@@ -131,26 +154,63 @@ def execute_spec(spec_dict: Dict) -> Dict:
     raise JobError(f"unknown job kind {kind!r}")
 
 
+#: The service checks this attribute before passing progress kwargs, so
+#: injected test stubs keep their one-argument signature.
+execute_spec.supports_progress = True
+
+
+def _pool_execute(spec_dict: Dict, queue, job_id: str,
+                  interval: int) -> Dict:
+    """Worker-process entry point with progress forwarding.
+
+    Module-level (must pickle); ``queue`` is a ``multiprocessing``
+    manager-queue proxy carrying ``(job_id, row)`` tuples back to the
+    service's drain thread.
+    """
+    def sink(row):
+        queue.put((job_id, row))
+    return execute_spec(spec_dict, progress=sink,
+                        progress_interval=interval)
+
+
 # ----------------------------------------------------------------------
 # Metrics
 # ----------------------------------------------------------------------
-@dataclass
-class ServiceMetrics:
-    """Cumulative counters (the smoke test's acceptance surface)."""
+#: Legacy counter name -> telemetry series backing it.
+LEGACY_COUNTERS = {
+    "submitted": "repro_jobs_submitted_total",
+    "executed": "repro_jobs_executed_total",
+    "store_hits": "repro_store_hits_total",
+    "dedup_hits": "repro_dedup_hits_total",
+    "requeues": "repro_requeues_total",
+    "failures": "repro_jobs_failed_total",
+    "cancelled": "repro_jobs_cancelled_total",
+    "rejected": "repro_jobs_rejected_total",
+}
 
-    submitted: int = 0
-    executed: int = 0
-    store_hits: int = 0
-    dedup_hits: int = 0
-    requeues: int = 0
-    failures: int = 0
-    cancelled: int = 0
-    #: Back-pressure drops (queue full, the 503 path) -- never accepted,
-    #: so counted apart from user/sweep cancellations.
-    rejected: int = 0
+
+class ServiceMetrics:
+    """Legacy read view over the telemetry registry's job counters.
+
+    PR 8 shipped these as plain dataclass attribute bumps; the counters
+    now live in :class:`~repro.obs.telemetry.TelemetryRegistry` (one
+    source of truth for ``/metrics``, ``/health`` and ``status()``) and
+    this view keeps the original surface -- ``service.metrics.executed``
+    and ``metrics.to_dict()`` -- reading through to them.
+    """
+
+    def __init__(self, registry: TelemetryRegistry):
+        self._registry = registry
+
+    def __getattr__(self, name: str) -> int:
+        try:
+            series = LEGACY_COUNTERS[name]
+        except KeyError:
+            raise AttributeError(name) from None
+        return int(self._registry.counter(series).value)
 
     def to_dict(self) -> Dict:
-        return dict(self.__dict__)
+        return {name: getattr(self, name) for name in LEGACY_COUNTERS}
 
 
 # ----------------------------------------------------------------------
@@ -171,19 +231,23 @@ class SweepService:
                  queue_size: int = DEFAULT_QUEUE_SIZE,
                  max_attempts: int = 2,
                  retention: int = DEFAULT_RETENTION,
-                 execute: Optional[Callable[[Dict], Dict]] = None):
+                 execute: Optional[Callable[[Dict], Dict]] = None,
+                 progress_interval: Optional[int]
+                 = DEFAULT_SAMPLE_INTERVAL):
         if queue_size <= 0:
             raise ValueError("queue_size must be positive")
         if max_attempts <= 0:
             raise ValueError("max_attempts must be positive")
         if retention <= 0:
             raise ValueError("retention must be positive")
+        if progress_interval is not None and progress_interval <= 0:
+            raise ValueError("progress_interval must be positive or None")
         self.store = store if store is not None else JobStore()
         self.workers = max(0, int(workers))
         self.queue_size = queue_size
         self.max_attempts = max_attempts
         self.retention = retention
-        self.metrics = ServiceMetrics()
+        self.progress_interval = progress_interval
         self._execute = execute or execute_spec
         self._jobs: Dict[str, Job] = {}
         self._inflight: Dict[str, Job] = {}
@@ -195,6 +259,72 @@ class SweepService:
         self._sweeps: List[asyncio.Task] = []
         self._done_events: Dict[str, asyncio.Event] = {}
         self.loop: Optional[asyncio.AbstractEventLoop] = None
+        self._started_mono = time.monotonic()
+        self._log = get_logger("service")
+        # Progress drain plumbing for pool mode (lazy: a Manager is a
+        # whole extra process, only spawned once a worker forwards).
+        self._progress_manager = None
+        self._progress_queue = None
+        self._progress_thread: Optional[threading.Thread] = None
+        self._init_telemetry()
+        self.metrics = ServiceMetrics(self.telemetry)
+
+    def _init_telemetry(self) -> None:
+        """Register every series this service exposes (``/metrics``)."""
+        reg = self.telemetry = TelemetryRegistry()
+        help_by_name = {
+            "repro_jobs_submitted_total": "Job submissions accepted",
+            "repro_jobs_executed_total": "Jobs executed to completion",
+            "repro_store_hits_total":
+                "Submissions satisfied by the content-addressed store",
+            "repro_dedup_hits_total":
+                "Submissions attached to an identical in-flight job",
+            "repro_requeues_total": "Worker-loss requeues",
+            "repro_jobs_failed_total": "Jobs that ended FAILED",
+            "repro_jobs_cancelled_total": "Jobs cancelled",
+            "repro_jobs_rejected_total":
+                "Submissions rejected by back-pressure (503 path)",
+        }
+        for series, help in help_by_name.items():
+            reg.counter(series, help=help)
+        self._evictions = reg.counter(
+            "repro_retention_evictions_total",
+            help="Terminal jobs pruned past the retention bound")
+        self._progress_events = reg.counter(
+            "repro_progress_events_total",
+            help="job-progress rows forwarded from workers")
+        self._dropped_events = reg.counter(
+            "repro_events_dropped_total",
+            help="Events discarded from bounded per-job backlogs")
+        reg.gauge("repro_queue_depth", help="Jobs waiting in the queue",
+                  fn=lambda: self._queue.qsize() if self._queue else 0)
+        reg.gauge("repro_inflight_jobs",
+                  help="Non-terminal jobs (queued + running)",
+                  fn=lambda: len(self._inflight))
+        reg.gauge("repro_jobs_tracked",
+                  help="Jobs held in memory (bounded by retention)",
+                  fn=lambda: len(self._jobs))
+        reg.gauge("repro_uptime_seconds",
+                  help="Seconds since this service instance started",
+                  fn=lambda: time.monotonic() - self._started_mono)
+        for status in JobStatus:
+            reg.gauge("repro_jobs_state", help="Jobs by current status",
+                      labels={"state": status.value},
+                      fn=functools.partial(self._count_state, status))
+        self._wait_hist = reg.histogram(
+            "repro_job_wait_seconds",
+            help="Queue wait latency (submission to first RUNNING)")
+        self._run_hist = reg.histogram(
+            "repro_job_run_seconds",
+            help="Execution latency (first RUNNING to terminal)")
+
+    def _count_state(self, status: JobStatus) -> int:
+        return sum(1 for job in self._jobs.values()
+                   if job.status is status)
+
+    def _count(self, name: str, n: int = 1) -> None:
+        """Bump one of the legacy-named job counters."""
+        self.telemetry.counter(LEGACY_COUNTERS[name]).inc(n)
 
     # -- lifecycle -------------------------------------------------------
     async def start(self) -> "SweepService":
@@ -221,6 +351,17 @@ class SweepService:
         if self._pool is not None:
             self._pool.shutdown(wait=False, cancel_futures=True)
             self._pool = None
+        if self._progress_queue is not None:
+            try:
+                self._progress_queue.put(None)  # stop the drain thread
+            except (EOFError, OSError, BrokenPipeError):
+                pass
+            if self._progress_thread is not None:
+                self._progress_thread.join(timeout=5)
+            self._progress_manager.shutdown()
+            self._progress_manager = None
+            self._progress_queue = None
+            self._progress_thread = None
         self._queue = None
         self.loop = None
 
@@ -251,14 +392,16 @@ class SweepService:
                 f"priority must be an integer, got {priority!r}")
         if self._queue is None:
             await self.start()
-        self.metrics.submitted += 1
+        self._count("submitted")
         digest = spec.digest
 
         existing = self._inflight.get(digest)
         if existing is not None:
             existing.dedup_hits += 1
-            self.metrics.dedup_hits += 1
+            self._count("dedup_hits")
             existing.events.emit(kind="dedup", job=existing.id)
+            self._log.emit("job-dedup", job=existing.id, digest=digest,
+                           kind=spec.kind)
             return existing
 
         stored = self.store.get_payload(digest)
@@ -267,7 +410,9 @@ class SweepService:
             job.source = "store"
             job.payload = stored
             self._register(job)
-            self.metrics.store_hits += 1
+            self._count("store_hits")
+            self._log.emit("job-store-hit", job=job.id, digest=digest,
+                           kind=spec.kind)
             job.transition(JobStatus.DONE, source="store")
             self._finish(job)
             return job
@@ -276,6 +421,8 @@ class SweepService:
         self._register(job)
         self._inflight[digest] = job
         job.events.emit(kind="status", status="pending", job=job.id)
+        self._log.emit("job-submitted", job=job.id, digest=digest,
+                       kind=spec.kind, priority=priority)
         if spec.kind == "sweep":
             self._sweeps.append(
                 asyncio.ensure_future(self._run_sweep(job)))
@@ -286,6 +433,9 @@ class SweepService:
     def _register(self, job: Job) -> None:
         self._jobs[job.id] = job
         self._done_events[job.id] = asyncio.Event()
+        # Backlog overflow on any job's stream rolls up into one
+        # service-wide counter (satellite: bounded EventStream).
+        job.events.on_drop = self._dropped_events.inc
 
     async def _enqueue(self, job: Job, *, wait: bool) -> None:
         item = (job.priority, next(self._seq), job)
@@ -318,7 +468,14 @@ class SweepService:
         return list(self._jobs.values())
 
     def describe(self) -> Dict:
-        """Service status document (``GET /health``)."""
+        """Service status document (``GET /health``).
+
+        Cumulative counters under ``metrics``; point-in-time load under
+        ``gauges`` (queue depth, in-flight, per-state counts, uptime,
+        evictions) so the document reflects *current* pressure, not just
+        history.  The full telemetry snapshot rides along under
+        ``telemetry`` (schema ``repro.obs/telemetry-v1``).
+        """
         return {
             "workers": self.workers,
             "queue_size": self.queue_size,
@@ -326,11 +483,28 @@ class SweepService:
             "jobs": len(self._jobs),
             "inflight": len(self._inflight),
             "retention": self.retention,
+            "progress_interval": self.progress_interval,
             "metrics": self.metrics.to_dict(),
+            "gauges": {
+                "queue_depth": self._queue.qsize() if self._queue else 0,
+                "inflight": len(self._inflight),
+                "uptime_seconds": round(
+                    time.monotonic() - self._started_mono, 3),
+                "retention_evictions": int(self._evictions.value),
+                "events_dropped": int(self._dropped_events.value),
+                "progress_events": int(self._progress_events.value),
+                "states": {status.value: self._count_state(status)
+                           for status in JobStatus},
+            },
+            "telemetry": self.telemetry.snapshot(),
             "store": {"dir": str(self.store.dir),
                       "hits": self.store.hits,
                       "stores": self.store.stores},
         }
+
+    def render_metrics(self) -> str:
+        """Prometheus text exposition (``GET /metrics``)."""
+        return self.telemetry.render_prometheus()
 
     async def wait(self, job: Job,
                    timeout: Optional[float] = None) -> Job:
@@ -363,13 +537,18 @@ class SweepService:
               error: Optional[str] = None, *,
               metric: str = "cancelled") -> None:
         job.error = error
-        setattr(self.metrics, metric, getattr(self.metrics, metric) + 1)
+        self._count(metric)
+        self._log.emit("job-dropped", job=job.id, digest=job.digest,
+                       status=status.value, metric=metric, error=error)
         job.transition(status, **({"error": error} if error else {}))
         self._finish(job)
 
     def _finish(self, job: Job) -> None:
         if self._inflight.get(job.digest) is job:
             del self._inflight[job.digest]
+        if job.started_mono is not None and job.finished_mono is None:
+            job.finished_mono = time.monotonic()
+            self._run_hist.observe(job.finished_mono - job.started_mono)
         event = self._done_events.get(job.id)
         if event is not None and not event.is_set():
             event.set()
@@ -378,6 +557,8 @@ class SweepService:
                 old = self._terminal.popleft()
                 self._jobs.pop(old, None)
                 self._done_events.pop(old, None)
+                self._evictions.inc()
+                self._log.emit("job-evicted", job=old)
 
     # -- execution -------------------------------------------------------
     async def _drain(self) -> None:
@@ -393,15 +574,23 @@ class SweepService:
     async def _run_one(self, job: Job) -> None:
         while True:
             job.attempts += 1
+            if job.started_mono is None:
+                job.started_mono = time.monotonic()
+                self._wait_hist.observe(
+                    job.started_mono - job.created_mono)
             job.transition(JobStatus.RUNNING, attempt=job.attempts)
+            self._log.emit("job-running", job=job.id, digest=job.digest,
+                           attempt=job.attempts)
             try:
                 payload = await self._execute_job(job)
             except _WorkerLost as exc:
                 if job.attempts < self.max_attempts:
-                    self.metrics.requeues += 1
+                    self._count("requeues")
                     job.status = JobStatus.PENDING
                     job.events.emit(kind="requeue", job=job.id,
                                     attempt=job.attempts, error=str(exc))
+                    self._log.emit("job-requeued", job=job.id,
+                                   attempt=job.attempts, error=str(exc))
                     try:
                         # Never a blocking put: this coroutine IS the
                         # consumer that would have to free the slot, so
@@ -411,41 +600,60 @@ class SweepService:
                     except asyncio.QueueFull:
                         continue  # retry inline instead of requeueing
                     return
-                self.metrics.failures += 1
+                self._count("failures")
                 job.error = f"worker lost x{job.attempts}: {exc}"
+                self._log.emit("job-failed", job=job.id, error=job.error)
                 job.transition(JobStatus.FAILED, error=job.error)
                 self._finish(job)
                 return
             except asyncio.CancelledError:
                 raise
             except Exception as exc:  # job error: terminal, not retried
-                self.metrics.failures += 1
+                self._count("failures")
                 job.error = f"{type(exc).__name__}: {exc}"
+                self._log.emit("job-failed", job=job.id, error=job.error)
                 job.transition(JobStatus.FAILED, error=job.error)
                 self._finish(job)
                 return
             else:
                 self.store.put_payload(job.digest, payload)
                 job.payload = payload
-                self.metrics.executed += 1
+                self._count("executed")
+                self._emit_final_progress(job, payload)
+                self._log.emit("job-done", job=job.id, digest=job.digest)
                 job.transition(JobStatus.DONE, source="run")
                 self._finish(job)
                 return
 
     async def _execute_job(self, job: Job) -> Dict:
         spec_dict = job.spec.to_dict()
+        forward = self._progress_enabled(job)
         if self.workers <= 0:
             # Inline mode: synchronous and deterministic.  Worker-loss
             # simulation (tests) still surfaces as requeue-able.
             try:
+                if forward:
+                    return self._execute(
+                        spec_dict,
+                        progress=functools.partial(
+                            self._on_progress_row, job.id),
+                        progress_interval=self.progress_interval)
                 return self._execute(spec_dict)
             except BrokenExecutor as exc:
                 raise _WorkerLost(str(exc) or "broken executor") from exc
         loop = asyncio.get_running_loop()
         pool = self._get_pool()
+        if forward and self._execute is execute_spec:
+            # A manager-queue proxy pickles into the worker; a bare
+            # callback would not.  The drain thread re-emits rows on the
+            # job's event stream from this side of the boundary.
+            call = functools.partial(
+                _pool_execute, spec_dict, self._get_progress_queue(),
+                job.id, self.progress_interval)
+        else:
+            call = functools.partial(self._execute, spec_dict)
         try:
-            return await loop.run_in_executor(
-                pool, self._execute, spec_dict)
+            return await loop.run_in_executor(pool, call)
         except BrokenExecutor as exc:
             # The process died (OOM-killed, signalled, ...): poison the
             # pool so the next job rebuilds it, and requeue this one.
@@ -459,6 +667,81 @@ class SweepService:
                 max_workers=max(1, self.workers))
         return self._pool
 
+    # -- progress forwarding ---------------------------------------------
+    def _progress_enabled(self, job: Job) -> bool:
+        """Forward live rows for this job?  Requires an executor that
+        understands the progress kwargs (injected test stubs keep their
+        one-argument signature and are never handed them)."""
+        return (self.progress_interval is not None
+                and job.spec.kind in PROGRESS_KINDS
+                and getattr(self._execute, "supports_progress", False))
+
+    def _on_progress_row(self, job_id: str, row: Dict) -> None:
+        """Re-emit one worker interval row as a ``job-progress`` event.
+
+        Runs on the loop thread (inline mode) or the drain thread (pool
+        mode) -- EventStream and the counters are thread-safe.
+        """
+        job = self._jobs.get(job_id)
+        if job is None or job.events.closed:
+            return
+        job.progress = row
+        self._progress_events.inc()
+        job.events.emit(kind="job-progress", job=job_id, **row)
+        self._log.emit("job-progress", job=job_id, **row)
+
+    def _emit_final_progress(self, job: Job, payload) -> None:
+        """One authoritative ``final`` row from the stored payload.
+
+        Worker-forwarded rows race the DONE transition (pool mode drains
+        them on a thread); the final row is emitted service-side from
+        the payload itself, so consumers always see a closing row whose
+        counters match the stored RunSummary exactly.
+        """
+        if not self._progress_enabled(job):
+            return
+        if not isinstance(payload, dict) or "cycles" not in payload:
+            return
+        cycles = payload.get("cycles") or 0
+        instructions = payload.get("instructions") or 0
+        row = {
+            "final": True,
+            "pct": 1.0,
+            "instructions": instructions,
+            "cycle": cycles,
+            "ipc": payload.get("metrics", {}).get(
+                "ipc", instructions / cycles if cycles else 0.0),
+            "walk_cycles": payload.get("walk_cycles_total", 0),
+        }
+        self._on_progress_row(job.id, row)
+
+    def _get_progress_queue(self):
+        """The manager queue pool workers forward rows into (lazy)."""
+        if self._progress_queue is None:
+            import multiprocessing
+            self._progress_manager = multiprocessing.Manager()
+            self._progress_queue = self._progress_manager.Queue()
+            self._progress_thread = threading.Thread(
+                target=self._drain_progress, name="progress-drain",
+                daemon=True)
+            self._progress_thread.start()
+        return self._progress_queue
+
+    def _drain_progress(self) -> None:
+        queue = self._progress_queue
+        while True:
+            try:
+                item = queue.get()
+            except (EOFError, OSError):
+                return  # manager shut down
+            if item is None:
+                return
+            try:
+                job_id, row = item
+                self._on_progress_row(job_id, row)
+            except Exception:
+                continue  # a malformed row must not kill the drain
+
     # -- sweeps ----------------------------------------------------------
     async def _run_sweep(self, job: Job) -> None:
         if job.status.terminal:
@@ -466,7 +749,7 @@ class SweepService:
         try:
             children = job.spec.sweep_children()
         except (JobError, TypeError, ValueError) as exc:
-            self.metrics.failures += 1
+            self._count("failures")
             job.error = f"bad sweep: {exc}"
             job.transition(JobStatus.FAILED, error=job.error)
             self._finish(job)
@@ -482,7 +765,7 @@ class SweepService:
                 # Already completed (possibly by an earlier, partial
                 # attempt at this sweep): resume by skipping it.
                 skipped.append(digest)
-                self.metrics.store_hits += 1
+                self._count("store_hits")
                 job.events.emit(kind="sweep-skip", digest=digest,
                                 source="store")
                 continue
@@ -509,14 +792,14 @@ class SweepService:
                    "failed": failed}
         job.payload = payload
         if failed:
-            self.metrics.failures += 1
+            self._count("failures")
             job.error = f"{len(failed)}/{len(children)} children failed"
             job.transition(JobStatus.FAILED, error=job.error)
         else:
             # Only a fully-completed sweep is stored: a partial one must
             # re-expand (and skip per-child) on resubmission.
             self.store.put_payload(job.digest, payload)
-            self.metrics.executed += 1
+            self._count("executed")
             job.transition(JobStatus.DONE, source="run")
         self._finish(job)
 
@@ -555,10 +838,44 @@ class JobHandle:
     def events(self, start: int = 0) -> List[Dict]:
         return self._job.events.snapshot(start)
 
+    @property
+    def progress(self) -> Optional[Dict]:
+        """Latest forwarded ``job-progress`` row (None before the
+        first interval / when forwarding is off)."""
+        return self._job.progress
+
     # -- outcome ---------------------------------------------------------
     async def wait(self, timeout: Optional[float] = None) -> "JobHandle":
         await self._service.wait(self._job, timeout)
         return self
+
+    async def watch(self, on_event: Optional[Callable[[Dict], None]] = None,
+                    on_progress: Optional[Callable[[Dict], None]] = None,
+                    tick: float = 0.05) -> "JobHandle":
+        """Follow the job to completion, streaming events to callbacks.
+
+        ``on_event`` sees every event (lifecycle + progress);
+        ``on_progress`` sees only ``job-progress`` rows -- the live
+        IPC/MPKI/% feed a dashboard wants.  Returns once the job is
+        terminal and the backlog is drained; callback exceptions
+        propagate to the caller.
+        """
+        index = 0
+        while True:
+            for event in self._job.events.snapshot(index):
+                index = event["seq"] + 1
+                if on_event is not None:
+                    on_event(event)
+                if on_progress is not None \
+                        and event.get("kind") == "job-progress":
+                    on_progress(event)
+            if self._job.status.terminal \
+                    and len(self._job.events) <= index:
+                return self
+            try:
+                await self._service.wait(self._job, timeout=tick)
+            except asyncio.TimeoutError:
+                pass
 
     def result(self) -> Dict:
         """The payload; raises if the job is not DONE."""

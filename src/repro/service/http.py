@@ -15,7 +15,8 @@ GET      /jobs/<id>/events           NDJSON progress stream (chunked;
 POST     /jobs/<id>/cancel           cancel a pending job
 GET      /store                      store manifest (the CI artifact)
 GET      /store/<digest>             one stored payload
-GET      /health                     service status + metrics
+GET      /health                     service status + metrics + gauges
+GET      /metrics                    Prometheus text exposition
 =======  ==========================  =====================================
 """
 
@@ -28,11 +29,17 @@ import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Dict, Optional, Tuple
 
+from repro.obs.log import get_logger
 from repro.service.core import ServiceSaturated, SweepService
 from repro.service.jobs import JobError
 
 #: Seconds an idle event-stream read blocks before emitting a keepalive.
 STREAM_TICK = 0.5
+
+#: Content type of ``GET /metrics`` (Prometheus text format 0.0.4).
+METRICS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+_log = get_logger("http")
 
 
 class ServiceRuntime:
@@ -119,8 +126,17 @@ class _Handler(BaseHTTPRequestHandler):
         path, _, query = self.path.partition("?")
         parts = [p for p in path.split("/") if p]
         service = self.runtime.service
+        _log.emit("http-get", path=path)
         if parts == ["health"]:
             self._send_json(200, self.runtime.sync(service.describe))
+        elif parts == ["metrics"]:
+            # Registry reads are thread-safe; no loop hop needed.
+            body = service.render_metrics().encode()
+            self.send_response(200)
+            self.send_header("Content-Type", METRICS_CONTENT_TYPE)
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
         elif parts == ["store"]:
             self._send_json(200, service.store.manifest())
         elif len(parts) == 2 and parts[0] == "store":
@@ -178,7 +194,9 @@ class _Handler(BaseHTTPRequestHandler):
             index = start
             while True:
                 for event in job.events.snapshot(index):
-                    index += 1
+                    # Advance by the event's own seq: a bounded-backlog
+                    # drop skips forward instead of under-counting.
+                    index = event["seq"] + 1
                     chunk(json.dumps(event, sort_keys=True) + "\n")
                 if job.events.closed and len(job.events) <= index:
                     break
@@ -262,20 +280,33 @@ def build_server(service: SweepService, host: str = "127.0.0.1",
 def serve(host: str = "127.0.0.1", port: int = 8765, *, store=None,
           workers: Optional[int] = None,
           queue_size: Optional[int] = None,
+          progress_interval: Optional[int] = "default",
+          log_json: bool = False,
           verbose: bool = False, ready=None) -> None:
-    """Blocking server entry point (``python -m repro serve``)."""
+    """Blocking server entry point (``python -m repro serve``).
+
+    ``progress_interval=None`` disables worker progress forwarding;
+    ``log_json=True`` turns the structured JSON-lines log plane on
+    (stderr)."""
     import os
 
     from repro.service.store import JobStore
+    if log_json:
+        from repro.obs.log import configure_logging
+        configure_logging(True)
     kwargs: Dict = {}
     if queue_size is not None:
         kwargs["queue_size"] = queue_size
+    if progress_interval != "default":
+        kwargs["progress_interval"] = progress_interval
     service = SweepService(
         store=store if store is not None else JobStore(),
         workers=(os.cpu_count() or 2) if workers is None else workers,
         **kwargs)
     server, runtime = build_server(service, host, port, verbose=verbose)
     actual_host, actual_port = server.server_address[:2]
+    _log.emit("serve-start", host=str(actual_host), port=actual_port,
+              workers=service.workers, store=str(service.store.dir))
     print(f"repro service listening on http://{actual_host}:{actual_port} "
           f"(store {service.store.dir}, {service.workers} workers)",
           flush=True)

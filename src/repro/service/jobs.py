@@ -22,6 +22,7 @@ from __future__ import annotations
 import hashlib
 import itertools
 import json
+import time
 from dataclasses import dataclass, field
 from enum import Enum
 from typing import Dict, List, Optional, Tuple
@@ -251,6 +252,13 @@ class Job:
     #: Child jobs this sweep submitted (empty for non-sweeps).  Cancel
     #: scopes to exactly these -- never to unrelated in-flight jobs.
     children: List["Job"] = field(default_factory=list)
+    #: Latest forwarded ``job-progress`` row (None until the first
+    #: interval arrives; the full history is on ``events``).
+    progress: Optional[Dict] = None
+    #: Monotonic timestamps for the wait/execute latency histograms.
+    created_mono: float = field(default_factory=time.monotonic)
+    started_mono: Optional[float] = None
+    finished_mono: Optional[float] = None
 
     def __post_init__(self):
         if not self.digest:
@@ -273,7 +281,10 @@ class Job:
             "priority": self.priority, "source": self.source,
             "attempts": self.attempts, "dedup_hits": self.dedup_hits,
             "events": len(self.events),
+            "events_dropped": self.events.dropped,
         }
+        if self.progress is not None:
+            doc["progress"] = dict(self.progress)
         if self.error is not None:
             doc["error"] = self.error
         return doc

@@ -109,7 +109,7 @@ def test_api_trace_diff_accepts_documents():
 # v1.1 additions: bench, frozen SimConfig, facade-only CLI
 # ----------------------------------------------------------------------
 def test_api_version_pinned():
-    assert api.__api_version__ == "2.0"
+    assert api.__api_version__ == "2.1"
     assert "__api_version__" in api.__all__
 
 

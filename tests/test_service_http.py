@@ -224,7 +224,7 @@ def test_service_parsers_register_all_commands():
     sub = parser.add_subparsers(dest="command")
     add_service_parsers(sub)
     assert set(sub.choices) == {"serve", "submit", "status", "result",
-                                "cancel"}
+                                "cancel", "top"}
 
     args = parser.parse_args(["submit", "run", "tc", "--instructions",
                               "2000", "--warmup", "500", "--priority",

@@ -4,12 +4,19 @@
 Boots the HTTP service on an ephemeral port against a throwaway store,
 then drives it exactly the way a user would:
 
-1. submit a tiny run over HTTP and wait on its event stream;
+1. submit a tiny run over HTTP, scrape ``GET /metrics`` while it is in
+   flight, and wait on its event stream;
 2. submit a scenario the same way;
 3. resubmit the identical run and assert it is a *store hit* that
    executed nothing (the same-RunKey-executes-once acceptance check);
 4. assert the run payload is bit-identical to a direct ``api.run``;
-5. write the store manifest to ``service-artifacts/`` (CI uploads it).
+5. assert the telemetry plane: the ``/health`` telemetry block
+   validates against ``repro.obs/telemetry-v1``, ``/metrics`` parses as
+   Prometheus text with the queue/latency/dedupe series, at least one
+   ``job-progress`` event arrived on the run's stream, and the final
+   progress row agrees with the stored ``RunSummary``;
+6. write the store manifest and a telemetry snapshot to
+   ``service-artifacts/`` (CI uploads them).
 
 Exits non-zero on any violated expectation.  Stdlib + repro only.
 """
@@ -29,13 +36,42 @@ RUN_SPEC = {"kind": "run", "benchmark": "tc",
 SCENARIO_SPEC = {"kind": "scenario", "scenario": "SYN-01-STLB-THRASH",
                  "instructions": 6_000, "warmup": 1_000}
 
+REQUIRED_SERIES = ("repro_jobs_submitted_total",
+                   "repro_jobs_executed_total",
+                   "repro_store_hits_total", "repro_dedup_hits_total",
+                   "repro_queue_depth", "repro_inflight_jobs",
+                   "repro_job_wait_seconds_bucket",
+                   "repro_job_run_seconds_count")
+
+
+def parse_prometheus(text):
+    """Parse exposition text; return {series name} or raise ValueError."""
+    names = set()
+    for line in text.splitlines():
+        if not line or line.startswith("#"):
+            continue
+        name_part, sep, value = line.rpartition(" ")
+        if not sep:
+            raise ValueError(f"unparseable line: {line!r}")
+        float(value)  # must be numeric
+        names.add(name_part.split("{", 1)[0])
+    return names
+
+
+def scrape_metrics(url):
+    import urllib.request
+    req = urllib.request.Request(url + "/metrics")
+    with urllib.request.urlopen(req, timeout=30) as resp:
+        return resp.headers.get("Content-Type", ""), resp.read().decode()
+
 
 def main() -> int:
     import threading
 
     from repro import api
+    from repro.obs import validate_telemetry
     from repro.service import JobStore, SweepService
-    from repro.service.cli import request, wait_for_job
+    from repro.service.cli import follow_events, request, wait_for_job
     from repro.service.http import build_server
 
     store_root = tempfile.mkdtemp(prefix="repro-serve-smoke-")
@@ -55,8 +91,21 @@ def main() -> int:
             failures.append(label)
 
     try:
-        # 1. tiny run over HTTP, wait on the event stream
+        # 1. tiny run over HTTP; scrape /metrics while it is in flight,
+        #    then wait on the event stream
         run1 = request(url, "/jobs", method="POST", body=RUN_SPEC)
+        mid_type, mid_text = scrape_metrics(url)
+        check("/metrics mid-run is Prometheus text",
+              mid_type.startswith("text/plain")
+              and "version=0.0.4" in mid_type)
+        try:
+            mid_names = parse_prometheus(mid_text)
+            check("/metrics mid-run parses", True)
+        except ValueError as exc:
+            mid_names = set()
+            check(f"/metrics mid-run parses ({exc})", False)
+        check("mid-run submissions counted",
+              "repro_jobs_submitted_total 1" in mid_text.splitlines())
         final1 = wait_for_job(url, run1["id"])
         check("run completes", final1["status"] == "done")
         check("run executed (not cached)", final1["source"] == "run")
@@ -89,7 +138,42 @@ def main() -> int:
         check("payload bit-identical to direct api.run",
               payload == direct)
 
-        # 5. manifest artifact
+        # 5. the telemetry plane
+        problems = validate_telemetry(health["telemetry"])
+        check("health telemetry block validates (telemetry-v1)",
+              problems == [],)
+        if problems:
+            for p in problems:
+                print(f"serve-smoke:   telemetry problem: {p}")
+        end_type, end_text = scrape_metrics(url)
+        try:
+            end_names = parse_prometheus(end_text)
+            check("/metrics parses after the run", True)
+        except ValueError as exc:
+            end_names = set()
+            check(f"/metrics parses after the run ({exc})", False)
+        missing = [n for n in REQUIRED_SERIES if n not in end_names]
+        check("queue/latency/dedupe series exposed"
+              + (f" (missing {missing})" if missing else ""),
+              not missing)
+
+        events = list(follow_events(url, run1["id"]))
+        progress = [e for e in events
+                    if e.get("kind") == "job-progress"]
+        check("at least one job-progress event arrived",
+              len(progress) >= 1)
+        if progress:
+            last = progress[-1]
+            check("final progress row matches stored RunSummary",
+                  last.get("final") is True
+                  and last.get("cycle") == payload["cycles"]
+                  and last.get("ipc") == payload["metrics"]["ipc"]
+                  and last.get("walk_cycles")
+                  == payload["walk_cycles_total"])
+        check("progress rows counted in gauges",
+              health["gauges"]["progress_events"] >= len(progress))
+
+        # 6. manifest + telemetry artifacts
         manifest = request(url, "/store")
         check("manifest lists both digests",
               sorted(manifest["digests"]) == sorted(
@@ -98,7 +182,12 @@ def main() -> int:
         artifacts.mkdir(exist_ok=True)
         out = artifacts / "store-manifest.json"
         out.write_text(json.dumps(manifest, indent=2, sort_keys=True))
+        tele_out = artifacts / "telemetry.json"
+        tele_out.write_text(json.dumps(health["telemetry"], indent=2,
+                                       sort_keys=True))
+        (artifacts / "metrics.prom").write_text(end_text)
         print(f"serve-smoke: manifest -> {out}")
+        print(f"serve-smoke: telemetry -> {tele_out}")
     finally:
         httpd.shutdown()
         httpd.server_close()
