@@ -62,6 +62,7 @@ from typing import Dict, Optional, Tuple, Union
 from repro.bench import (BenchCase, BenchResult, REGRESSION_THRESHOLD,
                          WORKLOAD_MATRIX)
 from repro.bench import run_bench as _run_bench
+from repro.core.fallback import BatchStats, FallbackReason
 from repro.core.rob import StallCategory
 from repro.experiments import registry
 from repro.experiments.figures import FigureResult
@@ -85,7 +86,9 @@ from repro.workloads.registry import benchmark_names
 #: Version of this facade.  Bumped on compatible additions (minor) and
 #: on breaking changes (major); ``tests/test_api_surface.py`` pins it.
 #: 2.1: telemetry plane (telemetry_snapshot, JobHandle.watch, /metrics).
-__api_version__ = "2.1"
+#: 2.2: backend-aware surface (``backend=`` on run/bench/submit,
+#: ``BatchStats``/``FallbackReason`` exports, ``RunResult.batch``).
+__api_version__ = "2.2"
 
 __all__ = [
     # entry points
@@ -99,7 +102,7 @@ __all__ = [
     "ScenarioDoc", "ScenarioError", "ScenarioResult",
     # results
     "RunResult", "RunSummary", "FigureResult",
-    "StallCategory", "BenchResult",
+    "StallCategory", "BenchResult", "BatchStats", "FallbackReason",
     # config builders
     "build_config", "enhancement_preset", "default_config", "paper_config",
     "canonical_policy", "SimConfig", "CacheConfig", "TLBConfig",
@@ -136,6 +139,14 @@ def _resolve_enhancements(
     return enhancement_preset(enhancements)
 
 
+def _check_backend(backend: str) -> str:
+    """Validate a ``backend=`` keyword against :data:`BACKENDS`."""
+    if backend not in BACKENDS:
+        raise ValueError(f"unknown backend {backend!r}; known: "
+                         f"{' '.join(BACKENDS)}")
+    return backend
+
+
 def build_config(scale: int = DEFAULT_SCALE, *,
                  enhancements: Union[str, EnhancementConfig, None] = None,
                  **overrides) -> SimConfig:
@@ -158,6 +169,7 @@ def build_config(scale: int = DEFAULT_SCALE, *,
 def run(benchmark: str, *,
         config: Optional[SimConfig] = None,
         enhancements: Union[str, EnhancementConfig, None] = None,
+        backend: Optional[str] = None,
         instructions: int = DEFAULT_INSTRUCTIONS,
         warmup: int = DEFAULT_WARMUP,
         scale: int = DEFAULT_SCALE,
@@ -171,6 +183,15 @@ def run(benchmark: str, *,
 
     ``enhancements`` (a preset name or :class:`EnhancementConfig`) is a
     shortcut for building ``config``; passing both raises.
+
+    ``backend`` selects the execution core (one of :data:`BACKENDS`):
+    ``"python"`` is the scalar reference, ``"numpy"`` the vectorized
+    batch core -- bit-identical results, different wall clock (see
+    ``docs/performance.md``).  It layers onto ``config`` when both are
+    given (``config.with_(backend=...)``), so a shared base config can
+    be run under either backend.  On a ``"numpy"`` run,
+    ``result.batch`` carries the engine's :class:`BatchStats`
+    (vectorization engagement and fallback accounting).
 
     Observability: ``sample_interval=N`` attaches the interval sampler
     (``result.intervals``); ``metrics=PATH`` additionally profiles the
@@ -187,6 +208,9 @@ def run(benchmark: str, *,
             raise ValueError("pass either config= or enhancements=, "
                              "not both")
         config = build_config(scale, enhancements=enh)
+    if backend is not None:
+        _check_backend(backend)
+        config = (config or default_config(scale)).with_(backend=backend)
     if metrics is not None and sample_interval is None:
         sample_interval = DEFAULT_SAMPLE_INTERVAL
     if trace is not None and trace_sample is None:
@@ -258,9 +282,15 @@ def figure_spec(name: str):
 
 
 def bench(matrix=WORKLOAD_MATRIX, repeats: int = 1,
-          out_dir=None) -> BenchResult:
+          out_dir=None, backend: Optional[str] = None) -> BenchResult:
     """Run the pinned performance-benchmark matrix (see
     :mod:`repro.bench` and ``docs/performance.md``).
+
+    ``backend`` (one of :data:`BACKENDS`) restricts the matrix to one
+    execution backend: every distinct workload configuration runs once,
+    pinned to that backend.  The default runs the full matrix -- each
+    entry under both backends -- which is what the regression gate
+    expects.
 
     Returns a :class:`BenchResult` whose ``document`` is the
     schema-stable ``repro.bench/v1`` dict (written as
@@ -268,6 +298,17 @@ def bench(matrix=WORKLOAD_MATRIX, repeats: int = 1,
     ``result.compare(baseline)`` yields the regression verdict the CI
     gate uses.
     """
+    if backend is not None:
+        from dataclasses import replace
+        _check_backend(backend)
+        seen = set()
+        pinned = []
+        for case in matrix:
+            case = replace(case, backend=backend)
+            if case.key not in seen:
+                seen.add(case.key)
+                pinned.append(case)
+        matrix = tuple(pinned)
     return _run_bench(matrix=matrix, repeats=repeats, out_dir=out_dir)
 
 

@@ -40,6 +40,15 @@ BENCH_SCHEMA = "repro.bench/v1"
 #: this fraction below the (machine-speed-scaled) baseline.
 REGRESSION_THRESHOLD = 0.15
 
+#: Workloads whose numpy entry must keep pace with its python twin
+#: (intra-document simulate-phase comparison; see :func:`vector_parity`).
+VECTOR_PARITY_WORKLOADS = ("pr",)
+
+#: Ceiling on the vectorized backend's fallback rate for the gated
+#: workloads: the batch path must actually engage, not silently route
+#: to the scalar core and coast on its numbers.
+FALLBACK_RATE_LIMIT = 0.05
+
 
 @dataclass(frozen=True)
 class BenchCase:
@@ -190,6 +199,10 @@ def _run_case(case: BenchCase, repeats: int) -> Dict:
             # hierarchy/core construction, and the simulation kernel.
             "phases": {name: round(seconds, 4)
                        for name, seconds in phases.items()},
+            # BatchStats of the vectorized backend (None on scalar
+            # runs): lets the gate assert engagement, not just speed.
+            "batch": (result.batch.to_dict()
+                      if result.batch is not None else None),
         }
         if best is None or entry["wall_s"] < best["wall_s"]:
             best = entry
@@ -288,6 +301,58 @@ def _check_calibration(score, which: str) -> None:
             f"with repro.bench.calibrate()")
 
 
+def vector_parity(document: Dict,
+                  threshold: float = REGRESSION_THRESHOLD) -> Dict:
+    """Intra-document vectorized-backend gates (no baseline needed).
+
+    For each workload in :data:`VECTOR_PARITY_WORKLOADS` that the
+    document ran under both backends, two conditions:
+
+    * **speed floor** -- the numpy entry's simulate-phase wall must be
+      at least 1.0x the python entry's, minus the gate's noise
+      tolerance (``threshold``); the comparison is within one document,
+      so machine-speed scaling is unnecessary;
+    * **engagement** -- the numpy entry's ``batch`` record must show
+      drained windows with a fallback rate below
+      :data:`FALLBACK_RATE_LIMIT` (a backend that falls back to the
+      scalar core would trivially pass the speed floor).
+
+    Workloads missing either backend entry are skipped, so pre-backend
+    documents gate on the aggregate alone.
+    """
+    by_key = {(c["benchmark"], c.get("backend", "python")): c
+              for c in document["configs"]}
+    workloads = {}
+    ok = True
+    for bench in VECTOR_PARITY_WORKLOADS:
+        scalar = by_key.get((bench, "python"))
+        vector = by_key.get((bench, "numpy"))
+        if scalar is None or vector is None:
+            continue
+        s_sim = (scalar.get("phases") or {}).get("simulate",
+                                                 scalar["wall_s"])
+        v_sim = (vector.get("phases") or {}).get("simulate",
+                                                 vector["wall_s"])
+        speedup = s_sim / v_sim if v_sim else 0.0
+        floor = 1.0 * (1.0 - threshold)
+        batch = vector.get("batch") or {}
+        windows = int(batch.get("windows") or 0)
+        refused = sum((batch.get("fallbacks") or {}).values())
+        rate = (refused / (windows + refused)
+                if windows + refused else 1.0)
+        entry_ok = (speedup >= floor and windows > 0
+                    and rate < FALLBACK_RATE_LIMIT)
+        workloads[bench] = {
+            "ok": entry_ok,
+            "speedup": round(speedup, 3),
+            "floor": round(floor, 3),
+            "windows": windows,
+            "fallback_rate": round(rate, 4),
+        }
+        ok = ok and entry_ok
+    return {"ok": ok, "workloads": workloads}
+
+
 def compare_to_baseline(document: Dict, baseline: Dict,
                         threshold: float = REGRESSION_THRESHOLD) -> Dict:
     """Regression verdict: current vs. baseline aggregate throughput.
@@ -351,8 +416,10 @@ def compare_to_baseline(document: Dict, baseline: Dict,
             "baseline_aps": b_recorded,
             "floor_aps": round(b_floor, 1),
         }
+    vector = vector_parity(document, threshold=threshold)
     return {
-        "ok": current >= floor and backends_ok and not mismatched,
+        "ok": (current >= floor and backends_ok and not mismatched
+               and vector["ok"]),
         "current_aps": current,
         "baseline_aps": recorded,
         "machine_ratio": machine_ratio,
@@ -361,6 +428,7 @@ def compare_to_baseline(document: Dict, baseline: Dict,
         "threshold": threshold,
         "matrix_mismatch": mismatched,
         "backends": backends,
+        "vector": vector,
     }
 
 
@@ -425,6 +493,13 @@ def cmd_bench(args) -> int:
             sub_status = "OK" if sub["ok"] else "REGRESSION"
             print(f"  {backend:>9}: floor {sub['floor_aps']:.0f}; "
                   f"current {sub['current_aps']:.0f} [{sub_status}]")
+        for bench, sub in verdict["vector"]["workloads"].items():
+            sub_status = "OK" if sub["ok"] else "REGRESSION"
+            print(f"  vector/{bench}: numpy {sub['speedup']:.2f}x python "
+                  f"(floor {sub['floor']:.2f}x), "
+                  f"{sub['windows']} windows, "
+                  f"fallback rate {sub['fallback_rate']:.1%} "
+                  f"[{sub_status}]")
         if args.check_regression and not verdict["ok"]:
             return 1
     elif args.check_regression:

@@ -171,6 +171,40 @@ def last_occurrence_stamps(keys: np.ndarray,
     return uniq.tolist(), stamps.tolist(), clock_start + n
 
 
+def first_occurrence_unique(keys: np.ndarray) -> np.ndarray:
+    """Unique ``keys`` in first-occurrence order.
+
+    The batch engine's walk-cohort dedup: a window's miss-cohort VPNs
+    collapse to one descent per page, but the *order* of those descents
+    must match the scalar core's first-walk order (frame allocation is
+    order-dependent).  ``np.unique`` sorts by value and reports each
+    value's first index; re-sorting by that index restores trace order.
+    """
+    keys = _as_i64(keys)
+    uniq, first_idx = np.unique(keys, return_index=True)
+    return uniq[np.argsort(first_idx, kind="stable")]
+
+
+def recall_unique_counts(stamps: np.ndarray, starts,
+                         cap: int) -> np.ndarray:
+    """Vectorized recall-distance computation over one tracker set.
+
+    ``stamps`` are one :class:`RecallTracker` set's touch stamps in
+    recency order (oldest first -- the order the per-set ``OrderedDict``
+    yields, since re-touches move keys to the end).  For each query
+    stamp in ``starts`` the scalar code walks backwards counting entries
+    with touch time at or after that stamp, capped at ``cap``; because
+    stamps are strictly increasing in recency order that count is just
+    the number of resident stamps ``>= start`` -- ``searchsorted`` gives
+    it for the whole batch at once.
+    """
+    stamps = _as_i64(stamps)
+    starts = _as_i64(starts)
+    n = int(stamps.shape[0])
+    counts = n - np.searchsorted(stamps, starts, side="left")
+    return np.minimum(counts, cap).astype(I64)
+
+
 # ----------------------------------------------------------------------
 # Mirrors binding kernels to live scalar state
 # ----------------------------------------------------------------------
@@ -187,9 +221,7 @@ class StoreMirror:
     def __init__(self, store):
         self.store = store
         self.num_ways = store.num_ways
-        shape = (store.num_sets, store.num_ways)
-        self.lines_2d = store.enable_line_mirror().reshape(shape)
-        self.valid_2d = flag_view(store.valid).reshape(shape)
+        self.lines_2d, self.valid_2d = store.as_arrays()
 
     def probe(self, lines) -> Tuple[np.ndarray, np.ndarray]:
         return probe_lines(self.lines_2d, self.valid_2d,

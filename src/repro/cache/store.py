@@ -71,6 +71,20 @@ class CacheStore:
             self.np_line = np.asarray(self.line, dtype=np.int64)
         return self.np_line
 
+    def as_arrays(self):
+        """``(lines_2d, valid_2d)`` array views shaped ``(sets, ways)``.
+
+        The canonical inputs to :func:`repro.cache.batch.probe_lines`:
+        the incrementally-maintained int64 line mirror plus a live uint8
+        view of the valid column.  Both reshape without copying, so
+        scalar-side fills/evictions stay visible through them.
+        """
+        import numpy as np
+        shape = (self.num_sets, self.num_ways)
+        lines_2d = self.enable_line_mirror().reshape(shape)
+        valid_2d = np.frombuffer(self.valid, dtype=np.uint8).reshape(shape)
+        return lines_2d, valid_2d
+
     # ------------------------------------------------------------------
     def first_free(self, set_idx: int) -> int:
         """Slot of the first invalid way in ``set_idx``, or -1 when full."""

@@ -5,38 +5,61 @@
 Each window is classified once with the numpy kernels in
 :mod:`repro.cache.batch` against start-of-window snapshots of the DTLB
 and L1D: set-index/VPN split, TLB probe, physical line computation and
-L1D tag match all happen as array operations, yielding a *fast-path
-candidate* mask plus per-access VPN/line columns.  The window then drains
-through one fused scalar loop:
+L1D tag match all happen as array operations.  Classification splits the
+window into two cohorts:
 
-* a candidate access is revalidated with three O(1) probes (VPN still in
-  its DTLB set, line still resident, no MSHR fill in flight) and, when
-  they hold, takes an inlined hit path -- engine recurrences plus the
-  exact side-effect set of the scalar DTLB-hit/L1D-hit path (LRU/TLB
-  stamps, reused/dirty bits) with counters accumulated per window;
-* everything else (misses, walks, MSHR conflicts, accesses invalidated
-  by an earlier event in the window) goes through the *real*
-  ``hierarchy.load``/``store`` -- identical by construction.
+* the *hit cohort* (DTLB-mirror hits) carries precomputed physical line
+  addresses;
+* the *miss cohort* (DTLB-mirror misses) is the page-walk feed: its
+  VPNs are deduplicated in first-occurrence order and their radix
+  descents precomputed in one batch
+  (:meth:`PageTable.walk_entries_batch`), so the walker's in-drain
+  ``walk_entries`` calls become cache lookups.
+
+The window then drains through one fused scalar loop:
+
+* an access is revalidated with O(1) probes against *live* state -- VPN
+  still (or newly) resident in its DTLB set, line resident in the L1D --
+  and, when they hold, takes an inlined hit path: engine recurrences
+  plus the exact side-effect set of the scalar DTLB-hit/L1D-hit path
+  (LRU/TLB stamps, reused/dirty bits, the MSHR merge probe) with
+  counters accumulated per window.  The live probe means accesses whose
+  page was walked *earlier in the same window* still take the fast path
+  even though the start-of-window mirror called them misses;
+* everything else (walks, L1D misses, conflicts) goes through the
+  *real* ``hierarchy.load``/``store`` -- identical by construction.
 
 Bit-identity argument (pinned by ``tests/test_backend_parity.py`` and
 the ``repro.validate`` fuzz axis):
 
-* Page-table mappings are immutable once allocated, so the physical line
+* Page-table mappings are immutable once allocated, so a physical line
   computed at classification time stays correct for the whole window;
   only *residency* can change, and the revalidation probes check exactly
-  that against live state.  A stale "candidate" therefore falls through
+  that against live dicts.  A stale "candidate" therefore falls through
   to the scalar path rather than mis-simulating.
+* Walk precompute preserves the allocation trajectory: during an
+  eligible run, ``walk_entries`` is the only allocating call site, and a
+  never-allocated VPN cannot be resident in any TLB -- so its first
+  in-window occurrence is necessarily in the miss cohort, and the
+  cohort's first-occurrence order *is* the scalar first-walk order.
+  Precomputing the cohort's descents therefore performs the same
+  allocations in the same order; already-allocated VPNs are pure
+  lookups whose order is irrelevant.  The cache is attached to the
+  walker only while an eligible ``run`` is draining (and only while no
+  huge-page predicate is installed).
 * The inlined hit path reproduces the scalar side effects exactly: the
   DTLB/LRU clocks advance by one per touch (kept in locals, synced
   around every scalar excursion), dict stamp assignment preserves
-  insertion order, reused/dirty writes are idempotent, and the deferred
-  counter adds are plain integer arithmetic whose total is
-  order-independent.
+  insertion order, reused/dirty writes are idempotent, the MSHR merge
+  probe replicates ``_handle_hit``'s inline check (including the merges
+  counter and the fill-completion max), and the deferred counter adds
+  are plain integer arithmetic whose total is order-independent.
 * Configurations with per-hit side effects the fast path does not model
   (frontend, huge pages, L1D prefetchers, non-LRU L1D policy, comparison
   modes, attached checkers/samplers/tracers, instance-patched hot
   methods) are refused wholesale: :func:`vector_ineligibility` routes
-  the entire run through an ordinary :class:`OOOCore`.
+  the entire run through an ordinary :class:`OOOCore`, recording a
+  :class:`repro.core.fallback.FallbackReason`.
 
 The engine recurrences below are verbatim copies of ``OOOCore.run`` --
 divergence there is divergence in cycles, which the parity suite pins.
@@ -49,7 +72,8 @@ from typing import Deque, Optional
 
 import numpy as np
 
-from repro.cache.batch import TLBMirror, flag_view
+from repro.cache.batch import TLBMirror, first_occurrence_unique, flag_view
+from repro.core.fallback import BatchStats, FallbackReason
 from repro.core.ooo_core import CoreResult, OOOCore
 from repro.core.rob import StallAccounting
 from repro.params import LINE_SHIFT, PAGE_SHIFT, SimConfig
@@ -66,7 +90,8 @@ _PFN_TO_LINE = PAGE_SHIFT - LINE_SHIFT
 
 
 def vector_ineligibility(config: SimConfig,
-                         hierarchy: MemoryHierarchy) -> Optional[str]:
+                         hierarchy: MemoryHierarchy
+                         ) -> Optional[FallbackReason]:
     """Why this machine cannot take the vectorized fast path (or None).
 
     Every condition here names scalar state or a per-hit side effect the
@@ -74,24 +99,24 @@ def vector_ineligibility(config: SimConfig,
     and remain bit-identical by construction.
     """
     if config.model_frontend or hierarchy.frontend is not None:
-        return "frontend modelled (per-instruction fetch path)"
+        return FallbackReason.FRONTEND
     if config.huge_page_policy != "none" \
             or hierarchy.page_table.huge_page_predicate is not None:
-        return "huge-page policy active (per-access key/sub split)"
+        return FallbackReason.HUGE_PAGES
     if config.comparison != "none" \
             or hierarchy.mmu.dead_page_predictor is not None:
-        return "comparison mode active (predictor side effects)"
+        return FallbackReason.COMPARISON
     l1d = hierarchy.l1d
     if config.l1d_prefetcher != "none" or l1d.prefetcher is not None \
             or hierarchy.ipcp is not None:
-        return "L1D prefetcher attached (per-hit training)"
+        return FallbackReason.L1D_PREFETCHER
     if l1d.policy.name != "lru":
-        return f"L1D policy {l1d.policy.name!r} (fast path models LRU)"
+        return FallbackReason.L1D_POLICY
     if l1d.recall_translation is not None:
-        return "L1D recall tracking attached"
+        return FallbackReason.L1D_RECALL
     dtlb = hierarchy.mmu.dtlb
     if dtlb.recall is not None or dtlb.observer is not None:
-        return "DTLB recall/observer attached"
+        return FallbackReason.DTLB_RECALL
     return None
 
 
@@ -112,7 +137,9 @@ class BatchCore:
         self.retire_width = core.retire_width
         self.nonmem_latency = core.nonmem_latency
         #: Why the last ``run`` fell back to the scalar core (or None).
-        self.last_fallback_reason: Optional[str] = None
+        self.last_fallback_reason: Optional[FallbackReason] = None
+        #: Engagement record of the last ``run`` (stable api surface).
+        self.batch_stats = BatchStats()
         self._static_reason = vector_ineligibility(config, hierarchy)
         self._scalar_core: Optional[OOOCore] = None
         self._dtlb_mirror: Optional[TLBMirror] = None
@@ -124,31 +151,44 @@ class BatchCore:
                                         self.cpu_id)
         return self._scalar_core
 
-    def _runtime_reason(self) -> Optional[str]:
+    def _runtime_reason(self) -> Optional[FallbackReason]:
         h = self.hierarchy
         if h.checker is not None:
-            return "runtime checkers attached (per-event hooks)"
+            return FallbackReason.CHECKER
         if h.sampler is not None or h.tracer is not None \
                 or h.mmu.tracer is not None:
-            return "sampler/tracer attached (per-event hooks)"
+            return FallbackReason.SAMPLER_TRACER
         # The oracle and some tests shadow bound methods on *instances*;
         # a shadowed hot method means per-access hooks we must honour.
         for obj, name in ((h, "load"), (h, "store"), (h.l1d, "access"),
                           (h.mmu, "translate"), (h.mmu.dtlb, "lookup")):
             if name in getattr(obj, "__dict__", {}):
-                return f"instance-patched {type(obj).__name__}.{name}"
+                return FallbackReason.INSTANCE_PATCH
         return None
 
     # ------------------------------------------------------------------
     def run(self, trace, warmup: int = 0,
             limit: Optional[int] = None) -> CoreResult:
         """Execute ``trace``; same contract as :meth:`OOOCore.run`."""
+        self.batch_stats = bstats = BatchStats()
         reason = self._static_reason or self._runtime_reason()
         if reason is not None:
             self.last_fallback_reason = reason
+            bstats.record_fallback(reason)
             return self._scalar().run(trace, warmup, limit)
         self.last_fallback_reason = None
 
+        hierarchy = self.hierarchy
+        mmu = hierarchy.mmu
+        walker = mmu.walker
+        walker.entries_cache = {}
+        try:
+            return self._run_vector(trace, warmup, limit, bstats)
+        finally:
+            walker.entries_cache = None
+
+    def _run_vector(self, trace, warmup: int, limit: Optional[int],
+                    bstats: BatchStats) -> CoreResult:
         hierarchy = self.hierarchy
         trace_ips, trace_kinds = trace.ips, trace.kinds
         trace_addrs, trace_deps = trace.addrs, trace.deps
@@ -167,6 +207,8 @@ class BatchCore:
         l1d = hierarchy.l1d
         mmu = hierarchy.mmu
         dtlb = mmu.dtlb
+        page_table = hierarchy.page_table
+        entries_cache = mmu.walker.entries_cache
         if self._dtlb_mirror is None or self._dtlb_mirror.tlb is not dtlb:
             self._dtlb_mirror = TLBMirror(dtlb)
         dtlb_mirror = self._dtlb_mirror
@@ -176,9 +218,11 @@ class BatchCore:
 
         # Live scalar structures the fast path touches directly.
         dtlb_sets = dtlb._sets
+        dtlb_frames = dtlb._frames
         dtlb_num_sets = dtlb.num_sets
         slot_of_get = store.slot_of.get
-        inflight = l1d.mshr._inflight
+        l1d_mshr = l1d.mshr
+        inflight_get = l1d_mshr._inflight.get
         reused_col = store.reused
         dirty_col = store.dirty
         policy = l1d.policy
@@ -233,35 +277,47 @@ class BatchCore:
                 hi = warmup  # windows never straddle the ROI boundary
 
             # -- classify window [lo, hi) with the array kernels --------
-            # The DTLB probe is the workhorse: it yields both the hit
-            # mask and the PFNs, letting the physical line addresses be
-            # computed vectorially for the whole window.  L1D residency
-            # and MSHR conflicts are *not* pre-screened here -- the drain
-            # loop's O(1) dict probes decide those authoritatively, and
-            # a vector pre-screen would only duplicate them against a
-            # snapshot that same-window fills/evictions invalidate.
+            # The DTLB probe splits the window into the hit cohort
+            # (drained below through live O(1) probes -- residency can
+            # change mid-window, so the live dicts are authoritative and
+            # a precomputed per-access line column would only duplicate
+            # them) and the miss cohort, which feeds the batched page
+            # walks.  L1D residency and MSHR conflicts are likewise left
+            # to the drain loop's dict probes.
             addrs_w = addrs_np[lo:hi]
             kinds_w = kinds_np[lo:hi]
             vpns_w = addrs_w >> PAGE_SHIFT
-            dhit, pfns = dtlb_mirror.probe(vpns_w)
-            lines_w = (pfns << _PFN_TO_LINE) | ((addrs_w & _PAGE_OFF_MASK)
-                                                >> LINE_SHIFT)
-            cand = (kinds_w != kind_nonmem) & dhit
+            dhit, _pfns = dtlb_mirror.probe(vpns_w)
+            mem_w = kinds_w != kind_nonmem
             # ATP/TEMPO-style fills would set these columns; eligible
             # configs never do, but a live check keeps the path honest.
-            if pref_view.any() or dead_view.any():
-                cand &= False
-            cand_l = cand.tolist()
-            vpns_l = vpns_w.tolist()
-            lines_l = lines_w.tolist()
+            fast_ok = not (pref_view.any() or dead_view.any())
+
+            # -- miss cohort: precompute the page-walk descents ---------
+            # Never-allocated VPNs all land here (they cannot be TLB
+            # resident), and their first-occurrence order is the scalar
+            # first-walk order, so the batch descent replays the exact
+            # allocator trajectory; see the module docstring.
+            miss_vpns = vpns_w[mem_w & ~dhit]
+            n_cohort = int(miss_vpns.shape[0])
+            if n_cohort:
+                bstats.walk_cohort += n_cohort
+                bstats.precomputed_walks += page_table.walk_entries_batch(
+                    first_occurrence_unique(miss_vpns).tolist(),
+                    entries_cache)
 
             # Per-window deferred counters (flushed after the loop).
             n_fast_mem = 0
             n_fast_loads = 0
+            n_fast_merges = 0
+            n_excur = 0
             clock_d = dtlb._clock
             clock_p = policy._clock
 
             # -- fused drain loop ---------------------------------------
+            # Index iteration, subscripting lazily: the nonmem branch
+            # touches one column, the fast path four -- a zip over all
+            # seven columns measured slower on hit-heavy traces.
             for i in range(lo, hi):
                 # dispatch (verbatim OOOCore recurrence)
                 dc = dispatch_cycle
@@ -304,25 +360,46 @@ class BatchCore:
                     n_rt += 1
                     continue
 
-                j = i - lo
-                if cand_l[j]:
-                    vpn = vpns_l[j]
-                    line = lines_l[j]
-                    entries = dtlb_sets[vpn % dtlb_num_sets]
+                addr = addrs_l[i]
+                vpn = addr >> PAGE_SHIFT
+                si = vpn % dtlb_num_sets
+                entries = dtlb_sets[si]
+                # Live revalidation against the real DTLB set: covers
+                # both directions of mid-window drift (an entry evicted
+                # since the window started falls to the excursion; a page
+                # walked in by an earlier access of this very window
+                # takes the fast path even though the classifier called
+                # it a miss).  The frame dict IS the scalar TLB's pfn
+                # store, so the line is exact by construction.
+                if fast_ok and vpn in entries:
+                    line = (dtlb_frames[si][vpn] << _PFN_TO_LINE) \
+                        | ((addr & _PAGE_OFF_MASK) >> LINE_SHIFT)
                     slot = slot_of_get(line)
-                    if vpn in entries and slot is not None \
-                            and line not in inflight:
+                    if slot is not None:
                         # -- inlined DTLB-hit/L1D-hit path --------------
+                        # including the exact _handle_hit merge probe: a
+                        # hit on a line whose fill is still in flight
+                        # completes when the data arrives.
+                        pending = inflight_get(line)
                         if is_load:
+                            dep = deps_l[i]
                             issue_at = dc
-                            if deps_l[i] and chain_completion > issue_at:
+                            if dep and chain_completion > issue_at:
                                 issue_at = chain_completion
                             translation_done = issue_at + dtlb_lat
                             completion = translation_done + l1d_lat
-                            if deps_l[i]:
+                            if pending is not None \
+                                    and pending > translation_done:
+                                n_fast_merges += 1
+                                if pending > completion:
+                                    completion = pending
+                            if dep:
                                 chain_completion = completion
                             n_fast_loads += 1
                         else:
+                            if pending is not None \
+                                    and pending > dc + dtlb_lat:
+                                n_fast_merges += 1
                             completion = dc + nonmem_latency
                         n_fast_mem += 1
                         clock_d += 1
@@ -359,24 +436,26 @@ class BatchCore:
                         n_rt += 1
                         continue
 
-                # -- full scalar excursion (misses, walks, conflicts,
+                # -- full scalar excursion (walks, misses, conflicts,
                 #    revalidation failures) ----------------------------
+                n_excur += 1
                 dtlb._clock = clock_d
                 policy._clock = clock_p
                 is_replay = False
                 translation_done = dc
                 if is_load:
+                    dep = deps_l[i]
                     issue_at = dc
-                    if deps_l[i] and chain_completion > issue_at:
+                    if dep and chain_completion > issue_at:
                         issue_at = chain_completion
-                    res = hierarchy_load(addrs_l[i], issue_at, ips_l[i])
+                    res = hierarchy_load(addr, issue_at, ips_l[i])
                     completion = res.data_done
                     is_replay = res.is_replay
                     translation_done = res.translation_done
-                    if deps_l[i]:
+                    if dep:
                         chain_completion = completion
                 else:
-                    hierarchy_store(addrs_l[i], dc, ips_l[i])
+                    hierarchy_store(addr, dc, ips_l[i])
                     completion = dc + nonmem_latency
                 clock_d = dtlb._clock
                 clock_p = policy._clock
@@ -422,6 +501,10 @@ class BatchCore:
                 dtlb.hits += n_fast_mem
                 stats.accesses["non_replay"] += n_fast_mem
                 stats.hits["non_replay"] += n_fast_mem
+            if n_fast_merges:
+                l1d_mshr.merges += n_fast_merges
+            bstats.record_window(hi - lo, n_fast_mem, n_fast_merges,
+                                 n_excur)
             lo = hi
 
         instructions = total - warmup if warmup < total else 0

@@ -159,6 +159,11 @@ class RunSummary:
     #: Page-walk totals (PSC sensitivity study).
     walks: int = 0
     walk_cycles_total: int = 0
+    #: ``BatchStats.to_dict()`` from a ``backend="numpy"`` run
+    #: (vectorization engagement / fallback accounting); empty for
+    #: scalar runs.  Rides the snapshot so the sweep service can feed
+    #: the batch telemetry series without holding live objects.
+    batch: Dict = field(default_factory=dict)
 
     # -- construction ----------------------------------------------------
     @classmethod
@@ -204,7 +209,9 @@ class RunSummary:
             atp_triggered_llc=atp.triggered_llc if atp else 0,
             tempo_triggered=tempo.triggered if tempo else 0,
             walks=h.mmu.walker.walks,
-            walk_cycles_total=h.mmu.walk_cycles_total)
+            walk_cycles_total=h.mmu.walk_cycles_total,
+            batch=(run.batch.to_dict()
+                   if getattr(run, "batch", None) is not None else {}))
 
     # -- RunResult-compatible accessors ----------------------------------
     @property

@@ -40,6 +40,10 @@ class RunResult:
     profiler: Optional[object] = field(repr=False, default=None)
     #: Attached only on traced runs (``trace_sample=...``).
     tracer: Optional[object] = field(repr=False, default=None)
+    #: Vectorization engagement/fallback accounting
+    #: (:class:`repro.core.fallback.BatchStats`); ``None`` on scalar
+    #: (``backend="python"``) runs.
+    batch: Optional[object] = field(repr=False, default=None)
 
     # -- headline metrics ------------------------------------------------
     @property
@@ -258,4 +262,5 @@ def run_benchmark(name: str, config: Optional[SimConfig] = None,
         hierarchy.checker.final_check()
     return RunResult(benchmark=name, config=cfg, core=result, seed=seed,
                      warmup=warmup, scale=scale, sampler=sampler,
-                     profiler=profiler, tracer=tracer)
+                     profiler=profiler, tracer=tracer,
+                     batch=getattr(core, "batch_stats", None))

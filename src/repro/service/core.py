@@ -140,7 +140,8 @@ def execute_spec(spec_dict: Dict, progress: Optional[Callable] = None,
                 for b in p["benchmarks"])
         else:
             matrix = WORKLOAD_MATRIX
-        result = api.bench(matrix=matrix, repeats=p.get("repeats", 1))
+        result = api.bench(matrix=matrix, repeats=p.get("repeats", 1),
+                           backend=p.get("backend"))
         return {"kind": "bench", "document": result.document}
     if kind == "trace":
         scale = int(p.get("scale", api.DEFAULT_SCALE))
@@ -317,6 +318,24 @@ class SweepService:
         self._run_hist = reg.histogram(
             "repro_job_run_seconds",
             help="Execution latency (first RUNNING to terminal)")
+        # Batch-backend engagement: fed from the BatchStats dict riding
+        # run payloads (RunSummary.batch).  Every fallback reason is
+        # pre-registered so /metrics exposes the full label set from the
+        # first scrape, zeros included.
+        from repro.core.fallback import COHORT_BUCKETS, FallbackReason
+        self._batch_windows = reg.counter(
+            "repro_batch_windows_total",
+            help="Windows drained on the vectorized batch path")
+        self._batch_fallbacks = {
+            reason.value: reg.counter(
+                "repro_batch_fallback_total",
+                help="Runs refused by the batch path, by reason",
+                labels={"reason": reason.value})
+            for reason in FallbackReason}
+        self._cohort_hist = reg.histogram(
+            "repro_batch_miss_cohort_size",
+            help="Scalar-excursion cohort size per drained window",
+            buckets=[float(b) for b in COHORT_BUCKETS])
 
     def _count_state(self, status: JobStatus) -> int:
         return sum(1 for job in self._jobs.values()
@@ -619,6 +638,7 @@ class SweepService:
                 self.store.put_payload(job.digest, payload)
                 job.payload = payload
                 self._count("executed")
+                self._record_batch_telemetry(payload)
                 self._emit_final_progress(job, payload)
                 self._log.emit("job-done", job=job.id, digest=job.digest)
                 job.transition(JobStatus.DONE, source="run")
@@ -689,6 +709,34 @@ class SweepService:
         self._progress_events.inc()
         job.events.emit(kind="job-progress", job=job_id, **row)
         self._log.emit("job-progress", job=job_id, **row)
+
+    def _record_batch_telemetry(self, payload) -> None:
+        """Fold a run payload's ``batch`` dict into the batch series.
+
+        Scalar-backend payloads carry an empty dict and non-run payloads
+        none at all; both are no-ops, so the series move exactly when a
+        ``backend="numpy"`` run completes.  Unknown fallback reasons
+        (from a payload recorded by a newer code version) are skipped
+        rather than crashing the job loop.
+        """
+        if not isinstance(payload, dict):
+            return
+        batch = payload.get("batch")
+        if not isinstance(batch, dict) or not batch:
+            return
+        windows = int(batch.get("windows") or 0)
+        if windows:
+            self._batch_windows.inc(windows)
+        for reason, n in (batch.get("fallbacks") or {}).items():
+            counter = self._batch_fallbacks.get(reason)
+            if counter is not None and n:
+                counter.inc(int(n))
+        sizes = batch.get("cohort_sizes")
+        if isinstance(sizes, list) \
+                and len(sizes) == len(self._cohort_hist.buckets) + 1:
+            self._cohort_hist.observe_bucketed(
+                [int(n) for n in sizes],
+                sum_=float(batch.get("scalar_excursions") or 0))
 
     def _emit_final_progress(self, job: Job, payload) -> None:
         """One authoritative ``final`` row from the stored payload.

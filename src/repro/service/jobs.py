@@ -159,6 +159,11 @@ def _validate(kind: str, params: Dict) -> None:
                     or value <= 0:
                 raise JobError(f"{name} must be a positive integer, "
                                f"got {value!r}")
+    if "backend" in params:
+        from repro.params import BACKENDS
+        if params["backend"] not in BACKENDS:
+            raise JobError(f"unknown backend {params['backend']!r}; "
+                           f"known: {' '.join(BACKENDS)}")
     if kind == "sweep":
         runs = params["runs"]
         if not isinstance(runs, (list, tuple)) or not runs:

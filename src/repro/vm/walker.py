@@ -43,6 +43,10 @@ class PageTableWalker:
         self.pte_reads = 0
         #: Request-level span tracer (None unless the run is traced).
         self.tracer = None
+        #: Optional ``{vpn: (pfn, entries)}`` descent cache, attached by
+        #: the batch engine while an eligible run drains (see
+        #: ``PageTable.walk_entries_batch``).  None in scalar runs.
+        self.entries_cache = None
 
     def walk(self, va: int, cycle: int, ip: int = 0) -> WalkResult:
         """Translate ``va`` starting at ``cycle``; returns the walk result.
@@ -52,7 +56,24 @@ class PageTableWalker:
         """
         self.walks += 1
         tracer = self.tracer
-        pfn, entries = self.page_table.walk_entries(va)
+        # The descent cache keys on VPN: walk_entries depends only on
+        # page-number bits, and mappings are immutable once allocated,
+        # so a cached descent is exact.  Huge pages split the leaf PFN
+        # per 4KB sub-frame, so the cache is bypassed while a predicate
+        # is installed (the batch engine never attaches one then, but a
+        # predicate can be installed mid-run by comparison harnesses).
+        cached = None
+        cacheable = (self.entries_cache is not None
+                     and self.page_table.huge_page_predicate is None)
+        if cacheable:
+            cached = self.entries_cache.get(va >> PAGE_SHIFT)
+        if cached is not None:
+            pfn, entries = cached
+        else:
+            pfn, entries = self.page_table.walk_entries(va)
+            if cacheable:
+                # Re-walks of this page (TLB thrashing) become lookups.
+                self.entries_cache[va >> PAGE_SHIFT] = (pfn, entries)
         leaf_level = entries[-1][0]  # 1, or 2 for 2MB huge pages
 
         t = cycle + self.psc.latency

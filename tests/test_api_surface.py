@@ -109,7 +109,7 @@ def test_api_trace_diff_accepts_documents():
 # v1.1 additions: bench, frozen SimConfig, facade-only CLI
 # ----------------------------------------------------------------------
 def test_api_version_pinned():
-    assert api.__api_version__ == "2.1"
+    assert api.__api_version__ == "2.2"
     assert "__api_version__" in api.__all__
 
 
@@ -383,3 +383,141 @@ def test_submit_roundtrip_matches_direct_run(tmp_path):
     expected = api.RunSummary.from_run(direct, seed=1)
     assert h1.summary().to_dict() == expected.to_dict()
     assert h2.summary().to_dict() == expected.to_dict()
+
+
+# ----------------------------------------------------------------------
+# v2.2 additions: backend-aware surface
+# ----------------------------------------------------------------------
+def test_v22_exports_present():
+    assert {"BatchStats", "FallbackReason", "BACKENDS"} <= set(api.__all__)
+
+
+def test_run_backend_keyword():
+    scalar = api.run("tc", instructions=2_000, warmup=500)
+    vector = api.run("tc", instructions=2_000, warmup=500,
+                     backend="numpy")
+    # Bit-identical results; the batch record only on the numpy run.
+    assert vector.summary() == scalar.summary()
+    assert scalar.batch is None
+    assert isinstance(vector.batch, api.BatchStats)
+    assert vector.batch.windows > 0 and not vector.batch.fell_back
+    assert vector.config.backend == "numpy"
+
+
+def test_run_backend_layers_onto_config():
+    cfg = api.build_config(enhancements="full")
+    result = api.run("tc", config=cfg, instructions=2_000, warmup=500,
+                     backend="numpy")
+    assert result.config.backend == "numpy"
+    assert result.config.enhancements.tempo
+
+
+def test_run_rejects_unknown_backend():
+    with pytest.raises(ValueError, match="unknown backend"):
+        api.run("tc", backend="fortran")
+
+
+def test_bench_backend_pins_matrix():
+    from repro.bench import BenchCase
+    tiny = (BenchCase("tc", instructions=2_000, warmup=500),
+            BenchCase("tc", instructions=2_000, warmup=500,
+                      backend="numpy"))
+    result = api.bench(matrix=tiny, backend="numpy")
+    entries = result.document["configs"]
+    # Both input rows collapse to the one numpy-pinned configuration.
+    assert len(entries) == 1
+    assert entries[0]["backend"] == "numpy"
+    assert "batch" in entries[0]
+    with pytest.raises(ValueError, match="unknown backend"):
+        api.bench(matrix=tiny, backend="fortran")
+
+
+def test_submit_validates_backend():
+    from repro.service.jobs import JobError, JobSpec
+    spec = JobSpec.make("run", benchmark="tc", backend="numpy")
+    assert spec.param("backend") == "numpy"
+    assert spec.run_key().config.backend == "numpy"
+    with pytest.raises(JobError, match="unknown backend"):
+        JobSpec.make("run", benchmark="tc", backend="fortran")
+    with pytest.raises(JobError, match="unknown backend"):
+        JobSpec.make("sweep", runs=["tc"], backend="fortran")
+
+
+def test_batchstats_is_stable_dataclass():
+    stats = api.BatchStats()
+    assert not stats.fell_back and stats.excursion_fraction == 0.0
+    stats.record_window(1024, fast_hits=700, fast_merges=10,
+                        scalar_excursions=300)
+    stats.record_fallback(api.FallbackReason.HUGE_PAGES)
+    doc = stats.to_dict()
+    assert {"windows", "instructions", "fast_hits", "fast_merges",
+            "scalar_excursions", "walk_cohort", "precomputed_walks",
+            "fallbacks", "cohort_buckets", "cohort_sizes"} == set(doc)
+    assert doc["fallbacks"] == {"huge_pages": 1}
+    assert sum(doc["cohort_sizes"]) == 1
+
+
+def test_vector_parity_gate():
+    from repro.bench import vector_parity
+
+    def entry(benchmark, backend, sim, batch=...):
+        if batch is ...:
+            batch = {"windows": 100, "fallbacks": {}}
+        return {"benchmark": benchmark, "backend": backend,
+                "wall_s": sim + 0.01, "phases": {"simulate": sim},
+                "batch": batch}
+
+    def doc(*configs):
+        return {"configs": list(configs)}
+
+    # Engaged and at parity: passes.
+    verdict = vector_parity(doc(entry("pr", "python", 1.0),
+                                entry("pr", "numpy", 1.0)))
+    assert verdict["ok"] and verdict["workloads"]["pr"]["speedup"] == 1.0
+    # 10% slower is inside the 15% noise tolerance; 50% slower is not.
+    assert vector_parity(doc(entry("pr", "python", 1.0),
+                             entry("pr", "numpy", 1.1)))["ok"]
+    verdict = vector_parity(doc(entry("pr", "python", 1.0),
+                                entry("pr", "numpy", 1.5)))
+    assert not verdict["ok"]
+    assert verdict["workloads"]["pr"]["speedup"] < \
+        verdict["workloads"]["pr"]["floor"]
+    # A fast run that fell back to the scalar core must not pass: the
+    # speed floor alone would wave a disengaged backend through.
+    fallback = {"windows": 0, "fallbacks": {"sampler_tracer": 1}}
+    verdict = vector_parity(doc(entry("pr", "python", 1.0),
+                                entry("pr", "numpy", 0.5,
+                                      batch=fallback)))
+    assert not verdict["ok"]
+    assert verdict["workloads"]["pr"]["fallback_rate"] == 1.0
+    # A scalar entry masquerading as numpy (no batch record) fails too.
+    assert not vector_parity(doc(entry("pr", "python", 1.0),
+                                 entry("pr", "numpy", 0.5,
+                                       batch=None)))["ok"]
+    # Pre-backend documents (no numpy entry) skip the gate.
+    verdict = vector_parity(doc(entry("pr", "python", 1.0)))
+    assert verdict["ok"] and verdict["workloads"] == {}
+
+
+def test_compare_to_baseline_folds_in_vector_parity():
+    from repro.bench import compare_to_baseline
+
+    def doc(numpy_sim):
+        configs = [
+            {"benchmark": "pr", "backend": "python", "wall_s": 1.01,
+             "phases": {"simulate": 1.0}},
+            {"benchmark": "pr", "backend": "numpy",
+             "wall_s": numpy_sim + 0.01,
+             "phases": {"simulate": numpy_sim},
+             "batch": {"windows": 100, "fallbacks": {}}},
+        ]
+        return {"aggregate": {"accesses_per_sec": 1000.0},
+                "calibration_ops_per_sec": None, "configs": configs}
+
+    base = doc(1.0)
+    assert compare_to_baseline(doc(1.0), base)["ok"]
+    # Aggregate throughput is unchanged, but the numpy entry collapsed
+    # to 2x the scalar simulate wall: the folded-in vector gate fails.
+    verdict = compare_to_baseline(doc(2.0), base)
+    assert not verdict["ok"]
+    assert not verdict["vector"]["ok"]

@@ -84,6 +84,44 @@ MATRIX = [
 
 assert len(MATRIX) == 23, "the oracle matrix is pinned at 23 configs"
 
+#: Miss-dominated companion matrix: scale-16 geometry shrinks the DTLB
+#: and L1D until most windows carry a real miss cohort, so these rows
+#: drive the batched miss-cascade kernels (cohort walk precompute,
+#: MSHR-merge fast path, scalar excursions) rather than the hit path the
+#: base matrix mostly exercises.  Each row must stay vector-eligible AND
+#: actually form walk cohorts -- asserted below, not assumed.
+MISS_MATRIX = [
+    ("pr-s16-deep", _cfg(scale=16), "pr", 8000, 1000, 1),
+    ("pr-s16-full", _cfg(scale=16, enhancements="full"), "pr",
+     8000, 1000, 1),
+    ("mcf-s16-atp-tempo", _cfg(scale=16, enhancements="full"), "mcf",
+     8000, 1000, 2),
+    ("canneal-s16-spp", _cfg(scale=16, l2c_prefetcher="spp"), "canneal",
+     8000, 1000, 3),
+    ("radii-s16-nextline", _cfg(scale=16, l2c_prefetcher="next_line"),
+     "radii", 6000, 500, 1),
+]
+
+
+@pytest.mark.parametrize("name,cfg,bench,instructions,warmup,seed",
+                         MISS_MATRIX, ids=[row[0] for row in MISS_MATRIX])
+def test_miss_dominated_bit_identical(name, cfg, bench, instructions,
+                                      warmup, seed):
+    scalar, _ = _run(cfg.with_(backend="python"), bench,
+                     instructions, warmup, seed)
+    vector_counters, core = _run(cfg.with_(backend="numpy"), bench,
+                                 instructions, warmup, seed)
+    assert diff_counters(scalar, vector_counters) == {}
+    assert core.last_fallback_reason is None
+    stats = core.batch_stats
+    # Miss-domination is the point of these rows: the drain must have
+    # formed page-walk cohorts and taken scalar excursions, otherwise
+    # the batched miss-cascade kernels went untested.
+    assert stats.windows > 0
+    assert stats.walk_cohort > 0
+    assert stats.scalar_excursions > 0
+    assert stats.precomputed_walks > 0
+
 
 def _run(config: SimConfig, bench: str, instructions: int,
          warmup: int, seed: int):

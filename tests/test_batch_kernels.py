@@ -247,3 +247,197 @@ def test_probe_lines_exact_above_2_53(seed):
     hit, slots = mirror.probe([resident, twin])
     assert bool(hit[0]) and int(slots[0]) == set_idx * num_ways
     assert not bool(hit[1])
+
+
+# ----------------------------------------------------------------------
+# DRAM array kernels vs the scalar controller
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("seed", SEEDS)
+def test_map_lines_matches_scalar_map(seed):
+    from repro.memsys.dram import DRAM, map_lines
+    from repro.params import DRAMConfig
+
+    rng = random.Random(seed)
+    cfg = DRAMConfig(channels=rng.choice((1, 2, 4)),
+                     banks_per_channel=rng.choice((8, 16, 32)))
+    dram = DRAM(cfg)
+    lines = [rng.getrandbits(57) if rng.random() < 0.5
+             else HIGH_BASE + rng.getrandbits(40) for _ in range(400)]
+    channel, bank_idx, row = map_lines(cfg, lines)
+    for i, line in enumerate(lines):
+        s_channel, s_bank, s_row = dram._map(line)
+        assert int(channel[i]) == s_channel
+        assert int(bank_idx[i]) == s_channel * cfg.banks_per_channel + s_bank
+        assert int(row[i]) == s_row
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_row_hit_plan_matches_scalar_row_outcomes(seed):
+    """Hit/miss per access and final open rows, against DRAM.access.
+
+    The scalar controller is driven request-by-request (its row state is
+    order-only -- timing feeds back into latency, never into row
+    outcome); the kernel sees the whole sequence at once plus the
+    pre-batch open-row snapshot.
+    """
+    from repro.memsys.dram import DRAM, map_lines, row_hit_plan
+    from repro.memsys.request import MemoryRequest
+    from repro.params import DRAMConfig
+
+    rng = random.Random(seed)
+    cfg = DRAMConfig(channels=rng.choice((1, 2)),
+                     banks_per_channel=rng.choice((4, 8)))
+    dram = DRAM(cfg)
+    lines_per_row = cfg.row_buffer_bytes >> 6
+    # Pre-warm: leave some rows open before the batch snapshot.
+    pool = [rng.randrange(64) * lines_per_row + rng.randrange(lines_per_row)
+            for _ in range(32)]
+    for line in rng.choices(pool, k=40):
+        dram._raw_access(line, rng.randrange(1000))
+    open_before = dram.open_row_array()
+
+    batch = rng.choices(pool, k=200)
+    channel, bank_idx, rows = map_lines(cfg, batch)
+    hits, new_open = row_hit_plan(open_before, bank_idx, rows)
+
+    snapshot = open_before.copy()
+    scalar_hits = []
+    for line in batch:
+        before = dram.row_hits
+        dram._raw_access(line, rng.randrange(1000))
+        scalar_hits.append(dram.row_hits > before)
+    assert hits.tolist() == scalar_hits
+    assert new_open.tolist() == dram.open_row_array().tolist()
+    # The input snapshot must not have been mutated.
+    assert open_before.tolist() == snapshot.tolist()
+    assert not np.shares_memory(open_before, new_open)
+
+
+# ----------------------------------------------------------------------
+# MSHR bulk kernels vs the scalar table
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("seed", SEEDS)
+def test_mshr_bulk_lookup_matches_lookup(seed):
+    from repro.memsys.mshr import MSHR
+
+    rng = random.Random(seed)
+    mshr = MSHR(entries=16)
+    pool = [rng.getrandbits(57) for _ in range(24)]
+    for line in rng.sample(pool, 12):
+        mshr.allocate(line, fill_cycle=rng.randrange(2000), now=0)
+    now = rng.randrange(2000)
+    probes = rng.choices(pool, k=64)
+    out = mshr.bulk_lookup(probes, now)
+    merges_before = mshr.merges
+    for i, line in enumerate(probes):
+        expected = mshr.lookup(line, now)
+        assert int(out[i]) == (expected if expected is not None else -1)
+    # And the bulk form itself was side-effect free.
+    assert mshr.merges == merges_before + sum(1 for v in out if v != -1)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_mshr_bulk_expire_matches_scalar_expire(seed):
+    from repro.memsys.mshr import MSHR
+
+    rng = random.Random(seed)
+    bulk, scalar = MSHR(entries=16), MSHR(entries=16)
+    for _ in range(20):
+        line, fill = rng.getrandbits(57), rng.randrange(2000)
+        bulk.allocate(line, fill, now=0)
+        scalar.allocate(line, fill, now=0)
+    now = rng.randrange(2000)
+    before = len(scalar._inflight)
+    retired = bulk.bulk_expire(now)
+    scalar._expire(now)
+    assert bulk._inflight == scalar._inflight
+    assert retired == before - len(scalar._inflight)
+    assert bulk.expirations == scalar.expirations
+
+
+# ----------------------------------------------------------------------
+# Walk-cohort precompute vs sequential first walks
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("seed", SEEDS)
+def test_walk_entries_batch_matches_sequential_walks(seed):
+    """Cohort precompute must leave the allocator in the same state as
+    the scalar core walking the same VPNs in first-occurrence order."""
+    from repro.cache.batch import first_occurrence_unique
+    from repro.vm.page_table import PageTable
+
+    rng = random.Random(seed)
+    vpns = [rng.randrange(1 << 20) for _ in range(40)]
+    vpns = rng.choices(vpns, k=200)  # heavy duplication
+
+    sequential = PageTable()
+    seq_results = {}
+    for vpn in vpns:
+        pfn, entries = sequential.walk_entries(vpn << PAGE_SHIFT)
+        seq_results.setdefault(vpn, (pfn, entries))
+
+    batched = PageTable()
+    cache = {}
+    cohort = first_occurrence_unique(np.asarray(vpns, dtype=np.int64))
+    fresh = batched.walk_entries_batch(cohort.tolist(), cache)
+
+    assert fresh == len(set(vpns))
+    assert set(cache) == set(seq_results)
+    for vpn, (pfn, entries) in seq_results.items():
+        assert cache[vpn] == (pfn, entries)
+    # Identical allocation trajectory => identical allocator state.
+    assert batched.table_pages == sequential.table_pages
+    assert batched.data_pages == sequential.data_pages
+    assert batched.allocator._counter == sequential.allocator._counter
+    # Already-cached VPNs are pure lookups.
+    assert batched.walk_entries_batch(cohort.tolist(), cache) == 0
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_first_occurrence_unique_matches_dict_order(seed):
+    from repro.cache.batch import first_occurrence_unique
+
+    rng = random.Random(seed)
+    keys = [rng.randrange(64) if rng.random() < 0.8
+            else HIGH_BASE + rng.getrandbits(40) for _ in range(300)]
+    out = first_occurrence_unique(np.asarray(keys, dtype=np.int64))
+    assert out.tolist() == list(dict.fromkeys(keys))
+
+
+# ----------------------------------------------------------------------
+# Recall kernel vs the tracker's backward walk
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("seed", SEEDS)
+def test_recall_unique_counts_matches_backward_walk(seed):
+    """Pin the searchsorted form to RecallTracker.on_access's loop.
+
+    ``stamps`` model one set's ``last_seen`` values in recency order --
+    strictly increasing, the invariant the tracker maintains by stamping
+    every touch with an advancing clock.
+    """
+    from repro.cache.batch import recall_unique_counts
+    from repro.stats.recall import _CAP
+
+    rng = random.Random(seed)
+    stamps, t = [], 0
+    for _ in range(rng.randrange(1, 200)):
+        t += rng.randrange(1, 4)
+        stamps.append(t)
+    starts = [rng.randrange(0, t + 2) for _ in range(100)]
+
+    def scalar_count(start: int) -> int:
+        count = 0
+        for stamp in reversed(stamps):      # RecallTracker.on_access
+            if stamp < start or count >= _CAP:
+                break
+            count += 1
+        return count
+
+    out = recall_unique_counts(np.asarray(stamps, dtype=np.int64),
+                               starts, _CAP)
+    assert out.tolist() == [scalar_count(s) for s in starts]
+
+
+def test_recall_unique_counts_empty_set():
+    from repro.cache.batch import recall_unique_counts
+    out = recall_unique_counts(np.zeros(0, dtype=np.int64), [0, 5], 64)
+    assert out.tolist() == [0, 0]
